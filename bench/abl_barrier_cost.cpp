@@ -1,0 +1,11 @@
+// A2 — barrier-cost model across team sizes and topological spans.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  fibersim::core::Runner runner;
+  const auto args = fibersim::bench::parse_args(argc, argv, runner,
+                                                fibersim::apps::Dataset::kSmall);
+  fibersim::bench::emit(args, "A2: modelled barrier cost on A64FX",
+                        fibersim::core::barrier_cost_table());
+  return 0;
+}

@@ -1,0 +1,13 @@
+// A1 — sensitivity of the stride conclusion to the inter-CMG bandwidth.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  fibersim::core::Runner runner;
+  const auto args = fibersim::bench::parse_args(argc, argv, runner,
+                                                fibersim::apps::Dataset::kLarge);
+  fibersim::bench::emit(args,
+                        "A1: scatter/compact time ratio vs inter-CMG bandwidth "
+                        "scale",
+                        fibersim::core::cmg_penalty_ablation(args.ctx));
+  return 0;
+}

@@ -1,0 +1,11 @@
+// A5 — loop fission on/off (the Fujitsu compiler's OoO-pressure mitigation).
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  fibersim::core::Runner runner;
+  const auto args = fibersim::bench::parse_args(argc, argv, runner,
+                                                fibersim::apps::Dataset::kLarge);
+  fibersim::bench::emit(args, "A5: loop fission on the A64FX",
+                        fibersim::core::loop_fission_table(args.ctx));
+  return 0;
+}

@@ -1,0 +1,11 @@
+// A3 — A64FX power modes (normal / boost / eco).
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  fibersim::core::Runner runner;
+  const auto args = fibersim::bench::parse_args(argc, argv, runner,
+                                                fibersim::apps::Dataset::kLarge);
+  fibersim::bench::emit(args, "A3: A64FX power modes",
+                        fibersim::core::power_mode_table(args.ctx));
+  return 0;
+}

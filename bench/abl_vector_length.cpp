@@ -1,0 +1,12 @@
+// A4 — SVE vector-length sweep at fixed core resources.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  fibersim::core::Runner runner;
+  const auto args = fibersim::bench::parse_args(argc, argv, runner,
+                                                fibersim::apps::Dataset::kLarge);
+  fibersim::bench::emit(args,
+                        "A4: time [ms] vs SVE vector length (fixed resources)",
+                        fibersim::core::vector_length_table(args.ctx));
+  return 0;
+}

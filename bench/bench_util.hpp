@@ -1,0 +1,87 @@
+// Shared scaffolding for the table/figure reproduction binaries.
+//
+// Every bench accepts: [--dataset small|large] [--apps a,b,c]
+// [--iterations N] [--csv] and prints one experiment's table(s).
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/barchart.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "core/reports.hpp"
+
+namespace fibersim::bench {
+
+struct Args {
+  core::ReportContext ctx;
+  bool csv = false;
+};
+
+inline Args parse_args(int argc, char** argv, core::Runner& runner,
+                       apps::Dataset default_dataset) {
+  Args args;
+  args.ctx.runner = &runner;
+  args.ctx.dataset = default_dataset;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << a << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--dataset") {
+      args.ctx.dataset = value() == "large" ? apps::Dataset::kLarge
+                                            : apps::Dataset::kSmall;
+    } else if (a == "--apps") {
+      args.ctx.app_names = split(value(), ',');
+    } else if (a == "--iterations") {
+      args.ctx.iterations = std::stoi(value());
+    } else if (a == "--seed") {
+      args.ctx.seed = std::stoull(value());
+    } else if (a == "--csv") {
+      args.csv = true;
+    } else {
+      std::cerr << "unknown argument: " << a << "\n";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+inline void emit(const Args& args, const std::string& title,
+                 const TextTable& table) {
+  std::cout << "== " << title << " ==\n";
+  if (args.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "\n";
+}
+
+/// Render each table row as a bar chart: the first column is the chart
+/// title, columns [first_col, last_col] become bars labelled by the header.
+/// Used by the fig_* benches so that "figures" are figures, not just tables.
+inline void emit_chart(const Args& args, const TextTable& table,
+                       const std::string& unit, std::size_t first_col,
+                       std::size_t last_col) {
+  if (args.csv) return;  // charts are for eyes; CSV consumers get the table
+  for (std::size_t r = 0; r < table.rows(); ++r) {
+    BarChart chart(table.row(r)[0], unit);
+    for (std::size_t c = first_col; c <= last_col && c < table.columns(); ++c) {
+      char* end = nullptr;
+      const std::string& cell = table.row(r)[c];
+      const double v = std::strtod(cell.c_str(), &end);
+      if (end != cell.c_str()) chart.add(table.header()[c], v);
+    }
+    chart.print(std::cout);
+    std::cout << '\n';
+  }
+}
+
+}  // namespace fibersim::bench

@@ -1,0 +1,12 @@
+// E2 — multi-node weak scaling (problem grows with the node count).
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  fibersim::core::Runner runner;
+  const auto args = fibersim::bench::parse_args(argc, argv, runner,
+                                                fibersim::apps::Dataset::kLarge);
+  fibersim::bench::emit(
+      args, "E2: A64FX multi-node weak scaling (4 ranks x 12 threads/node)",
+      fibersim::core::weak_scaling_table(args.ctx, {1, 2, 4}));
+  return 0;
+}

@@ -1,0 +1,18 @@
+// F4 — cross-processor comparison at each machine's best configuration.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  fibersim::core::Runner runner;
+  auto args = fibersim::bench::parse_args(argc, argv, runner,
+                                          fibersim::apps::Dataset::kLarge);
+  for (const auto dataset :
+       {fibersim::apps::Dataset::kSmall, fibersim::apps::Dataset::kLarge}) {
+    args.ctx.dataset = dataset;
+    fibersim::bench::emit(
+        args,
+        std::string("F4: processor comparison (") +
+            fibersim::apps::dataset_name(dataset) + " dataset)",
+        fibersim::core::processor_compare_table(args.ctx));
+  }
+  return 0;
+}

@@ -1,0 +1,13 @@
+// F5 — roofline placement of every miniapp on the A64FX.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  fibersim::core::Runner runner;
+  const auto args = fibersim::bench::parse_args(argc, argv, runner,
+                                                fibersim::apps::Dataset::kLarge);
+  std::cout << "== F5: A64FX roofline ("
+            << fibersim::apps::dataset_name(args.ctx.dataset)
+            << " dataset) ==\n";
+  std::cout << fibersim::core::roofline_figure(args.ctx);
+  return 0;
+}

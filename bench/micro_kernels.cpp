@@ -1,0 +1,55 @@
+// M2 — google-benchmark microbenchmarks of the miniapp kernels themselves:
+// native single-rank host time per run (small dataset, one iteration). These
+// track the *framework's* execution cost regressions, not the modelled
+// A64FX times.
+#include <benchmark/benchmark.h>
+
+#include "miniapps/miniapp.hpp"
+#include "mp/job.hpp"
+#include "rt/thread_team.hpp"
+
+namespace {
+
+using namespace fibersim;
+
+void run_miniapp(benchmark::State& state, const std::string& name) {
+  const auto app = apps::create_miniapp(name);
+  for (auto _ : state) {
+    bool verified = false;
+    mp::Job::run(1, [&](mp::Comm& comm) {
+      rt::ThreadTeam team(1);
+      trace::Recorder rec(&comm);
+      apps::RunContext ctx;
+      ctx.comm = &comm;
+      ctx.team = &team;
+      ctx.recorder = &rec;
+      ctx.dataset = apps::Dataset::kSmall;
+      ctx.iterations = 1;
+      verified = app->run(ctx).verified;
+    });
+    if (!verified) state.SkipWithError("miniapp failed verification");
+    benchmark::DoNotOptimize(verified);
+  }
+}
+
+void BM_CcsQcd(benchmark::State& s) { run_miniapp(s, "ccs_qcd"); }
+void BM_Ffvc(benchmark::State& s) { run_miniapp(s, "ffvc"); }
+void BM_Nicam(benchmark::State& s) { run_miniapp(s, "nicam"); }
+void BM_Mvmc(benchmark::State& s) { run_miniapp(s, "mvmc"); }
+void BM_Ngsa(benchmark::State& s) { run_miniapp(s, "ngsa"); }
+void BM_Modylas(benchmark::State& s) { run_miniapp(s, "modylas"); }
+void BM_Ntchem(benchmark::State& s) { run_miniapp(s, "ntchem"); }
+void BM_Ffb(benchmark::State& s) { run_miniapp(s, "ffb"); }
+
+BENCHMARK(BM_CcsQcd)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ffvc)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Nicam)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Mvmc)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ngsa)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Modylas)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ntchem)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ffb)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

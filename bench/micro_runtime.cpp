@@ -1,0 +1,115 @@
+// M1 — google-benchmark microbenchmarks of the runtime substrates: thread
+// team fork-join and scheduling, message-passing point-to-point and
+// collectives, halo-grid exchange, and the analytic model evaluation itself.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "cg/codegen_model.hpp"
+#include "machine/exec_model.hpp"
+#include "mp/cart.hpp"
+#include "mp/job.hpp"
+#include "rt/thread_team.hpp"
+
+namespace {
+
+using namespace fibersim;
+
+void BM_TeamForkJoin(benchmark::State& state) {
+  rt::ThreadTeam team(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    team.parallel([](int tid) { benchmark::DoNotOptimize(tid); });
+  }
+}
+BENCHMARK(BM_TeamForkJoin)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_TeamParallelFor(benchmark::State& state) {
+  rt::ThreadTeam team(2);
+  std::vector<double> data(1 << 14, 1.0);
+  for (auto _ : state) {
+    team.parallel_for(0, static_cast<std::int64_t>(data.size()),
+                      rt::Schedule::kStatic, 0,
+                      [&](std::int64_t lo, std::int64_t hi, int) {
+                        for (std::int64_t i = lo; i < hi; ++i) data[i] *= 1.0001;
+                      });
+  }
+  benchmark::DoNotOptimize(data.data());
+}
+BENCHMARK(BM_TeamParallelFor);
+
+void BM_TeamReduce(benchmark::State& state) {
+  rt::ThreadTeam team(2);
+  for (auto _ : state) {
+    const double s = team.parallel_reduce_sum(
+        0, 1 << 14, [](std::int64_t i) { return static_cast<double>(i); });
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_TeamReduce);
+
+void BM_MpPingPong(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    mp::Job::run(2, [&](mp::Comm& comm) {
+      std::vector<std::byte> buf(bytes);
+      if (comm.rank() == 0) {
+        comm.send_bytes(1, 7, buf.data(), buf.size());
+        comm.recv_bytes(1, 8, buf.data(), buf.size());
+      } else {
+        comm.recv_bytes(0, 7, buf.data(), buf.size());
+        comm.send_bytes(0, 8, buf.data(), buf.size());
+      }
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes) * 2);
+}
+BENCHMARK(BM_MpPingPong)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_MpAllreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mp::Job::run(ranks, [](mp::Comm& comm) {
+      double v = static_cast<double>(comm.rank());
+      benchmark::DoNotOptimize(comm.allreduce_sum(v));
+    });
+  }
+}
+BENCHMARK(BM_MpAllreduce)->Arg(2)->Arg(8);
+
+void BM_ExecModelPhase(benchmark::State& state) {
+  const machine::ExecModel model(machine::a64fx());
+  std::vector<machine::ThreadWork> threads(48);
+  for (std::size_t t = 0; t < threads.size(); ++t) {
+    threads[t].work.flops = 1e6;
+    threads[t].work.load_bytes = 4e6;
+    threads[t].work.vectorizable_fraction = 0.9;
+    threads[t].work.iterations = 1e5;
+    threads[t].numa = static_cast<int>(t / 12);
+    threads[t].home_numa = static_cast<int>(t / 12);
+    threads[t].team_size = 12;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.evaluate_phase(threads));
+  }
+}
+BENCHMARK(BM_ExecModelPhase);
+
+void BM_CodegenApply(benchmark::State& state) {
+  isa::WorkEstimate w;
+  w.flops = 1e9;
+  w.load_bytes = 1e9;
+  w.iterations = 1e8;
+  w.vectorizable_fraction = 0.9;
+  w.branches = 1e7;
+  const auto opts = cg::CompileOptions::simd_sched();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cg::apply(opts, w));
+  }
+}
+BENCHMARK(BM_CodegenApply);
+
+}  // namespace
+
+BENCHMARK_MAIN();

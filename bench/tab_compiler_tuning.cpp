@@ -1,0 +1,13 @@
+// T3 — compiler tuning ladder on the as-is small datasets vs Skylake.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  fibersim::core::Runner runner;
+  const auto args = fibersim::bench::parse_args(argc, argv, runner,
+                                                fibersim::apps::Dataset::kSmall);
+  fibersim::bench::emit(args,
+                        "T3: SIMD vectorisation + instruction scheduling on the "
+                        "as-is small datasets",
+                        fibersim::core::compiler_tuning_table(args.ctx));
+  return 0;
+}

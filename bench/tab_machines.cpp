@@ -1,0 +1,11 @@
+// T1 — machine configuration table.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  fibersim::core::Runner runner;
+  const auto args = fibersim::bench::parse_args(argc, argv, runner,
+                                                fibersim::apps::Dataset::kSmall);
+  fibersim::bench::emit(args, "T1: machine configurations",
+                        fibersim::core::machines_table());
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Custom processor: define a hypothetical future many-core chip (a
+// "2x-A64FX": 8 CMGs, wider SVE, faster HBM) and compare the whole suite
+// against the real A64FX — the methodology of the group's follow-on
+// power/performance/area projection work.
+//
+//   ./examples/custom_processor [small|large]
+#include <iostream>
+
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/runner.hpp"
+
+using namespace fibersim;
+using namespace fibersim::units;
+
+namespace {
+
+/// A speculative next-generation part: twice the CMGs, HBM3-class stacks,
+/// same core microarchitecture. Every number is an explicit assumption.
+machine::ProcessorConfig a64fx_next() {
+  machine::ProcessorConfig cfg = machine::a64fx();
+  cfg.name = "A64FX-next(8CMG)";
+  cfg.shape = topo::NodeShape{.sockets = 1, .numa_per_socket = 8,
+                              .cores_per_numa = 12};
+  cfg.freq_hz = 2.4 * kGHz;
+  cfg.numa_mem_bw = 410.0 * kGB;   // HBM3 per stack
+  cfg.inter_numa_bw = 200.0 * kGB;
+  cfg.l2.capacity_bytes = 16 * kMiB / 12.0;
+  cfg.watts_base = 60.0;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const apps::Dataset dataset = (argc > 1 && std::string(argv[1]) == "large")
+                                    ? apps::Dataset::kLarge
+                                    : apps::Dataset::kSmall;
+  core::Runner runner;
+  const machine::ProcessorConfig today = machine::a64fx();
+  const machine::ProcessorConfig next = a64fx_next();
+
+  std::cout << "suite comparison: " << today.name << " (" << today.cores()
+            << "c, " << strfmt("%.0f", today.node_mem_bw() * 1e-9)
+            << " GB/s) vs " << next.name << " (" << next.cores() << "c, "
+            << strfmt("%.0f", next.node_mem_bw() * 1e-9) << " GB/s)\n\n";
+
+  TextTable table({"app", "A64FX ms", "next ms", "speedup", "A64FX GF/W",
+                   "next GF/W"});
+  for (const std::string& app : apps::registry_names()) {
+    auto run_on = [&](const machine::ProcessorConfig& proc) {
+      core::ExperimentConfig cfg;
+      cfg.app = app;
+      cfg.dataset = dataset;
+      cfg.processor = proc;
+      cfg.ranks = proc.shape.numa_per_node();
+      cfg.threads = proc.cores() / cfg.ranks;
+      return runner.run(cfg);
+    };
+    const auto a = run_on(today);
+    const auto b = run_on(next);
+    table.add_row({app, strfmt("%.3f", a.seconds() * 1e3),
+                   strfmt("%.3f", b.seconds() * 1e3),
+                   strfmt("%.2fx", a.seconds() / b.seconds()),
+                   strfmt("%.2f", a.power.gflops_per_watt),
+                   strfmt("%.2f", b.power.gflops_per_watt)});
+  }
+  table.print(std::cout);
+  std::cout << "\nnote: bandwidth-bound miniapps track the 3.2x bandwidth "
+               "increase;\ncompute- and latency-bound ones track the clock "
+               "alone.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: run one Fiber miniapp on the modelled A64FX and print the
+// predicted time, performance, and phase breakdown for a few MPI x OpenMP
+// configurations.
+//
+//   ./examples/quickstart [app] [small|large]
+#include <iostream>
+#include <string>
+
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "core/runner.hpp"
+#include "core/sweep.hpp"
+
+using namespace fibersim;
+
+int main(int argc, char** argv) {
+  const std::string app = argc > 1 ? argv[1] : "ffvc";
+  const apps::Dataset dataset = (argc > 2 && std::string(argv[2]) == "large")
+                                    ? apps::Dataset::kLarge
+                                    : apps::Dataset::kSmall;
+
+  core::Runner runner;
+  const machine::ProcessorConfig a64fx = machine::a64fx();
+  std::cout << "fibersim quickstart: " << app << " ("
+            << apps::dataset_name(dataset) << " dataset) on " << a64fx.name
+            << "\n\n";
+
+  TextTable table({"config", "time ms", "GFLOPS", "compute ms", "memory ms",
+                   "comm ms", "verified"});
+  for (const auto& [ranks, threads] : core::representative_combos(a64fx)) {
+    core::ExperimentConfig cfg;
+    cfg.app = app;
+    cfg.dataset = dataset;
+    cfg.ranks = ranks;
+    cfg.threads = threads;
+    const core::ExperimentResult res = runner.run(cfg);
+    table.add_row({strfmt("%dx%d", ranks, threads),
+                   strfmt("%.3f", res.seconds() * 1e3),
+                   strfmt("%.1f", res.gflops()),
+                   strfmt("%.3f", res.prediction.compute_s * 1e3),
+                   strfmt("%.3f", res.prediction.memory_s * 1e3),
+                   strfmt("%.3f", res.prediction.comm_s * 1e3),
+                   res.verified ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  // Phase breakdown of the one-rank-per-CMG configuration.
+  core::ExperimentConfig cfg;
+  cfg.app = app;
+  cfg.dataset = dataset;
+  cfg.ranks = a64fx.shape.numa_per_node();
+  cfg.threads = a64fx.cores() / cfg.ranks;
+  const core::ExperimentResult res = runner.run(cfg);
+  std::cout << "\nphases of " << cfg.label() << ":\n";
+  TextTable phases({"phase", "total ms", "limited by"});
+  for (const auto& phase : res.prediction.phases) {
+    phases.add_row({phase.name, strfmt("%.3f", phase.total_s * 1e3),
+                    machine::limiter_name(phase.time.limiter)});
+  }
+  phases.print(std::cout);
+  std::cout << "\ncheck: " << res.check_description << " = "
+            << res.check_value << "\n";
+  return res.verified ? 0 : 1;
+}

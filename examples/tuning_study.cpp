@@ -1,0 +1,154 @@
+// Tuning study: walk one miniapp through the full experiment space the
+// paper explores — MPI x OMP splits, thread strides, allocation policies,
+// and the compiler ladder — and print what matters and what does not.
+//
+//   ./examples/tuning_study [app] [small|large]
+#include <algorithm>
+#include <iostream>
+#include <limits>
+
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "core/runner.hpp"
+#include "core/sweep.hpp"
+
+using namespace fibersim;
+
+namespace {
+
+struct Finding {
+  std::string axis;
+  std::string best;
+  std::string worst;
+  double impact = 0.0;  // worst/best time ratio
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string app = argc > 1 ? argv[1] : "nicam";
+  const apps::Dataset dataset = (argc > 2 && std::string(argv[2]) == "large")
+                                    ? apps::Dataset::kLarge
+                                    : apps::Dataset::kSmall;
+  core::Runner runner;
+  const machine::ProcessorConfig a64fx = machine::a64fx();
+  std::vector<Finding> findings;
+
+  auto base = [&] {
+    core::ExperimentConfig cfg;
+    cfg.app = app;
+    cfg.dataset = dataset;
+    cfg.ranks = a64fx.shape.numa_per_node();
+    cfg.threads = a64fx.cores() / cfg.ranks;
+    return cfg;
+  };
+
+  std::cout << "tuning study for " << app << " ("
+            << apps::dataset_name(dataset) << ") on " << a64fx.name << "\n\n";
+
+  // Axis 1: MPI x OMP.
+  {
+    Finding f{.axis = "MPI x OMP", .best = "", .worst = "", .impact = 0.0};
+    double best = std::numeric_limits<double>::infinity();
+    double worst = 0.0;
+    for (const auto& [p, t] : core::mpi_omp_combinations(a64fx.cores())) {
+      auto cfg = base();
+      cfg.ranks = p;
+      cfg.threads = t;
+      const double s = runner.run(cfg).seconds();
+      if (s < best) {
+        best = s;
+        f.best = strfmt("%dx%d", p, t);
+      }
+      if (s > worst) {
+        worst = s;
+        f.worst = strfmt("%dx%d", p, t);
+      }
+    }
+    f.impact = worst / best;
+    findings.push_back(f);
+  }
+
+  // Axis 2: thread stride.
+  {
+    Finding f{.axis = "thread stride", .best = "", .worst = "", .impact = 0.0};
+    double best = std::numeric_limits<double>::infinity();
+    double worst = 0.0;
+    for (const auto& policy : core::stride_policies(a64fx.shape)) {
+      auto cfg = base();
+      cfg.bind = policy;
+      const double s = runner.run(cfg).seconds();
+      if (s < best) {
+        best = s;
+        f.best = policy.name();
+      }
+      if (s > worst) {
+        worst = s;
+        f.worst = policy.name();
+      }
+    }
+    f.impact = worst / best;
+    findings.push_back(f);
+  }
+
+  // Axis 3: process allocation.
+  {
+    Finding f{.axis = "process allocation", .best = "", .worst = "",
+              .impact = 0.0};
+    double best = std::numeric_limits<double>::infinity();
+    double worst = 0.0;
+    for (const auto policy : core::alloc_policies()) {
+      auto cfg = base();
+      cfg.ranks = 8;
+      cfg.threads = 6;
+      cfg.alloc = policy;
+      const double s = runner.run(cfg).seconds();
+      if (s < best) {
+        best = s;
+        f.best = topo::rank_alloc_name(policy);
+      }
+      if (s > worst) {
+        worst = s;
+        f.worst = topo::rank_alloc_name(policy);
+      }
+    }
+    f.impact = worst / best;
+    findings.push_back(f);
+  }
+
+  // Axis 4: compiler options.
+  {
+    Finding f{.axis = "compiler", .best = "", .worst = "", .impact = 0.0};
+    double best = std::numeric_limits<double>::infinity();
+    double worst = 0.0;
+    for (const auto& opts : cg::tuning_ladder()) {
+      auto cfg = base();
+      cfg.compile = opts;
+      const double s = runner.run(cfg).seconds();
+      if (s < best) {
+        best = s;
+        f.best = opts.name();
+      }
+      if (s > worst) {
+        worst = s;
+        f.worst = opts.name();
+      }
+    }
+    f.impact = worst / best;
+    findings.push_back(f);
+  }
+
+  TextTable table({"tuning axis", "best", "worst", "impact (worst/best)"});
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) { return a.impact > b.impact; });
+  for (const Finding& f : findings) {
+    table.add_row({f.axis, f.best, f.worst, strfmt("%.2fx", f.impact)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\ninterpretation: axes with impact near 1.00x can be left at "
+               "defaults;\nlarge-impact axes are worth tuning first (the "
+               "paper's ordering:\ncompiler > MPIxOMP > stride > allocation "
+               "for the as-is small datasets).\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "cg/codegen_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace fibersim::cg {
+
+namespace {
+/// Conditional-code density of the loop body, in [0, 1].
+double branch_density(const isa::WorkEstimate& work) {
+  if (work.iterations <= 0.0) return 0.0;
+  return std::min(1.0, work.branches / work.iterations);
+}
+
+/// Software pipelining overlaps successive chain links; it cannot remove a
+/// genuinely loop-carried recurrence, so a floor remains.
+constexpr double kSwplChainScale = 0.40;
+/// Loop fission shortens per-loop chains but re-streams intermediates.
+constexpr double kFissionChainScale = 0.70;
+constexpr double kFissionTrafficScale = 1.15;
+}  // namespace
+
+double vectorizer_ability(const CompileOptions& opts,
+                          const isa::WorkEstimate& work) {
+  opts.validate();
+  work.validate();
+  switch (opts.vectorize) {
+    case VectorizeLevel::kNone:
+      return 0.0;
+    case VectorizeLevel::kBasic: {
+      // Auto-vectorisation gives up on indirection and on conditional bodies.
+      double ability = 0.75;
+      ability *= 1.0 - 0.8 * work.gather_fraction;
+      ability *= 1.0 - 0.7 * branch_density(work);
+      if (opts.loop_fission) ability = std::min(1.0, ability + 0.10);
+      return std::clamp(ability, 0.0, 1.0);
+    }
+    case VectorizeLevel::kEnhanced: {
+      // Directives + predicated vector code handle most awkward loops.
+      double ability = 0.95;
+      ability *= 1.0 - 0.30 * work.gather_fraction;
+      ability *= 1.0 - 0.25 * branch_density(work);
+      return std::clamp(ability, 0.0, 1.0);
+    }
+  }
+  return 0.0;
+}
+
+isa::WorkEstimate apply(const CompileOptions& opts,
+                        const isa::WorkEstimate& work) {
+  opts.validate();
+  work.validate();
+  isa::WorkEstimate out = work;
+
+  out.vectorizable_fraction =
+      work.vectorizable_fraction * vectorizer_ability(opts, work);
+
+  if (opts.software_pipelining) {
+    out.dep_chain_ops *= kSwplChainScale;
+  }
+  if (opts.loop_fission) {
+    out.dep_chain_ops *= kFissionChainScale;
+    out.load_bytes *= kFissionTrafficScale;
+    out.store_bytes *= kFissionTrafficScale;
+    if (out.dram_traffic_bytes > 0.0) {
+      out.dram_traffic_bytes *= kFissionTrafficScale;
+    }
+  }
+  if (opts.unroll > 1) {
+    const double u = static_cast<double>(opts.unroll);
+    out.int_ops /= u;
+    out.branches /= u;
+  }
+  // Vectorising a conditional loop converts its branches into predicates.
+  if (opts.vectorize == VectorizeLevel::kEnhanced) {
+    out.branches *= 1.0 - 0.8 * out.vectorizable_fraction;
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace fibersim::cg

@@ -1,0 +1,28 @@
+// The code-generation model: CompileOptions x WorkEstimate -> WorkEstimate.
+//
+// It answers one question: of the algorithmically vectorisable work, how much
+// does this compiler configuration actually vectorise, and how much
+// dependency latency does its schedule expose? The coefficients are
+// first-order calibrations against the behaviour reported for the Fujitsu
+// compiler on A64FX (basic auto-vectorisation bails on indirect/conditional
+// loops; directives plus predication recover most of it; software pipelining
+// hides a large part of the FP latency chain).
+#pragma once
+
+#include "cg/compile_options.hpp"
+#include "isa/work_estimate.hpp"
+
+namespace fibersim::cg {
+
+/// How well a vectoriser handles a given loop nest, in [0, 1]: the fraction
+/// of algorithmically vectorisable flops that end up in vector code.
+double vectorizer_ability(const CompileOptions& opts,
+                          const isa::WorkEstimate& work);
+
+/// Apply the options: returns the estimate whose `vectorizable_fraction`,
+/// `dep_chain_ops`, `int_ops`, `branches` and traffic reflect the generated
+/// code rather than the algorithm.
+isa::WorkEstimate apply(const CompileOptions& opts,
+                        const isa::WorkEstimate& work);
+
+}  // namespace fibersim::cg

@@ -1,0 +1,48 @@
+#include "cg/compile_options.hpp"
+
+#include "common/error.hpp"
+
+namespace fibersim::cg {
+
+const char* vectorize_level_name(VectorizeLevel level) {
+  switch (level) {
+    case VectorizeLevel::kNone: return "nosimd";
+    case VectorizeLevel::kBasic: return "simd";
+    case VectorizeLevel::kEnhanced: return "simd+";
+  }
+  return "?";
+}
+
+CompileOptions CompileOptions::as_is() { return CompileOptions{}; }
+
+CompileOptions CompileOptions::simd_enhanced() {
+  CompileOptions o;
+  o.vectorize = VectorizeLevel::kEnhanced;
+  return o;
+}
+
+CompileOptions CompileOptions::simd_sched() {
+  CompileOptions o;
+  o.vectorize = VectorizeLevel::kEnhanced;
+  o.software_pipelining = true;
+  return o;
+}
+
+std::string CompileOptions::name() const {
+  std::string n = vectorize_level_name(vectorize);
+  if (software_pipelining) n += ",swp";
+  if (unroll > 1) n += ",unroll" + std::to_string(unroll);
+  if (loop_fission) n += ",fission";
+  return n;
+}
+
+void CompileOptions::validate() const {
+  FS_REQUIRE(unroll >= 1 && unroll <= 64, "unroll factor out of range");
+}
+
+std::vector<CompileOptions> tuning_ladder() {
+  return {CompileOptions::as_is(), CompileOptions::simd_enhanced(),
+          CompileOptions::simd_sched()};
+}
+
+}  // namespace fibersim::cg

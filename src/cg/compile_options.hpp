@@ -1,0 +1,47 @@
+// Compile-option sets modelling the paper's compiler study.
+//
+// The paper improves the poorly performing "as-is" runs in two steps:
+// enhancing SIMD vectorisation (directives / restrict / predicated
+// vectorisation of conditional loops, Fujitsu -Ksimd=2 class) and changing
+// instruction scheduling (software pipelining, -Kswp class). CompileOptions
+// captures exactly those knobs plus the unroll/loop-fission options used for
+// the ablation study.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fibersim::cg {
+
+enum class VectorizeLevel {
+  kNone,      ///< -Knosimd: scalar code
+  kBasic,     ///< default auto-vectorisation: bails on indirection/branches
+  kEnhanced,  ///< directive-assisted: predicated/indirect loops vectorised
+};
+
+const char* vectorize_level_name(VectorizeLevel level);
+
+struct CompileOptions {
+  VectorizeLevel vectorize = VectorizeLevel::kBasic;
+  /// Software pipelining / aggressive instruction scheduling: overlaps
+  /// successive dependency-chain links across iterations.
+  bool software_pipelining = false;
+  /// Unroll factor (1 = none). Cuts loop-control overhead and branches.
+  int unroll = 1;
+  /// Loop fission: splits fat loops to enable vectorisation / shorten chains
+  /// at the price of extra streamed traffic for the intermediates.
+  bool loop_fission = false;
+
+  // The three presets of experiment T3.
+  static CompileOptions as_is();
+  static CompileOptions simd_enhanced();
+  static CompileOptions simd_sched();
+
+  std::string name() const;
+  void validate() const;
+};
+
+/// The preset sequence used by the T3 table (ordered: as-is, +SIMD, +sched).
+std::vector<CompileOptions> tuning_ladder();
+
+}  // namespace fibersim::cg

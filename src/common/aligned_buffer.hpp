@@ -1,0 +1,47 @@
+// Cache-line / SIMD-width aligned storage.
+//
+// Miniapp kernels use AlignedVector<double> so that the host actually executes
+// aligned (auto-vectorisable) loops, matching the access pattern the machine
+// model assumes.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace fibersim {
+
+inline constexpr std::size_t kCacheLineBytes = 256;  // A64FX line size.
+
+/// Minimal allocator producing kCacheLineBytes-aligned allocations.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    const std::size_t bytes =
+        ((n * sizeof(T) + kCacheLineBytes - 1) / kCacheLineBytes) *
+        kCacheLineBytes;
+    void* p = std::aligned_alloc(kCacheLineBytes, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace fibersim

@@ -1,0 +1,49 @@
+#include "common/barchart.hpp"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace fibersim {
+
+BarChart::BarChart(std::string title, std::string unit)
+    : title_(std::move(title)), unit_(std::move(unit)) {}
+
+void BarChart::add(std::string label, double value) {
+  FS_REQUIRE(value >= 0.0, "bar values must be non-negative");
+  rows_.push_back(Row{std::move(label), value, false});
+}
+
+void BarChart::add_separator() { rows_.push_back(Row{"", 0.0, true}); }
+
+void BarChart::print(std::ostream& os, int width) const {
+  FS_REQUIRE(width >= 10, "chart width too small");
+  double max_value = 0.0;
+  std::size_t label_width = 0;
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    max_value = std::max(max_value, row.value);
+    label_width = std::max(label_width, row.label.size());
+  }
+  os << title_ << '\n';
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      os << '\n';
+      continue;
+    }
+    const int len =
+        max_value > 0.0
+            ? static_cast<int>(row.value / max_value * width + 0.5)
+            : 0;
+    os << "  " << std::left << std::setw(static_cast<int>(label_width))
+       << row.label << " |" << std::string(static_cast<std::size_t>(len), '#')
+       << std::string(static_cast<std::size_t>(width - len), ' ') << "| "
+       << strfmt("%.4g", row.value);
+    if (!unit_.empty()) os << ' ' << unit_;
+    os << '\n';
+  }
+}
+
+}  // namespace fibersim

@@ -1,0 +1,39 @@
+// Horizontal ASCII bar charts, used by the figure benches so that F1/F2/F3
+// render as figures (relative magnitudes at a glance) in addition to the
+// numeric tables.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fibersim {
+
+class BarChart {
+ public:
+  /// `unit` is printed after each value (e.g. "ms").
+  explicit BarChart(std::string title, std::string unit = "");
+
+  /// Add one bar; values must be non-negative.
+  void add(std::string label, double value);
+
+  /// Optional group separator (blank labelled row).
+  void add_separator();
+
+  std::size_t bars() const { return rows_.size(); }
+
+  /// Render with bars scaled to `width` characters at the maximum value.
+  void print(std::ostream& os, int width = 50) const;
+
+ private:
+  struct Row {
+    std::string label;
+    double value = 0.0;
+    bool separator = false;
+  };
+  std::string title_;
+  std::string unit_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace fibersim

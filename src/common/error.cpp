@@ -1,0 +1,23 @@
+#include "common/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace fibersim::detail {
+
+void throw_error(const char* file, int line, const char* cond,
+                 const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " [" << cond << " at " << file << ':' << line << ']';
+  throw Error(os.str());
+}
+
+void fail_assert(const char* file, int line, const char* cond,
+                 const std::string& msg) {
+  std::fprintf(stderr, "fibersim internal assertion failed: %s [%s at %s:%d]\n",
+               msg.c_str(), cond, file, line);
+  std::abort();
+}
+
+}  // namespace fibersim::detail

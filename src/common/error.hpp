@@ -1,0 +1,45 @@
+// Error handling primitives for fibersim.
+//
+// The library throws fibersim::Error for all recoverable misuse (bad
+// configuration, invalid arguments, protocol violations in the message
+// runtime). FS_REQUIRE is the argument-validation entry point; FS_ASSERT is
+// for internal invariants and is compiled in at all build types because the
+// framework is a measurement tool — a silently wrong invariant corrupts every
+// downstream number.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fibersim {
+
+/// Exception type thrown for all fibersim API misuse and runtime failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* file, int line, const char* cond,
+                              const std::string& msg);
+[[noreturn]] void fail_assert(const char* file, int line, const char* cond,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace fibersim
+
+/// Validate a caller-supplied precondition; throws fibersim::Error on failure.
+#define FS_REQUIRE(cond, msg)                                         \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::fibersim::detail::throw_error(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                                 \
+  } while (false)
+
+/// Internal invariant; aborts on failure (never disabled).
+#define FS_ASSERT(cond, msg)                                          \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::fibersim::detail::fail_assert(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                                 \
+  } while (false)

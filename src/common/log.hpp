@@ -1,0 +1,47 @@
+// Minimal leveled logger. Single global sink (stderr by default); the level
+// can be raised for debugging experiment runs without recompiling call sites.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fibersim {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set the minimum level that is emitted. Thread-safe.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}  // namespace detail
+
+/// Stream-style log statement: FS_LOG(kInfo) << "ranks=" << n;
+#define FS_LOG(level_suffix)                                              \
+  for (bool fs_log_once =                                                 \
+           ::fibersim::LogLevel::level_suffix >= ::fibersim::log_level(); \
+       fs_log_once; fs_log_once = false)                                  \
+  ::fibersim::detail::LogLine(::fibersim::LogLevel::level_suffix)
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace fibersim

@@ -1,0 +1,70 @@
+#include "common/string_util.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace fibersim {
+
+std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string strfmt(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string si_format(double value, int precision) {
+  static constexpr const char* kSuffix[] = {"", " k", " M", " G", " T", " P"};
+  int idx = 0;
+  double v = value;
+  while (std::fabs(v) >= 1000.0 && idx < 5) {
+    v /= 1000.0;
+    ++idx;
+  }
+  return strfmt("%.*f%s", precision, v, kSuffix[idx]);
+}
+
+}  // namespace fibersim

@@ -1,0 +1,24 @@
+// Small string helpers shared by the table writer and config parsing.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fibersim {
+
+/// Split on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+std::string to_lower(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Human-readable engineering formatting, e.g. 1.54e9 -> "1.54 G".
+std::string si_format(double value, int precision = 3);
+
+}  // namespace fibersim

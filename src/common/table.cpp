@@ -1,0 +1,71 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+
+#include "common/error.hpp"
+
+namespace fibersim {
+
+namespace {
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  std::strtod(cell.c_str(), &end);
+  return end == cell.c_str() + cell.size();
+}
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  FS_REQUIRE(!header_.empty(), "TextTable needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  FS_REQUIRE(row.size() == header_.size(),
+             "TextTable row arity does not match header");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& cells, bool align_numbers) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const bool right = align_numbers && looks_numeric(cells[c]);
+      os << (c == 0 ? "" : "  ");
+      os << (right ? std::right : std::left) << std::setw(static_cast<int>(width[c]))
+         << cells[c];
+    }
+    os << '\n';
+  };
+  emit(header_, false);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row, true);
+}
+
+void TextTable::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      if (cells[c].find(',') != std::string::npos) {
+        os << '"' << cells[c] << '"';
+      } else {
+        os << cells[c];
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace fibersim

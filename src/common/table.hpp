@@ -1,0 +1,37 @@
+// ASCII table and CSV emitters used by every bench binary so that the
+// regenerated tables/figures share one visual format.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fibersim {
+
+/// A simple column-aligned text table. Numeric cells should be pre-formatted
+/// by the caller (strfmt) so each experiment controls its own precision.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+  /// Render with a rule under the header, columns left-aligned except cells
+  /// that parse as numbers, which are right-aligned.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated output with a header line; commas in cells are quoted.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fibersim

@@ -1,0 +1,25 @@
+// Wall-clock timer for host-side measurement (diagnostics only; reported
+// experiment times come from the analytic machine model, see DESIGN.md).
+#pragma once
+
+#include <chrono>
+
+namespace fibersim {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fibersim

@@ -1,0 +1,23 @@
+// Unit helpers; all model quantities carry SI base units (bytes, seconds, Hz,
+// flop) as doubles, and these constants keep configuration literals readable.
+#pragma once
+
+namespace fibersim::units {
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * kKiB;
+inline constexpr double kGiB = 1024.0 * kMiB;
+
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+
+inline constexpr double kMHz = 1e6;
+inline constexpr double kGHz = 1e9;
+
+inline constexpr double kGFLOPS = 1e9;
+
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kNano = 1e-9;
+
+}  // namespace fibersim::units

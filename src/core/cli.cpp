@@ -1,0 +1,291 @@
+#include "core/cli.hpp"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "trace/serialize.hpp"
+#include "common/string_util.hpp"
+#include "core/config_parse.hpp"
+#include "core/reports.hpp"
+#include "core/runner.hpp"
+#include "core/sweep.hpp"
+
+namespace fibersim::core {
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: fibersim <command> [options]\n"
+    "\n"
+    "commands:\n"
+    "  list                      apps, processors and report ids\n"
+    "  describe <app>            one miniapp's description\n"
+    "  run [--key value ...]     run one experiment; keys: --app --dataset\n"
+    "                            --ranks --threads --nodes --bind --alloc\n"
+    "                            --compile --processor --iterations --seed\n"
+    "                            (--config <file> loads key=value settings\n"
+    "                            first, flags override; --json emits the\n"
+    "                            prediction as JSON; --dump-trace <file>\n"
+    "                            writes the recorded trace as JSON)\n"
+    "  report <id> [--apps a,b] [--dataset small|large] [--iterations N]\n"
+    "                            regenerate one table/figure (see list);\n"
+    "                            id 'all' regenerates every one\n";
+
+int cmd_list(std::ostream& out) {
+  out << "miniapps:\n";
+  for (const auto& name : apps::registry_names()) {
+    out << "  " << name << " - " << apps::create_miniapp(name)->description()
+        << "\n";
+  }
+  out << "processors: a64fx, a64fx-boost, a64fx-eco, skylake, thunderx2, "
+         "broadwell\n";
+  out << "reports:";
+  for (const auto& id : cli_report_ids()) out << ' ' << id;
+  out << "\n";
+  return 0;
+}
+
+int cmd_describe(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err) {
+  if (args.size() != 1) {
+    err << "describe takes exactly one app name\n";
+    return 2;
+  }
+  const auto app = apps::create_miniapp(args[0]);
+  out << app->name() << ": " << app->description() << "\n";
+  return 0;
+}
+
+/// Applies --key value pairs onto a config; returns unconsumed error or "".
+std::string apply_flags(const std::vector<std::string>& args,
+                        ExperimentConfig& cfg) {
+  for (std::size_t i = 0; i < args.size(); i += 2) {
+    const std::string& key = args[i];
+    if (i + 1 >= args.size()) return "missing value for " + key;
+    const std::string& value = args[i + 1];
+    if (key == "--app") {
+      cfg.app = value;
+    } else if (key == "--dataset") {
+      cfg.dataset = parse_dataset(value);
+    } else if (key == "--ranks") {
+      cfg.ranks = std::stoi(value);
+    } else if (key == "--threads") {
+      cfg.threads = std::stoi(value);
+    } else if (key == "--nodes") {
+      cfg.nodes = std::stoi(value);
+    } else if (key == "--bind") {
+      cfg.bind = parse_bind(value);
+    } else if (key == "--alloc") {
+      cfg.alloc = parse_alloc(value);
+    } else if (key == "--compile") {
+      cfg.compile = parse_compile(value);
+    } else if (key == "--processor") {
+      cfg.processor = parse_processor(value);
+    } else if (key == "--iterations") {
+      cfg.iterations = std::stoi(value);
+    } else if (key == "--seed") {
+      cfg.seed = std::stoull(value);
+    } else if (key == "--weak-scale") {
+      cfg.weak_scale = std::stoi(value);
+    } else if (key == "--config") {
+      cfg = load_experiment_config(value);
+    } else {
+      return "unknown flag: " + key;
+    }
+  }
+  return "";
+}
+
+int cmd_run(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  ExperimentConfig cfg;
+  bool json = false;
+  std::string dump_trace_path;
+  // Pull out the output-control flags, leave the rest for apply_flags.
+  std::vector<std::string> config_args;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--json") {
+      json = true;
+    } else if (args[i] == "--dump-trace") {
+      if (i + 1 >= args.size()) {
+        err << "missing value for --dump-trace\n";
+        return 2;
+      }
+      dump_trace_path = args[++i];
+    } else {
+      config_args.push_back(args[i]);
+    }
+  }
+  const std::string problem = apply_flags(config_args, cfg);
+  if (!problem.empty()) {
+    err << problem << "\n";
+    return 2;
+  }
+  Runner runner;
+  const ExperimentResult res = runner.run(cfg);
+
+  if (!dump_trace_path.empty()) {
+    std::ofstream trace_out(dump_trace_path);
+    if (!trace_out.good()) {
+      err << "cannot write trace file: " << dump_trace_path << "\n";
+      return 2;
+    }
+    trace_out << trace::to_json(res.job_trace) << "\n";
+  }
+  if (json) {
+    out << trace::to_json(res.prediction) << "\n";
+    return res.verified ? 0 : 1;
+  }
+
+  out << res.config.label() << "\n";
+  TextTable table({"quantity", "value"});
+  table.add_row({"predicted time", strfmt("%.6f ms", res.seconds() * 1e3)});
+  table.add_row({"performance", strfmt("%.2f GFLOPS", res.gflops())});
+  table.add_row({"compute", strfmt("%.6f ms", res.prediction.compute_s * 1e3)});
+  table.add_row({"memory", strfmt("%.6f ms", res.prediction.memory_s * 1e3)});
+  table.add_row({"communication", strfmt("%.6f ms", res.prediction.comm_s * 1e3)});
+  table.add_row({"barriers", strfmt("%.6f ms", res.prediction.barrier_s * 1e3)});
+  table.add_row({"setup (untimed)", strfmt("%.6f ms", res.prediction.setup_s * 1e3)});
+  table.add_row({"power", strfmt("%.1f W", res.power.watts)});
+  table.add_row({"energy", strfmt("%.6f J", res.power.joules)});
+  table.add_row({"verified", res.verified ? "yes" : "NO"});
+  table.add_row({"check", res.check_description + " = " +
+                              strfmt("%.6g", res.check_value)});
+  table.print(out);
+
+  out << "\nphases:\n";
+  TextTable phases({"phase", "total ms", "limited by", "timed"});
+  for (const auto& phase : res.prediction.phases) {
+    phases.add_row({phase.name, strfmt("%.6f", phase.total_s * 1e3),
+                    machine::limiter_name(phase.time.limiter),
+                    phase.timed ? "yes" : "no"});
+  }
+  phases.print(out);
+  return res.verified ? 0 : 1;
+}
+
+int cmd_report(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err) {
+  if (args.empty()) {
+    err << "report needs an id; one of:";
+    for (const auto& id : cli_report_ids()) err << ' ' << id;
+    err << "\n";
+    return 2;
+  }
+  std::string id = to_lower(args[0]);
+  Runner runner;
+  ReportContext ctx;
+  ctx.runner = &runner;
+  ctx.dataset = apps::Dataset::kLarge;
+  for (std::size_t i = 1; i < args.size(); i += 2) {
+    if (i + 1 >= args.size()) {
+      err << "missing value for " << args[i] << "\n";
+      return 2;
+    }
+    if (args[i] == "--apps") {
+      ctx.app_names = split(args[i + 1], ',');
+    } else if (args[i] == "--dataset") {
+      ctx.dataset = parse_dataset(args[i + 1]);
+    } else if (args[i] == "--iterations") {
+      ctx.iterations = std::stoi(args[i + 1]);
+    } else if (args[i] == "--seed") {
+      ctx.seed = std::stoull(args[i + 1]);
+    } else {
+      err << "unknown flag: " << args[i] << "\n";
+      return 2;
+    }
+  }
+
+  if (id == "all") {
+    // Regenerate every report in index order (each with a fresh runner;
+    // traces are cheap at suite scale).
+    for (const std::string& each : cli_report_ids()) {
+      out << "== " << each << " ==\n";
+      std::vector<std::string> sub_args{each};
+      for (std::size_t i = 1; i < args.size(); ++i) sub_args.push_back(args[i]);
+      const int code = cmd_report(sub_args, out, err);
+      if (code != 0) return code;
+      out << "\n";
+    }
+    return 0;
+  }
+  if (id == "t1") {
+    machines_table().print(out);
+  } else if (id == "t2") {
+    mpi_omp_table(ctx).print(out);
+  } else if (id == "f1") {
+    mpi_omp_relative_table(ctx).print(out);
+  } else if (id == "f2") {
+    thread_stride_table(ctx).print(out);
+  } else if (id == "f3") {
+    const AllocReport report = proc_alloc_report(ctx);
+    report.table.print(out);
+    out << "max spread: " << strfmt("%.1f%%", report.max_spread * 100.0) << "\n";
+  } else if (id == "t3") {
+    if (ctx.dataset != apps::Dataset::kSmall) ctx.dataset = apps::Dataset::kSmall;
+    compiler_tuning_table(ctx).print(out);
+  } else if (id == "f4") {
+    processor_compare_table(ctx).print(out);
+  } else if (id == "f5") {
+    out << roofline_figure(ctx);
+  } else if (id == "t4") {
+    phase_breakdown_table(ctx).print(out);
+  } else if (id == "a1") {
+    cmg_penalty_ablation(ctx).print(out);
+  } else if (id == "a2") {
+    barrier_cost_table().print(out);
+  } else if (id == "a3") {
+    power_mode_table(ctx).print(out);
+  } else if (id == "a4") {
+    vector_length_table(ctx).print(out);
+  } else if (id == "a5") {
+    loop_fission_table(ctx).print(out);
+  } else if (id == "e1") {
+    multinode_scaling_table(ctx, {1, 2, 4}).print(out);
+  } else if (id == "e2") {
+    weak_scaling_table(ctx, {1, 2, 4}).print(out);
+  } else {
+    err << "unknown report id: " << args[0] << "\n";
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<std::string> cli_report_ids() {
+  return {"T1", "T2", "F1", "F2", "F3", "T3", "F4", "F5", "T4",
+          "A1", "A2", "A3", "A4", "A5", "E1", "E2"};
+}
+
+int cli_main(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  if (args.size() < 2) {
+    err << kUsage;
+    return 2;
+  }
+  const std::string command = args[1];
+  const std::vector<std::string> rest(args.begin() + 2, args.end());
+  try {
+    if (command == "list") return cmd_list(out);
+    if (command == "describe") return cmd_describe(rest, out, err);
+    if (command == "run") return cmd_run(rest, out, err);
+    if (command == "report") return cmd_report(rest, out, err);
+    if (command == "help" || command == "--help" || command == "-h") {
+      out << kUsage;
+      return 0;
+    }
+  } catch (const Error& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  }
+  err << "unknown command: " << command << "\n" << kUsage;
+  return 2;
+}
+
+}  // namespace fibersim::core

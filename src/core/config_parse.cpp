@@ -1,0 +1,167 @@
+#include "core/config_parse.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace fibersim::core {
+
+topo::ThreadBindPolicy parse_bind(std::string_view text) {
+  const std::string t = to_lower(trim(text));
+  if (t == "compact") return topo::ThreadBindPolicy::compact();
+  if (t == "scatter") return topo::ThreadBindPolicy::scatter();
+  if (t.rfind("stride-", 0) == 0) {
+    try {
+      const int stride = std::stoi(t.substr(7));
+      return topo::ThreadBindPolicy::strided(stride);
+    } catch (const std::exception&) {
+      // fall through to the error below
+    }
+  }
+  throw Error("unknown thread-bind policy: '" + std::string(text) +
+              "' (expected compact | stride-<n> | scatter)");
+}
+
+topo::RankAllocPolicy parse_alloc(std::string_view text) {
+  const std::string t = to_lower(trim(text));
+  if (t == "block") return topo::RankAllocPolicy::kBlock;
+  if (t == "cyclic") return topo::RankAllocPolicy::kCyclic;
+  if (t == "scatter") return topo::RankAllocPolicy::kScatter;
+  throw Error("unknown rank-alloc policy: '" + std::string(text) +
+              "' (expected block | cyclic | scatter)");
+}
+
+cg::CompileOptions parse_compile(std::string_view text) {
+  const std::string t = to_lower(trim(text));
+  if (t == "as-is" || t == "as_is" || t == "simd") {
+    return cg::CompileOptions::as_is();
+  }
+  if (t == "simd+") return cg::CompileOptions::simd_enhanced();
+  if (t == "simd+swp" || t == "simd-swp" || t == "simd+,swp") {
+    return cg::CompileOptions::simd_sched();
+  }
+  if (t == "nosimd") {
+    cg::CompileOptions o;
+    o.vectorize = cg::VectorizeLevel::kNone;
+    return o;
+  }
+  throw Error("unknown compile preset: '" + std::string(text) +
+              "' (expected as-is | simd | simd+ | simd+swp | nosimd)");
+}
+
+machine::ProcessorConfig parse_processor(std::string_view text) {
+  const std::string t = to_lower(trim(text));
+  if (t == "a64fx") return machine::a64fx();
+  if (t == "a64fx-boost") {
+    return machine::with_power_mode(machine::a64fx(),
+                                    machine::PowerMode::kBoost);
+  }
+  if (t == "a64fx-eco") {
+    return machine::with_power_mode(machine::a64fx(), machine::PowerMode::kEco);
+  }
+  if (t == "skylake") return machine::skylake8168_dual();
+  if (t == "thunderx2") return machine::thunderx2_dual();
+  if (t == "broadwell") return machine::broadwell_dual();
+  throw Error("unknown processor: '" + std::string(text) +
+              "' (expected a64fx | a64fx-boost | a64fx-eco | skylake | "
+              "thunderx2 | broadwell)");
+}
+
+apps::Dataset parse_dataset(std::string_view text) {
+  const std::string t = to_lower(trim(text));
+  if (t == "small") return apps::Dataset::kSmall;
+  if (t == "large") return apps::Dataset::kLarge;
+  throw Error("unknown dataset: '" + std::string(text) +
+              "' (expected small | large)");
+}
+
+namespace {
+
+int parse_int(const std::string& key, std::string_view value) {
+  try {
+    return std::stoi(std::string(trim(value)));
+  } catch (const std::exception&) {
+    throw Error("value of '" + key + "' is not an integer: '" +
+                std::string(value) + "'");
+  }
+}
+
+bool parse_bool(const std::string& key, std::string_view value) {
+  const std::string t = to_lower(trim(value));
+  if (t == "true" || t == "1" || t == "yes" || t == "on") return true;
+  if (t == "false" || t == "0" || t == "no" || t == "off") return false;
+  throw Error("value of '" + key + "' is not a boolean: '" +
+              std::string(value) + "'");
+}
+
+}  // namespace
+
+ExperimentConfig parse_experiment_config(std::string_view text) {
+  ExperimentConfig cfg;
+  std::istringstream stream{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    // Strip comments and whitespace.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::string_view body = trim(line);
+    if (body.empty()) continue;
+
+    const std::size_t eq = body.find('=');
+    FS_REQUIRE(eq != std::string_view::npos,
+               strfmt("config line %d has no '=': '%s'", line_no,
+                      std::string(body).c_str()));
+    const std::string key = to_lower(trim(body.substr(0, eq)));
+    const std::string_view value = trim(body.substr(eq + 1));
+    FS_REQUIRE(!value.empty(), "config key '" + key + "' has no value");
+
+    if (key == "app") {
+      cfg.app = std::string(value);
+    } else if (key == "dataset") {
+      cfg.dataset = parse_dataset(value);
+    } else if (key == "ranks") {
+      cfg.ranks = parse_int(key, value);
+    } else if (key == "threads") {
+      cfg.threads = parse_int(key, value);
+    } else if (key == "nodes") {
+      cfg.nodes = parse_int(key, value);
+    } else if (key == "bind") {
+      cfg.bind = parse_bind(value);
+    } else if (key == "alloc") {
+      cfg.alloc = parse_alloc(value);
+    } else if (key == "compile") {
+      cfg.compile = parse_compile(value);
+    } else if (key == "unroll") {
+      cfg.compile.unroll = parse_int(key, value);
+    } else if (key == "fission") {
+      cfg.compile.loop_fission = parse_bool(key, value);
+    } else if (key == "processor") {
+      cfg.processor = parse_processor(value);
+    } else if (key == "iterations") {
+      cfg.iterations = parse_int(key, value);
+    } else if (key == "seed") {
+      cfg.seed = static_cast<std::uint64_t>(parse_int(key, value));
+    } else if (key == "weak_scale") {
+      cfg.weak_scale = parse_int(key, value);
+    } else {
+      throw Error(strfmt("unknown config key '%s' on line %d", key.c_str(),
+                         line_no));
+    }
+  }
+  cfg.validate();
+  return cfg;
+}
+
+ExperimentConfig load_experiment_config(const std::string& path) {
+  std::ifstream in(path);
+  FS_REQUIRE(in.good(), "cannot open config file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_experiment_config(buffer.str());
+}
+
+}  // namespace fibersim::core

@@ -1,0 +1,53 @@
+// Textual configuration parsing: build ExperimentConfigs from strings and
+// key=value files. Shared by the CLI driver and usable by scripts.
+//
+// File format: one `key = value` per line, `#` comments, blank lines
+// ignored. Unknown keys are errors (typos must not silently disappear).
+//
+//   app        = ccs_qcd
+//   dataset    = large          # small | large
+//   ranks      = 4
+//   threads    = 12
+//   nodes      = 1
+//   bind       = compact        # compact | stride-<n> | scatter
+//   alloc      = block          # block | cyclic | scatter
+//   compile    = simd+swp       # as-is | simd | simd+ | simd+swp
+//   unroll     = 1
+//   fission    = false
+//   processor  = a64fx          # a64fx | a64fx-boost | a64fx-eco |
+//                               # skylake | thunderx2 | broadwell
+//   iterations = 3
+//   seed       = 42
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/experiment.hpp"
+
+namespace fibersim::core {
+
+/// "compact", "stride-4", "scatter".
+topo::ThreadBindPolicy parse_bind(std::string_view text);
+
+/// "block", "cyclic", "scatter".
+topo::RankAllocPolicy parse_alloc(std::string_view text);
+
+/// "as-is"/"as_is", "simd", "simd+", "simd+swp"/"simd-swp", "nosimd".
+cg::CompileOptions parse_compile(std::string_view text);
+
+/// "a64fx", "a64fx-boost", "a64fx-eco", "skylake", "thunderx2", "broadwell".
+machine::ProcessorConfig parse_processor(std::string_view text);
+
+/// "small" or "large".
+apps::Dataset parse_dataset(std::string_view text);
+
+/// Parse a whole config from file contents; starts from the defaults and
+/// overrides each given key. Throws fibersim::Error with the offending line
+/// on any problem.
+ExperimentConfig parse_experiment_config(std::string_view text);
+
+/// Convenience: read a file and parse it.
+ExperimentConfig load_experiment_config(const std::string& path);
+
+}  // namespace fibersim::core

@@ -1,0 +1,29 @@
+#include "core/experiment.hpp"
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace fibersim::core {
+
+std::string ExperimentConfig::label() const {
+  return strfmt("%s/%s %dx%d %s/%s [%s] on %s", app.c_str(),
+                apps::dataset_name(dataset), ranks, threads,
+                topo::rank_alloc_name(alloc), bind.name().c_str(),
+                compile.name().c_str(), processor.name.c_str());
+}
+
+void ExperimentConfig::validate() const {
+  FS_REQUIRE(!app.empty(), "experiment needs an app name");
+  FS_REQUIRE(ranks >= 1, "experiment needs >= 1 rank");
+  FS_REQUIRE(threads >= 1, "experiment needs >= 1 thread");
+  FS_REQUIRE(nodes >= 1, "experiment needs >= 1 node");
+  FS_REQUIRE(static_cast<long long>(ranks) * threads <=
+                 static_cast<long long>(nodes) * processor.cores(),
+             "ranks x threads exceeds the machine's cores");
+  FS_REQUIRE(iterations >= 1, "experiment needs >= 1 iteration");
+  FS_REQUIRE(weak_scale >= 1, "weak-scale factor must be >= 1");
+  compile.validate();
+  processor.validate();
+}
+
+}  // namespace fibersim::core

@@ -1,0 +1,164 @@
+#include "core/reports.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "core/sweep.hpp"
+
+namespace fibersim::core {
+
+std::vector<std::string> ReportContext::apps_or_default() const {
+  return app_names.empty() ? apps::registry_names() : app_names;
+}
+
+void ReportContext::validate() const {
+  FS_REQUIRE(runner != nullptr, "ReportContext needs a runner");
+  FS_REQUIRE(iterations >= 1, "ReportContext needs >= 1 iteration");
+}
+
+namespace {
+
+std::string fmt_ms(double seconds) { return strfmt("%.3f", seconds * 1e3); }
+
+ExperimentConfig base_config(const ReportContext& ctx, const std::string& app) {
+  ExperimentConfig cfg;
+  cfg.app = app;
+  cfg.dataset = ctx.dataset;
+  cfg.iterations = ctx.iterations;
+  cfg.seed = ctx.seed;
+  return cfg;
+}
+
+}  // namespace
+
+TextTable machines_table() {
+  TextTable table({"processor", "cores", "numa", "SIMD", "freq GHz",
+                   "peak GF", "mem GB/s", "balance f/B"});
+  for (const machine::ProcessorConfig& cfg : machine::extended_comparison_set()) {
+    table.add_row({cfg.name, strfmt("%d", cfg.cores()),
+                   strfmt("%d", cfg.shape.numa_per_node()), cfg.vec.name,
+                   strfmt("%.1f", cfg.freq_hz * 1e-9),
+                   strfmt("%.0f", cfg.peak_flops_node() * 1e-9),
+                   strfmt("%.0f", cfg.node_mem_bw() * 1e-9),
+                   strfmt("%.2f", cfg.balance())});
+  }
+  return table;
+}
+
+TextTable mpi_omp_table(const ReportContext& ctx) {
+  ctx.validate();
+  const auto combos = mpi_omp_combinations(machine::a64fx().cores());
+  std::vector<std::string> header{"app"};
+  for (const auto& [p, t] : combos) header.push_back(strfmt("%dx%d", p, t));
+  TextTable table(std::move(header));
+
+  for (const std::string& app : ctx.apps_or_default()) {
+    std::vector<std::string> row{app};
+    for (const auto& [p, t] : combos) {
+      ExperimentConfig cfg = base_config(ctx, app);
+      cfg.ranks = p;
+      cfg.threads = t;
+      const ExperimentResult res = ctx.runner->run(cfg);
+      row.push_back(fmt_ms(res.seconds()) + (res.verified ? "" : "!"));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+TextTable mpi_omp_relative_table(const ReportContext& ctx) {
+  ctx.validate();
+  const auto combos = mpi_omp_combinations(machine::a64fx().cores());
+  std::vector<std::string> header{"app"};
+  for (const auto& [p, t] : combos) header.push_back(strfmt("%dx%d", p, t));
+  header.push_back("best");
+  TextTable table(std::move(header));
+
+  for (const std::string& app : ctx.apps_or_default()) {
+    std::vector<double> times;
+    for (const auto& [p, t] : combos) {
+      ExperimentConfig cfg = base_config(ctx, app);
+      cfg.ranks = p;
+      cfg.threads = t;
+      times.push_back(ctx.runner->run(cfg).seconds());
+    }
+    const double best = *std::min_element(times.begin(), times.end());
+    const std::size_t best_idx = static_cast<std::size_t>(
+        std::min_element(times.begin(), times.end()) - times.begin());
+    std::vector<std::string> row{app};
+    for (double t : times) row.push_back(strfmt("%.2f", t / best));
+    row.push_back(strfmt("%dx%d", combos[best_idx].first,
+                         combos[best_idx].second));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+TextTable thread_stride_table(const ReportContext& ctx) {
+  ctx.validate();
+  const machine::ProcessorConfig a64fx = machine::a64fx();
+  const auto policies = stride_policies(a64fx.shape);
+  std::vector<std::string> header{"app"};
+  for (const auto& p : policies) header.push_back(p.name());
+  header.push_back("worst/best");
+  TextTable table(std::move(header));
+
+  // Default: one rank per CMG — the threads' span is exactly what the
+  // stride policy controls. Overridable to study the interaction with the
+  // MPI x OMP split.
+  const int ranks = ctx.override_ranks > 0 ? ctx.override_ranks
+                                           : a64fx.shape.numa_per_node();
+  const int threads =
+      ctx.override_threads > 0 ? ctx.override_threads : a64fx.cores() / ranks;
+  for (const std::string& app : ctx.apps_or_default()) {
+    std::vector<double> times;
+    std::vector<std::string> row{app};
+    for (const auto& policy : policies) {
+      ExperimentConfig cfg = base_config(ctx, app);
+      cfg.ranks = ranks;
+      cfg.threads = threads;
+      cfg.bind = policy;
+      const double t = ctx.runner->run(cfg).seconds();
+      times.push_back(t);
+      row.push_back(fmt_ms(t));
+    }
+    const auto [lo, hi] = std::minmax_element(times.begin(), times.end());
+    row.push_back(strfmt("%.2f", *hi / *lo));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+AllocReport proc_alloc_report(const ReportContext& ctx) {
+  ctx.validate();
+  const auto policies = alloc_policies();
+  std::vector<std::string> header{"app"};
+  for (const auto p : policies)
+    header.emplace_back(topo::rank_alloc_name(p));
+  header.push_back("spread");
+  AllocReport report{TextTable(std::move(header)), 0.0};
+
+  for (const std::string& app : ctx.apps_or_default()) {
+    std::vector<double> times;
+    std::vector<std::string> row{app};
+    for (const auto policy : policies) {
+      ExperimentConfig cfg = base_config(ctx, app);
+      cfg.ranks = ctx.override_ranks > 0 ? ctx.override_ranks : 8;
+      cfg.threads = ctx.override_threads > 0 ? ctx.override_threads : 6;
+      cfg.alloc = policy;
+      const double t = ctx.runner->run(cfg).seconds();
+      times.push_back(t);
+      row.push_back(fmt_ms(t));
+    }
+    const auto [lo, hi] = std::minmax_element(times.begin(), times.end());
+    const double spread = (*hi - *lo) / *lo;
+    report.max_spread = std::max(report.max_spread, spread);
+    row.push_back(strfmt("%.1f%%", spread * 100.0));
+    report.table.add_row(std::move(row));
+  }
+  return report;
+}
+
+}  // namespace fibersim::core

@@ -1,0 +1,239 @@
+// A1-A3 ablation report generators.
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "core/reports.hpp"
+#include "core/sweep.hpp"
+#include "machine/exec_model.hpp"
+
+namespace fibersim::core {
+
+TextTable cmg_penalty_ablation(const ReportContext& ctx) {
+  ctx.validate();
+  // How robust is "short strides win" to the modelled inter-CMG bandwidth?
+  const std::vector<double> factors{0.25, 0.5, 1.0, 2.0, 4.0};
+  std::vector<std::string> header{"app"};
+  for (double f : factors) header.push_back(strfmt("x%.2f scat/cmp", f));
+  TextTable table(std::move(header));
+
+  const machine::ProcessorConfig base = machine::a64fx();
+  for (const std::string& app : ctx.apps_or_default()) {
+    std::vector<std::string> row{app};
+    for (double f : factors) {
+      machine::ProcessorConfig proc = base;
+      proc.inter_numa_bw = base.inter_numa_bw * f;
+      auto run_with = [&](topo::ThreadBindPolicy bind) {
+        ExperimentConfig cfg;
+        cfg.app = app;
+        cfg.dataset = ctx.dataset;
+        cfg.iterations = ctx.iterations;
+        cfg.seed = ctx.seed;
+        cfg.processor = proc;
+        cfg.ranks = proc.shape.numa_per_node();
+        cfg.threads = proc.cores() / cfg.ranks;
+        cfg.bind = bind;
+        return ctx.runner->run(cfg).seconds();
+      };
+      const double compact = run_with(topo::ThreadBindPolicy::compact());
+      const double scatter = run_with(topo::ThreadBindPolicy::scatter());
+      row.push_back(strfmt("%.2f", scatter / compact));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+TextTable barrier_cost_table() {
+  TextTable table({"threads", "same-numa us", "cross-numa us",
+                   "cross-socket us"});
+  const machine::ExecModel model(machine::a64fx());
+  for (int threads : {2, 4, 8, 12, 16, 24, 48}) {
+    table.add_row(
+        {strfmt("%d", threads),
+         strfmt("%.3f",
+                model.barrier_seconds(threads, topo::Distance::kSameNuma) * 1e6),
+         strfmt("%.3f", model.barrier_seconds(
+                            threads, topo::Distance::kSameSocket) * 1e6),
+         strfmt("%.3f", model.barrier_seconds(
+                            threads, topo::Distance::kSameNode) * 1e6)});
+  }
+  return table;
+}
+
+TextTable power_mode_table(const ReportContext& ctx) {
+  ctx.validate();
+  TextTable table({"app", "mode", "time ms", "watts", "joules", "GF/W"});
+  const machine::ProcessorConfig base = machine::a64fx();
+  for (const std::string& app : ctx.apps_or_default()) {
+    for (const machine::PowerMode mode :
+         {machine::PowerMode::kNormal, machine::PowerMode::kBoost,
+          machine::PowerMode::kEco}) {
+      ExperimentConfig cfg;
+      cfg.app = app;
+      cfg.dataset = ctx.dataset;
+      cfg.iterations = ctx.iterations;
+      cfg.seed = ctx.seed;
+      cfg.processor = machine::with_power_mode(base, mode);
+      cfg.nominal_freq_hz = base.freq_hz;
+      cfg.ranks = base.shape.numa_per_node();
+      cfg.threads = base.cores() / cfg.ranks;
+      const ExperimentResult res = ctx.runner->run(cfg);
+      table.add_row({app, machine::power_mode_name(mode),
+                     strfmt("%.3f", res.seconds() * 1e3),
+                     strfmt("%.1f", res.power.watts),
+                     strfmt("%.3f", res.power.joules),
+                     strfmt("%.2f", res.power.gflops_per_watt)});
+    }
+  }
+  return table;
+}
+
+TextTable vector_length_table(const ReportContext& ctx) {
+  ctx.validate();
+  const std::vector<int> widths{128, 256, 512, 1024, 2048};
+  std::vector<std::string> header{"app"};
+  for (int w : widths) header.push_back(strfmt("%d-bit", w));
+  header.push_back("512b limiter");
+  TextTable table(std::move(header));
+
+  const machine::ProcessorConfig base = machine::a64fx();
+  for (const std::string& app : ctx.apps_or_default()) {
+    std::vector<std::string> row{app};
+    std::string limiter = "?";
+    for (int bits : widths) {
+      machine::ProcessorConfig proc = base;
+      proc.name = strfmt("A64FX-vl%d", bits);
+      proc.vec.vector_bits = bits;
+      ExperimentConfig cfg;
+      cfg.app = app;
+      cfg.dataset = ctx.dataset;
+      cfg.iterations = ctx.iterations;
+      cfg.seed = ctx.seed;
+      cfg.processor = proc;
+      cfg.ranks = proc.shape.numa_per_node();
+      cfg.threads = proc.cores() / cfg.ranks;
+      const ExperimentResult res = ctx.runner->run(cfg);
+      row.push_back(strfmt("%.3f", res.seconds() * 1e3));
+      if (bits == 512 && !res.prediction.phases.empty()) {
+        // Limiter of the heaviest timed phase.
+        const trace::PhasePrediction* heaviest = nullptr;
+        for (const auto& phase : res.prediction.phases) {
+          if (!phase.timed) continue;
+          if (heaviest == nullptr || phase.total_s > heaviest->total_s) {
+            heaviest = &phase;
+          }
+        }
+        if (heaviest != nullptr) {
+          limiter = machine::limiter_name(heaviest->time.limiter);
+        }
+      }
+    }
+    row.push_back(limiter);
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+TextTable loop_fission_table(const ReportContext& ctx) {
+  ctx.validate();
+  TextTable table({"app", "no fission ms", "fission ms", "speedup"});
+  for (const std::string& app : ctx.apps_or_default()) {
+    auto run_with = [&](bool fission) {
+      ExperimentConfig cfg;
+      cfg.app = app;
+      cfg.dataset = ctx.dataset;
+      cfg.iterations = ctx.iterations;
+      cfg.seed = ctx.seed;
+      cfg.ranks = cfg.processor.shape.numa_per_node();
+      cfg.threads = cfg.processor.cores() / cfg.ranks;
+      // Fission is studied on top of basic vectorisation, where the Fujitsu
+      // compiler applies it (-Kloop_fission with the default pipeline).
+      cfg.compile = cg::CompileOptions::as_is();
+      cfg.compile.loop_fission = fission;
+      return ctx.runner->run(cfg).seconds();
+    };
+    const double off = run_with(false);
+    const double on = run_with(true);
+    table.add_row({app, strfmt("%.3f", off * 1e3), strfmt("%.3f", on * 1e3),
+                   strfmt("%.2fx", off / on)});
+  }
+  return table;
+}
+
+TextTable multinode_scaling_table(const ReportContext& ctx,
+                                  const std::vector<int>& node_counts) {
+  ctx.validate();
+  FS_REQUIRE(!node_counts.empty(), "need at least one node count");
+  std::vector<std::string> header{"app"};
+  for (int n : node_counts) header.push_back(strfmt("%d node(s) ms", n));
+  header.push_back(strfmt("eff @%d", node_counts.back()));
+  TextTable table(std::move(header));
+
+  const machine::ProcessorConfig proc = machine::a64fx();
+  const int ranks_per_node = proc.shape.numa_per_node();
+  for (const std::string& app : ctx.apps_or_default()) {
+    std::vector<std::string> row{app};
+    double t1 = 0.0;
+    double tn = 0.0;
+    for (int nodes : node_counts) {
+      ExperimentConfig cfg;
+      cfg.app = app;
+      cfg.dataset = ctx.dataset;
+      cfg.iterations = ctx.iterations;
+      cfg.seed = ctx.seed;
+      cfg.nodes = nodes;
+      cfg.ranks = ranks_per_node * nodes;
+      cfg.threads = proc.cores() / ranks_per_node;
+      const double t = ctx.runner->run(cfg).seconds();
+      if (nodes == node_counts.front()) t1 = t;
+      tn = t;
+      row.push_back(strfmt("%.3f", t * 1e3));
+    }
+    const double nodes_ratio = static_cast<double>(node_counts.back()) /
+                               static_cast<double>(node_counts.front());
+    const double efficiency = t1 / (tn * nodes_ratio);
+    row.push_back(strfmt("%.0f%%", efficiency * 100.0));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+TextTable weak_scaling_table(const ReportContext& ctx,
+                             const std::vector<int>& node_counts) {
+  ctx.validate();
+  FS_REQUIRE(!node_counts.empty(), "need at least one node count");
+  std::vector<std::string> header{"app"};
+  for (int n : node_counts) header.push_back(strfmt("%d node(s) ms", n));
+  header.push_back(strfmt("weak eff @%d", node_counts.back()));
+  TextTable table(std::move(header));
+
+  const machine::ProcessorConfig proc = machine::a64fx();
+  const int ranks_per_node = proc.shape.numa_per_node();
+  for (const std::string& app : ctx.apps_or_default()) {
+    std::vector<std::string> row{app};
+    double t1 = 0.0;
+    double tn = 0.0;
+    for (int nodes : node_counts) {
+      ExperimentConfig cfg;
+      cfg.app = app;
+      cfg.dataset = ctx.dataset;
+      cfg.iterations = ctx.iterations;
+      cfg.seed = ctx.seed;
+      cfg.nodes = nodes;
+      cfg.ranks = ranks_per_node * nodes;
+      cfg.threads = proc.cores() / ranks_per_node;
+      cfg.weak_scale = nodes;  // grow the problem with the machine
+      const double t = ctx.runner->run(cfg).seconds();
+      if (nodes == node_counts.front()) t1 = t;
+      tn = t;
+      row.push_back(strfmt("%.3f", t * 1e3));
+    }
+    // Perfect weak scaling keeps the time constant.
+    row.push_back(strfmt("%.0f%%", t1 / tn * 100.0));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace fibersim::core

@@ -1,0 +1,143 @@
+// T3 (compiler tuning), F4 (processor comparison), F5 (roofline) and
+// T4 (phase breakdown) report generators.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "core/reports.hpp"
+#include "core/sweep.hpp"
+#include "machine/roofline.hpp"
+
+namespace fibersim::core {
+
+namespace {
+
+ExperimentConfig sweep_config(const ReportContext& ctx, const std::string& app) {
+  ExperimentConfig cfg;
+  cfg.app = app;
+  cfg.dataset = ctx.dataset;
+  cfg.iterations = ctx.iterations;
+  cfg.seed = ctx.seed;
+  return cfg;
+}
+
+/// Best (minimum) predicted time for an app on a processor over the
+/// representative MPI x OMP combinations.
+ExperimentResult best_result(const ReportContext& ctx, const std::string& app,
+                             const machine::ProcessorConfig& proc,
+                             const cg::CompileOptions& compile) {
+  ExperimentResult best;
+  double best_t = std::numeric_limits<double>::infinity();
+  for (const auto& [p, t] : representative_combos(proc)) {
+    ExperimentConfig cfg = sweep_config(ctx, app);
+    cfg.processor = proc;
+    cfg.compile = compile;
+    cfg.ranks = p;
+    cfg.threads = t;
+    ExperimentResult res = ctx.runner->run(cfg);
+    if (res.seconds() < best_t) {
+      best_t = res.seconds();
+      best = std::move(res);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+TextTable compiler_tuning_table(const ReportContext& ctx) {
+  ctx.validate();
+  // The paper's as-is underperformers; defaults can be overridden.
+  const std::vector<std::string> apps_list =
+      ctx.app_names.empty() ? std::vector<std::string>{"ngsa", "mvmc", "nicam"}
+                            : ctx.app_names;
+  TextTable table({"app", "A64FX as-is ms", "A64FX +SIMD ms",
+                   "A64FX +SIMD+swp ms", "Skylake as-is ms",
+                   "as-is vs SKX", "tuned vs SKX"});
+  const auto ladder = cg::tuning_ladder();
+  for (const std::string& app : apps_list) {
+    std::vector<double> a64fx_times;
+    for (const cg::CompileOptions& opts : ladder) {
+      a64fx_times.push_back(
+          best_result(ctx, app, machine::a64fx(), opts).seconds());
+    }
+    const double skx = best_result(ctx, app, machine::skylake8168_dual(),
+                                   cg::CompileOptions::as_is())
+                           .seconds();
+    table.add_row({app, strfmt("%.3f", a64fx_times[0] * 1e3),
+                   strfmt("%.3f", a64fx_times[1] * 1e3),
+                   strfmt("%.3f", a64fx_times[2] * 1e3),
+                   strfmt("%.3f", skx * 1e3),
+                   strfmt("%.2fx", a64fx_times[0] / skx),
+                   strfmt("%.2fx", a64fx_times[2] / skx)});
+  }
+  return table;
+}
+
+TextTable processor_compare_table(const ReportContext& ctx) {
+  ctx.validate();
+  const auto procs = machine::comparison_set();
+  std::vector<std::string> header{"app", "dataset"};
+  for (const auto& p : procs) header.push_back(p.name + " ms");
+  for (std::size_t i = 1; i < procs.size(); ++i) {
+    header.push_back(procs[i].name + "/A64FX");
+  }
+  TextTable table(std::move(header));
+
+  for (const std::string& app : ctx.apps_or_default()) {
+    std::vector<double> times;
+    for (const auto& proc : procs) {
+      times.push_back(best_result(ctx, app, proc,
+                                  cg::CompileOptions::simd_sched())
+                          .seconds());
+    }
+    std::vector<std::string> row{app, apps::dataset_name(ctx.dataset)};
+    for (double t : times) row.push_back(strfmt("%.3f", t * 1e3));
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      row.push_back(strfmt("%.2f", times[i] / times[0]));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+std::string roofline_figure(const ReportContext& ctx) {
+  ctx.validate();
+  const machine::ProcessorConfig proc = machine::a64fx();
+  std::vector<machine::RooflinePoint> points;
+  for (const std::string& app : ctx.apps_or_default()) {
+    ExperimentConfig cfg = sweep_config(ctx, app);
+    cfg.ranks = proc.shape.numa_per_node();
+    cfg.threads = proc.cores() / cfg.ranks;
+    const ExperimentResult res = ctx.runner->run(cfg);
+    // Whole-job point: total flops over total bytes and achieved GFLOPS.
+    isa::WorkEstimate agg;
+    agg.flops = res.prediction.flops;
+    agg.load_bytes = res.prediction.dram_bytes;
+    points.push_back(machine::make_point(proc, app, agg, res.gflops()));
+  }
+  return machine::render_ascii(proc, points);
+}
+
+TextTable phase_breakdown_table(const ReportContext& ctx) {
+  ctx.validate();
+  TextTable table({"app", "phase", "compute ms", "memory ms", "barrier ms",
+                   "comm ms", "total ms", "limited by"});
+  for (const std::string& app : ctx.apps_or_default()) {
+    const ExperimentResult best = best_result(
+        ctx, app, machine::a64fx(), cg::CompileOptions::simd_sched());
+    for (const trace::PhasePrediction& phase : best.prediction.phases) {
+      table.add_row({app, phase.name, strfmt("%.3f", phase.time.compute_s * 1e3),
+                     strfmt("%.3f", phase.time.memory_s * 1e3),
+                     strfmt("%.3f", phase.time.barrier_s * 1e3),
+                     strfmt("%.3f", phase.comm_s * 1e3),
+                     strfmt("%.3f", phase.total_s * 1e3),
+                     machine::limiter_name(phase.time.limiter)});
+    }
+  }
+  return table;
+}
+
+}  // namespace fibersim::core

@@ -1,0 +1,87 @@
+#include "core/runner.hpp"
+
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "mp/job.hpp"
+#include "rt/thread_team.hpp"
+
+namespace fibersim::core {
+
+const Runner::Execution& Runner::execute(const ExperimentConfig& config) {
+  const Key key{config.app,        static_cast<int>(config.dataset),
+                config.ranks,      config.threads,
+                config.iterations, config.weak_scale,
+                config.seed};
+  if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+
+  FS_LOG(kInfo) << "native run: " << config.app << "/"
+                << apps::dataset_name(config.dataset) << " " << config.ranks
+                << "x" << config.threads;
+
+  Execution exec;
+  exec.job_trace.resize(static_cast<std::size_t>(config.ranks));
+  exec.verified = true;
+
+  std::mutex result_mutex;
+  mp::Job::run(config.ranks, [&](mp::Comm& comm) {
+    rt::ThreadTeam team(config.threads);
+    trace::Recorder recorder(&comm);
+    apps::RunContext ctx;
+    ctx.comm = &comm;
+    ctx.team = &team;
+    ctx.recorder = &recorder;
+    ctx.dataset = config.dataset;
+    ctx.seed = config.seed;
+    ctx.iterations = config.iterations;
+    ctx.weak_scale = config.weak_scale;
+
+    const auto app = apps::create_miniapp(config.app);
+    const apps::RunResult result = app->run(ctx);
+
+    exec.job_trace[static_cast<std::size_t>(comm.rank())] = recorder.phases();
+    std::lock_guard<std::mutex> lock(result_mutex);
+    exec.verified = exec.verified && result.verified;
+    if (comm.rank() == 0) {
+      exec.check_value = result.check_value;
+      exec.check_description = result.check_description;
+    }
+  });
+
+  ++native_runs_;
+  return cache_.emplace(key, std::move(exec)).first->second;
+}
+
+ExperimentResult Runner::run(const ExperimentConfig& config) {
+  config.validate();
+  const Execution& exec = execute(config);
+
+  const topo::Topology topology(config.processor.shape, config.nodes);
+  const topo::Binding binding = topo::Binding::make(
+      topology, config.ranks, config.threads, config.alloc, config.bind);
+
+  ExperimentResult result;
+  result.config = config;
+  result.prediction = trace::predict_job(config.processor, config.compile,
+                                         binding, exec.job_trace);
+  result.job_trace = exec.job_trace;
+  result.verified = exec.verified;
+  result.check_value = exec.check_value;
+  result.check_description = exec.check_description;
+
+  machine::PhaseTime aggregate;
+  aggregate.total_s = result.prediction.total_s;
+  aggregate.flops = result.prediction.flops;
+  aggregate.dram_bytes = result.prediction.dram_bytes;
+  const int active_cores_per_node =
+      (config.ranks * config.threads + config.nodes - 1) / config.nodes;
+  const double nominal = config.nominal_freq_hz > 0.0
+                             ? config.nominal_freq_hz
+                             : config.processor.freq_hz;
+  result.power = machine::estimate_power(config.processor, aggregate,
+                                         active_cores_per_node, nominal);
+  return result;
+}
+
+}  // namespace fibersim::core

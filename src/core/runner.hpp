@@ -1,0 +1,62 @@
+// Runner — executes experiments and produces predictions.
+//
+// Execution and prediction are deliberately decoupled (DESIGN.md): the
+// miniapp runs natively exactly once per (app, dataset, ranks, threads,
+// iterations, seed) — the trace does not depend on placement, compiler
+// options, or target processor — and the cached trace is then re-evaluated
+// cheaply for every placement/compiler/processor variation a sweep asks for.
+#pragma once
+
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "core/experiment.hpp"
+#include "machine/power_model.hpp"
+#include "trace/predict.hpp"
+
+namespace fibersim::core {
+
+struct ExperimentResult {
+  ExperimentConfig config;
+  trace::JobPrediction prediction;
+  /// The recorded trace the prediction was computed from (shared with the
+  /// runner's cache; useful for dumping/serialisation).
+  trace::JobTrace job_trace;
+  /// Every rank's verification must have passed.
+  bool verified = false;
+  double check_value = 0.0;
+  std::string check_description;
+  machine::PowerEstimate power;
+
+  double seconds() const { return prediction.total_s; }
+  double gflops() const { return prediction.gflops(); }
+};
+
+class Runner {
+ public:
+  /// Run (or reuse the cached execution of) an experiment.
+  ExperimentResult run(const ExperimentConfig& config);
+
+  /// Number of native executions performed so far (tests use this to assert
+  /// the caching contract).
+  std::size_t native_runs() const { return native_runs_; }
+
+ private:
+  struct Execution {
+    trace::JobTrace job_trace;
+    bool verified = false;
+    double check_value = 0.0;
+    std::string check_description;
+  };
+  using Key = std::tuple<std::string, int /*dataset*/, int /*ranks*/,
+                         int /*threads*/, int /*iterations*/,
+                         int /*weak_scale*/, std::uint64_t>;
+
+  const Execution& execute(const ExperimentConfig& config);
+
+  std::map<Key, Execution> cache_;
+  std::size_t native_runs_ = 0;
+};
+
+}  // namespace fibersim::core

@@ -1,0 +1,57 @@
+#include "core/sweep.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace fibersim::core {
+
+std::vector<std::pair<int, int>> mpi_omp_combinations(int cores) {
+  FS_REQUIRE(cores >= 1, "core count must be >= 1");
+  std::vector<std::pair<int, int>> combos;
+  for (int ranks = cores; ranks >= 1; --ranks) {
+    if (cores % ranks == 0) combos.emplace_back(ranks, cores / ranks);
+  }
+  return combos;
+}
+
+std::vector<std::pair<int, int>> representative_combos(
+    const machine::ProcessorConfig& cfg) {
+  const int cores = cfg.cores();
+  const int domains = cfg.shape.numa_per_node();
+  std::vector<std::pair<int, int>> combos;
+  auto add = [&](int ranks) {
+    if (ranks < 1 || cores % ranks != 0) return;
+    const std::pair<int, int> combo{ranks, cores / ranks};
+    if (std::find(combos.begin(), combos.end(), combo) == combos.end()) {
+      combos.push_back(combo);
+    }
+  };
+  add(cores);        // all-MPI
+  add(domains * 4);  // several ranks per domain
+  add(domains * 2);
+  add(domains);      // one rank per NUMA domain (CMG)
+  add(1);            // all-threads
+  return combos;
+}
+
+std::vector<topo::ThreadBindPolicy> stride_policies(
+    const topo::NodeShape& shape) {
+  std::vector<topo::ThreadBindPolicy> policies;
+  policies.push_back(topo::ThreadBindPolicy::compact());
+  const int cores = shape.cores_per_node();
+  for (int stride : {2, 4, 8}) {
+    if (cores % stride == 0 && stride < shape.cores_per_numa) {
+      policies.push_back(topo::ThreadBindPolicy::strided(stride));
+    }
+  }
+  policies.push_back(topo::ThreadBindPolicy::scatter());
+  return policies;
+}
+
+std::vector<topo::RankAllocPolicy> alloc_policies() {
+  return {topo::RankAllocPolicy::kBlock, topo::RankAllocPolicy::kCyclic,
+          topo::RankAllocPolicy::kScatter};
+}
+
+}  // namespace fibersim::core

@@ -1,0 +1,29 @@
+// Sweep helpers: the parameter axes the paper's evaluation iterates over.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "machine/processor.hpp"
+#include "topo/binding.hpp"
+
+namespace fibersim::core {
+
+/// All (ranks, threads) divisor pairs of `cores`, ranks descending — the
+/// MPI x OpenMP axis of T2/F1 (48 cores: 48x1, 24x2, ..., 1x48).
+std::vector<std::pair<int, int>> mpi_omp_combinations(int cores);
+
+/// A reduced set of representative (ranks, threads) combinations for
+/// best-of-configuration searches: all-MPI, one rank per NUMA domain, two
+/// ranks per domain, and all-threads.
+std::vector<std::pair<int, int>> representative_combos(
+    const machine::ProcessorConfig& cfg);
+
+/// The thread-stride policies of experiment F2 for a node shape (compact,
+/// stride 2, stride 4, ..., scatter) — strides that divide the core count.
+std::vector<topo::ThreadBindPolicy> stride_policies(const topo::NodeShape& shape);
+
+/// The process-allocation policies of experiment F3.
+std::vector<topo::RankAllocPolicy> alloc_policies();
+
+}  // namespace fibersim::core

@@ -1,0 +1,45 @@
+#include "isa/vector_isa.hpp"
+
+namespace fibersim::isa {
+
+VectorIsa sve512() {
+  return VectorIsa{
+      .name = "SVE-512",
+      .vector_bits = 512,
+      .has_fma = true,
+      .gather_lanes_per_cycle = 1.0,  // A64FX gathers are element-serial
+      .has_predication = true,
+  };
+}
+
+VectorIsa avx512() {
+  return VectorIsa{
+      .name = "AVX-512",
+      .vector_bits = 512,
+      .has_fma = true,
+      .gather_lanes_per_cycle = 2.0,
+      .has_predication = true,
+  };
+}
+
+VectorIsa neon128() {
+  return VectorIsa{
+      .name = "NEON-128",
+      .vector_bits = 128,
+      .has_fma = true,
+      .gather_lanes_per_cycle = 0.0,  // no hardware gather
+      .has_predication = false,
+  };
+}
+
+VectorIsa avx2_256() {
+  return VectorIsa{
+      .name = "AVX2-256",
+      .vector_bits = 256,
+      .has_fma = true,
+      .gather_lanes_per_cycle = 1.0,
+      .has_predication = false,
+  };
+}
+
+}  // namespace fibersim::isa

@@ -1,0 +1,37 @@
+// SIMD instruction-set descriptors.
+//
+// Only the properties the execution model consumes are represented: width,
+// FMA pairing, gather throughput and predication. Values for the concrete
+// ISAs are taken from vendor optimisation guides (A64FX microarchitecture
+// manual, Intel SDM, Marvell TX2 guide).
+#pragma once
+
+#include <string>
+
+namespace fibersim::isa {
+
+struct VectorIsa {
+  std::string name;
+  int vector_bits = 128;
+  bool has_fma = true;
+  /// Lanes a hardware gather can sustain per cycle (per pipe); scalar
+  /// fallback ISAs model gathers as one lane per cycle.
+  double gather_lanes_per_cycle = 1.0;
+  /// Predicated (masked) execution lets residual loop iterations stay
+  /// vectorised; without it short trip counts fall back to scalar code.
+  bool has_predication = false;
+
+  /// SIMD lanes for an element size in bytes (e.g. 8 for double).
+  int lanes(int element_bytes) const { return vector_bits / 8 / element_bytes; }
+};
+
+/// Arm SVE at 512-bit as implemented by the A64FX.
+VectorIsa sve512();
+/// Intel AVX-512 as implemented by Skylake-SP.
+VectorIsa avx512();
+/// Arm NEON (ASIMD) 128-bit as implemented by ThunderX2.
+VectorIsa neon128();
+/// Intel AVX2 256-bit (used for the Broadwell-class comparison point).
+VectorIsa avx2_256();
+
+}  // namespace fibersim::isa

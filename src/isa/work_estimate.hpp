@@ -1,0 +1,67 @@
+// WorkEstimate — the per-thread, per-phase instruction/traffic record.
+//
+// Miniapp kernels count their real work (flops, bytes, iterations) while
+// executing, and annotate it with algorithmic properties (vectorisable
+// fraction, dependency-chain length, sharing). The code-generation model
+// transforms a WorkEstimate according to compile options, and the machine
+// execution model turns the transformed estimate into cycles. This struct is
+// therefore the contract between the three layers.
+#pragma once
+
+#include <string>
+
+namespace fibersim::isa {
+
+struct WorkEstimate {
+  // ----- counted while the kernel runs -----
+  double flops = 0.0;        ///< floating point operations (FMA counts as 2)
+  double load_bytes = 0.0;   ///< bytes read by the kernel (algorithmic traffic)
+  double store_bytes = 0.0;  ///< bytes written
+  double int_ops = 0.0;      ///< integer/logic ops beyond loop control
+  double branches = 0.0;     ///< retired conditional branches
+  double iterations = 0.0;   ///< innermost loop trips (dep-chain scaling)
+
+  // ----- algorithmic annotations (set once per kernel) -----
+  /// Fraction of fp work inside loops that a perfect compiler could
+  /// vectorise. The codegen model scales this by the compiler's ability.
+  double vectorizable_fraction = 0.0;
+  /// Fraction of fp ops that pair into fused multiply-adds.
+  double fma_fraction = 0.0;
+  /// Length of the loop-carried dependency chain, in FP-operation units per
+  /// iteration (0 = independent iterations).
+  double dep_chain_ops = 0.0;
+  /// Fraction of loaded bytes fetched through indirection (gather).
+  double gather_fraction = 0.0;
+  /// Probability that a counted branch mispredicts.
+  double branch_miss_rate = 0.0;
+  /// Fraction of memory traffic that targets rank-shared arrays (homed in the
+  /// master thread's NUMA domain by serial first touch).
+  double shared_access_fraction = 0.0;
+  /// Per-thread working set, used by the cache-locality classifier.
+  double working_set_bytes = 0.0;
+  /// Kernel-supplied DRAM traffic (streaming estimate accounting for cache
+  /// reuse). Negative (default) lets the capacity classifier decide; a
+  /// stencil kernel that knows its reuse sets this to the stream volume.
+  double dram_traffic_bytes = -1.0;
+  /// Mean trip count of the vectorised inner loop; short loops lose lanes on
+  /// ISAs without predication.
+  double inner_trip_count = 0.0;
+
+  /// Arithmetic intensity in flop/byte (inf-safe: returns 0 on no traffic).
+  double arithmetic_intensity() const;
+
+  /// Elementwise accumulation of counts; annotations are combined as
+  /// traffic-weighted (gather/shared) or flop-weighted (vec/fma/chain)
+  /// averages so that merged phases stay physically meaningful.
+  WorkEstimate& merge(const WorkEstimate& other);
+
+  /// Multiply every counted quantity (not the annotations) by `s`.
+  WorkEstimate scaled(double s) const;
+
+  /// Throws fibersim::Error when a field is out of its documented domain.
+  void validate() const;
+
+  std::string summary() const;
+};
+
+}  // namespace fibersim::isa

@@ -1,0 +1,72 @@
+#include "machine/comm_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fibersim::machine {
+
+CommCostModel::CommCostModel(const ProcessorConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+}
+
+double CommCostModel::latency_seconds(topo::Distance distance) const {
+  // Intra-node messages pay the MPI software path (matching + two copies)
+  // regardless of placement; crossing a CMG or socket adds its hop latency.
+  const double base = cfg_.intra_node_msg_latency_ns * 1e-9;
+  switch (distance) {
+    case topo::Distance::kSameCore:
+    case topo::Distance::kSameNuma:
+      return base;
+    case topo::Distance::kSameSocket:
+      return base + cfg_.inter_numa_latency_ns * 1e-9;
+    case topo::Distance::kSameNode:
+      return base + cfg_.inter_socket_latency_ns * 1e-9;
+    case topo::Distance::kRemoteNode:
+      return cfg_.network_latency_us * 1e-6;
+  }
+  return base;
+}
+
+double CommCostModel::bandwidth(topo::Distance distance) const {
+  switch (distance) {
+    case topo::Distance::kSameCore:
+    case topo::Distance::kSameNuma:
+      // Eager-protocol copy in and out of the mailbox: half the local stream
+      // bandwidth.
+      return cfg_.numa_mem_bw / 2.0;
+    case topo::Distance::kSameSocket:
+      return cfg_.inter_numa_bw > 0.0 ? cfg_.inter_numa_bw : cfg_.numa_mem_bw / 2.0;
+    case topo::Distance::kSameNode:
+      return cfg_.inter_socket_bw > 0.0 ? cfg_.inter_socket_bw
+                                        : cfg_.numa_mem_bw / 2.0;
+    case topo::Distance::kRemoteNode:
+      return cfg_.network_bw;
+  }
+  return cfg_.numa_mem_bw / 2.0;
+}
+
+double CommCostModel::message_seconds(double bytes,
+                                      topo::Distance distance) const {
+  FS_REQUIRE(bytes >= 0.0, "message size must be non-negative");
+  return latency_seconds(distance) + bytes / bandwidth(distance);
+}
+
+double CommCostModel::collective_seconds(int ranks, double bytes,
+                                         topo::Distance distance) const {
+  FS_REQUIRE(ranks >= 1, "collective needs >= 1 rank");
+  if (ranks == 1) return 0.0;
+  const double rounds = std::ceil(std::log2(static_cast<double>(ranks)));
+  return rounds * message_seconds(bytes, distance);
+}
+
+double CommCostModel::alltoall_seconds(int ranks, double bytes_per_pair,
+                                       topo::Distance distance) const {
+  FS_REQUIRE(ranks >= 1, "alltoall needs >= 1 rank");
+  if (ranks == 1) return 0.0;
+  const double total = static_cast<double>(ranks - 1) * bytes_per_pair;
+  return latency_seconds(distance) * std::ceil(std::log2(ranks)) +
+         total / bandwidth(distance);
+}
+
+}  // namespace fibersim::machine

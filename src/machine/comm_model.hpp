@@ -1,0 +1,38 @@
+// Point-to-point and collective communication cost model.
+//
+// A message between two ranks is costed by the topological distance of their
+// master cores: latency(distance) + bytes / bandwidth(distance). Collectives
+// are costed as log-round algorithms over the participating ranks using the
+// widest distance in the communicator — the same first-order model used in
+// LogP-style analyses.
+#pragma once
+
+#include "machine/processor.hpp"
+#include "topo/topology.hpp"
+
+namespace fibersim::machine {
+
+class CommCostModel {
+ public:
+  explicit CommCostModel(const ProcessorConfig& cfg);
+
+  /// One point-to-point message of `bytes` across `distance`.
+  double message_seconds(double bytes, topo::Distance distance) const;
+
+  double latency_seconds(topo::Distance distance) const;
+  double bandwidth(topo::Distance distance) const;
+
+  /// Cost of a `ranks`-way collective moving `bytes` per rank, spanning
+  /// `distance`: rounds(log2) * message cost, the classic binomial bound.
+  double collective_seconds(int ranks, double bytes,
+                            topo::Distance distance) const;
+
+  /// All-to-all is bandwidth bound: ranks * bytes through the narrowest link.
+  double alltoall_seconds(int ranks, double bytes_per_pair,
+                          topo::Distance distance) const;
+
+ private:
+  ProcessorConfig cfg_;
+};
+
+}  // namespace fibersim::machine

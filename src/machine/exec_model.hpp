@@ -1,0 +1,81 @@
+// Analytic execution model.
+//
+// Hybrid roofline/ECM evaluation of a bulk-synchronous phase:
+//   * per-thread compute cycles from the instruction mix (vector throughput,
+//     scalar throughput, gather issue, branch misses) bounded below by the
+//     loop-carried dependency chain;
+//   * job-level memory time from DRAM channel contention — every thread's
+//     DRAM traffic is charged to the NUMA domain that homes the data, and
+//     remote traffic additionally crosses the inter-domain network;
+//   * compute and memory overlap according to the processor's out-of-order
+//     capability (mem_overlap);
+//   * an OpenMP-style barrier whose cost grows with team size and with the
+//     topological span of the team.
+//
+// This is the component that turns the paper's qualitative claims into
+// mechanism: thread stride changes home/remote traffic and barrier span,
+// SIMD options change the vector fraction, instruction scheduling changes the
+// dependency-chain term.
+#pragma once
+
+#include <vector>
+
+#include "isa/work_estimate.hpp"
+#include "machine/processor.hpp"
+#include "topo/topology.hpp"
+
+namespace fibersim::machine {
+
+/// The work of one thread in one phase, with its placement.
+struct ThreadWork {
+  isa::WorkEstimate work;
+  int numa = 0;       ///< global NUMA domain of the thread's core
+  int home_numa = 0;  ///< domain homing the rank's shared data
+  int rank = 0;
+  int team_size = 1;              ///< threads in this thread's rank
+  topo::Distance team_span = topo::Distance::kSameNuma;
+};
+
+/// What limited a phase.
+enum class Limiter { kCompute, kMemory, kChain, kBarrier };
+const char* limiter_name(Limiter limiter);
+
+struct PhaseTime {
+  double compute_s = 0.0;   ///< slowest thread's in-core time
+  double memory_s = 0.0;    ///< most loaded DRAM/interconnect channel
+  double barrier_s = 0.0;   ///< widest team's barrier
+  double total_s = 0.0;
+  Limiter limiter = Limiter::kCompute;
+
+  // Diagnostics for reports and the power model.
+  double flops = 0.0;
+  double dram_bytes = 0.0;
+  double remote_bytes = 0.0;  ///< DRAM traffic that crossed domains
+  double chain_s = 0.0;       ///< dependency-chain bound of the slowest thread
+  double gflops() const { return total_s > 0.0 ? flops / total_s * 1e-9 : 0.0; }
+};
+
+class ExecModel {
+ public:
+  explicit ExecModel(ProcessorConfig cfg);
+
+  const ProcessorConfig& config() const { return cfg_; }
+
+  /// In-core cycles of one thread (throughput + latency bounds), excluding
+  /// DRAM time. Exposed for tests and the roofline report.
+  double compute_cycles(const isa::WorkEstimate& work) const;
+
+  /// Dependency-chain lower bound in cycles (part of compute_cycles).
+  double chain_cycles(const isa::WorkEstimate& work) const;
+
+  /// Barrier cost for a team of `size` threads spanning `span`.
+  double barrier_seconds(int size, topo::Distance span) const;
+
+  /// Evaluate a whole bulk-synchronous phase across every thread of the job.
+  PhaseTime evaluate_phase(const std::vector<ThreadWork>& threads) const;
+
+ private:
+  ProcessorConfig cfg_;
+};
+
+}  // namespace fibersim::machine

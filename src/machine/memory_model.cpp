@@ -1,0 +1,40 @@
+#include "machine/memory_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace fibersim::machine {
+
+TrafficSplit classify_locality(double working_set_bytes,
+                               const ProcessorConfig& cfg) {
+  FS_REQUIRE(working_set_bytes >= 0.0, "working set must be non-negative");
+  TrafficSplit split;
+  if (working_set_bytes <= 0.0) {
+    // Pure streaming: every byte comes from memory.
+    split.mem_fraction = 1.0;
+    return split;
+  }
+  const double l1 = cfg.l1.capacity_bytes;
+  const double l2 = cfg.l2.capacity_bytes;
+
+  split.l1_fraction = std::min(1.0, l1 / working_set_bytes);
+  const double beyond_l1 = std::max(0.0, working_set_bytes - l1);
+  double rest = 1.0 - split.l1_fraction;
+  if (beyond_l1 > 0.0) {
+    split.l2_fraction = rest * std::min(1.0, l2 / beyond_l1);
+  }
+  split.mem_fraction = std::max(0.0, rest - split.l2_fraction);
+  return split;
+}
+
+double cache_transfer_seconds(double bytes, const CacheLevel& level,
+                              double freq_hz) {
+  FS_REQUIRE(bytes >= 0.0, "bytes must be non-negative");
+  if (bytes <= 0.0) return 0.0;
+  FS_REQUIRE(level.bytes_per_cycle > 0.0 && freq_hz > 0.0,
+             "cache level/frequency not configured");
+  return bytes / level.bytes_per_cycle / freq_hz;
+}
+
+}  // namespace fibersim::machine

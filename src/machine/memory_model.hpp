@@ -1,0 +1,30 @@
+// Cache-locality classification.
+//
+// Kernels report their algorithmic traffic and per-thread working set; this
+// model splits the traffic across L1 / L2 / DRAM with a capacity-cascade
+// rule: each level serves min(1, capacity / working-set-not-yet-captured) of
+// the remaining traffic. The rule is deliberately simple — it is monotone in
+// the working set, exact in the two limits (fits-in-L1, streams-from-DRAM),
+// and documented as a model assumption in DESIGN.md.
+#pragma once
+
+#include "machine/processor.hpp"
+
+namespace fibersim::machine {
+
+struct TrafficSplit {
+  double l1_fraction = 0.0;
+  double l2_fraction = 0.0;
+  double mem_fraction = 0.0;  ///< reaches DRAM (HBM2/DDR4)
+};
+
+/// Splits traffic by working set against the per-core cache capacities of
+/// `cfg`. working_set_bytes == 0 means "streaming, never reused": all DRAM.
+TrafficSplit classify_locality(double working_set_bytes,
+                               const ProcessorConfig& cfg);
+
+/// Time (seconds) one core spends moving `bytes` through a cache level.
+double cache_transfer_seconds(double bytes, const CacheLevel& level,
+                              double freq_hz);
+
+}  // namespace fibersim::machine

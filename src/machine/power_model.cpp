@@ -1,0 +1,34 @@
+#include "machine/power_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fibersim::machine {
+
+double phase_watts(const ProcessorConfig& cfg, int active_cores,
+                   double dram_bytes_per_s, double nominal_freq_hz) {
+  FS_REQUIRE(active_cores >= 0 && active_cores <= cfg.cores(),
+             "active core count out of range");
+  FS_REQUIRE(nominal_freq_hz > 0.0, "nominal frequency must be positive");
+  const double freq_ratio = cfg.freq_hz / nominal_freq_hz;
+  const double core_w = static_cast<double>(active_cores) *
+                        cfg.watts_per_core_active *
+                        std::pow(freq_ratio, cfg.freq_power_exponent);
+  const double dram_w = dram_bytes_per_s * 1e-9 * cfg.watts_per_GBps_dram;
+  return cfg.watts_base + core_w + dram_w;
+}
+
+PowerEstimate estimate_power(const ProcessorConfig& cfg, const PhaseTime& phase,
+                             int active_cores, double nominal_freq_hz) {
+  PowerEstimate out;
+  const double bw = phase.total_s > 0.0 ? phase.dram_bytes / phase.total_s : 0.0;
+  out.watts = phase_watts(cfg, active_cores, bw, nominal_freq_hz);
+  out.joules = out.watts * phase.total_s;
+  if (out.joules > 0.0 && phase.flops > 0.0) {
+    out.gflops_per_watt = phase.flops * 1e-9 / phase.total_s / out.watts;
+  }
+  return out;
+}
+
+}  // namespace fibersim::machine

@@ -1,0 +1,30 @@
+// First-order power/energy model (for the eco/boost operating-mode study —
+// experiment A3 — following the Fugaku power-management evaluation from the
+// same research group).
+//
+//   P = base + active_cores * w_core * (f / f_nominal)^e + dram_GBps * w_byte
+#pragma once
+
+#include "machine/exec_model.hpp"
+#include "machine/processor.hpp"
+
+namespace fibersim::machine {
+
+struct PowerEstimate {
+  double watts = 0.0;
+  double joules = 0.0;
+  /// Energy efficiency in GFLOPS/W; 0 when no flops were executed.
+  double gflops_per_watt = 0.0;
+};
+
+/// Power draw of `active_cores` running a phase with `dram_bytes_per_s`
+/// sustained DRAM traffic. `nominal_freq_hz` anchors the frequency-scaling
+/// exponent (pass the normal-mode clock when evaluating boost/eco variants).
+double phase_watts(const ProcessorConfig& cfg, int active_cores,
+                   double dram_bytes_per_s, double nominal_freq_hz);
+
+/// Full estimate for an evaluated phase.
+PowerEstimate estimate_power(const ProcessorConfig& cfg, const PhaseTime& phase,
+                             int active_cores, double nominal_freq_hz);
+
+}  // namespace fibersim::machine

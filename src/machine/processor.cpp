@@ -1,0 +1,203 @@
+#include "machine/processor.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace fibersim::machine {
+
+using namespace fibersim::units;
+
+double ProcessorConfig::vec_flops_per_cycle() const {
+  const int lanes = vec.lanes(/*element_bytes=*/8);
+  const double ops_per_lane = vec.has_fma ? 2.0 : 1.0;
+  return static_cast<double>(lanes) * ops_per_lane * fp_pipes;
+}
+
+void ProcessorConfig::validate() const {
+  FS_REQUIRE(!name.empty(), "processor needs a name");
+  FS_REQUIRE(freq_hz > 0.0, "processor frequency must be positive");
+  FS_REQUIRE(fp_pipes >= 1, "processor needs >= 1 FP pipe");
+  FS_REQUIRE(scalar_ipc > 0.0, "scalar_ipc must be positive");
+  FS_REQUIRE(mem_overlap >= 0.0 && mem_overlap <= 1.0, "mem_overlap in [0,1]");
+  FS_REQUIRE(numa_mem_bw > 0.0, "numa_mem_bw must be positive");
+  FS_REQUIRE(inter_numa_bw > 0.0 || shape.numa_per_node() == 1,
+             "multi-numa shape needs inter_numa_bw");
+  FS_REQUIRE(l1.capacity_bytes > 0.0 && l2.capacity_bytes > 0.0,
+             "cache capacities must be positive");
+  FS_REQUIRE(fp_latency_cycles >= 1.0, "fp latency must be >= 1 cycle");
+}
+
+const char* power_mode_name(PowerMode mode) {
+  switch (mode) {
+    case PowerMode::kNormal: return "normal";
+    case PowerMode::kBoost: return "boost";
+    case PowerMode::kEco: return "eco";
+  }
+  return "?";
+}
+
+ProcessorConfig with_power_mode(const ProcessorConfig& base, PowerMode mode) {
+  ProcessorConfig cfg = base;
+  if (base.name.find("A64FX") == std::string::npos || mode == PowerMode::kNormal) {
+    return cfg;
+  }
+  switch (mode) {
+    case PowerMode::kBoost:
+      cfg.name = base.name + "-boost";
+      cfg.freq_hz = 2.2 * kGHz;
+      break;
+    case PowerMode::kEco:
+      // Eco mode: one of the two FLA pipelines is disabled and the supply
+      // voltage is reduced; memory bandwidth is unchanged.
+      cfg.name = base.name + "-eco";
+      cfg.fp_pipes = 1;
+      cfg.watts_per_core_active = base.watts_per_core_active * 0.70;
+      break;
+    case PowerMode::kNormal:
+      break;
+  }
+  return cfg;
+}
+
+ProcessorConfig a64fx() {
+  ProcessorConfig cfg;
+  cfg.name = "A64FX";
+  cfg.shape = topo::NodeShape{.sockets = 1, .numa_per_socket = 4,
+                              .cores_per_numa = 12};
+  cfg.freq_hz = 2.0 * kGHz;
+  cfg.vec = isa::sve512();
+  cfg.fp_pipes = 2;
+  cfg.fp_latency_cycles = 9.0;  // FLA FMA latency
+  cfg.scalar_ipc = 1.2;         // shallow OoO: weak on scalar/branchy code
+  cfg.mem_overlap = 0.6;        // limited out-of-order resources
+  cfg.branch_miss_penalty_cycles = 14.0;
+  cfg.l1 = CacheLevel{.capacity_bytes = 64 * kKiB, .bytes_per_cycle = 128.0,
+                      .latency_cycles = 5.0};
+  // 8 MiB L2 per CMG shared by 12 cores; per-core sustained ~64 B/cycle.
+  cfg.l2 = CacheLevel{.capacity_bytes = 8 * kMiB / 12.0, .bytes_per_cycle = 64.0,
+                      .latency_cycles = 37.0};
+  cfg.numa_mem_bw = 256.0 * kGB;  // HBM2, per CMG
+  cfg.numa_mem_latency_ns = 130.0;
+  cfg.inter_numa_bw = 115.0 * kGB;  // on-chip ring between CMGs
+  cfg.inter_numa_latency_ns = 60.0;
+  cfg.inter_socket_bw = 0.0;  // single socket
+  cfg.network_bw = 6.8e9 * 4;  // Tofu-D, 4 usable lanes
+  cfg.network_latency_us = 0.9;
+  cfg.barrier_hop_ns_same_numa = 45.0;   // hardware barrier assist
+  cfg.barrier_hop_ns_cross_numa = 170.0;
+  cfg.watts_base = 40.0;
+  cfg.watts_per_core_active = 2.6;
+  cfg.watts_per_GBps_dram = 0.12;  // HBM2 is cheap per byte
+  return cfg;
+}
+
+ProcessorConfig skylake8168_dual() {
+  ProcessorConfig cfg;
+  cfg.name = "Skylake-8168x2";
+  cfg.shape = topo::NodeShape{.sockets = 2, .numa_per_socket = 1,
+                              .cores_per_numa = 24};
+  cfg.freq_hz = 2.3 * kGHz;  // sustained AVX-512 all-core clock
+  cfg.vec = isa::avx512();
+  cfg.fp_pipes = 2;
+  cfg.fp_latency_cycles = 4.0;
+  cfg.scalar_ipc = 2.6;  // deep OoO, strong scalar engine
+  cfg.mem_overlap = 0.85;
+  cfg.branch_miss_penalty_cycles = 16.0;
+  cfg.l1 = CacheLevel{.capacity_bytes = 32 * kKiB, .bytes_per_cycle = 128.0,
+                      .latency_cycles = 4.0};
+  cfg.l2 = CacheLevel{.capacity_bytes = 1 * kMiB, .bytes_per_cycle = 64.0,
+                      .latency_cycles = 14.0};
+  cfg.numa_mem_bw = 128.0 * kGB;  // 6ch DDR4-2666 per socket
+  cfg.numa_mem_latency_ns = 90.0;
+  cfg.inter_numa_bw = 41.6 * kGB;  // 2x UPI links
+  cfg.inter_numa_latency_ns = 130.0;
+  cfg.inter_socket_bw = 41.6 * kGB;
+  cfg.inter_socket_latency_ns = 130.0;
+  cfg.network_bw = 12.5e9;  // EDR InfiniBand
+  cfg.network_latency_us = 1.2;
+  cfg.barrier_hop_ns_same_numa = 60.0;
+  cfg.barrier_hop_ns_cross_numa = 250.0;
+  cfg.barrier_hop_ns_cross_socket = 250.0;
+  cfg.watts_base = 60.0;
+  cfg.watts_per_core_active = 4.3;
+  cfg.watts_per_GBps_dram = 0.35;
+  return cfg;
+}
+
+ProcessorConfig thunderx2_dual() {
+  ProcessorConfig cfg;
+  cfg.name = "ThunderX2x2";
+  cfg.shape = topo::NodeShape{.sockets = 2, .numa_per_socket = 1,
+                              .cores_per_numa = 32};
+  cfg.freq_hz = 2.5 * kGHz;
+  cfg.vec = isa::neon128();
+  cfg.fp_pipes = 2;
+  cfg.fp_latency_cycles = 6.0;
+  cfg.scalar_ipc = 2.2;
+  cfg.mem_overlap = 0.8;
+  cfg.branch_miss_penalty_cycles = 14.0;
+  cfg.l1 = CacheLevel{.capacity_bytes = 32 * kKiB, .bytes_per_cycle = 64.0,
+                      .latency_cycles = 4.0};
+  cfg.l2 = CacheLevel{.capacity_bytes = 256 * kKiB, .bytes_per_cycle = 32.0,
+                      .latency_cycles = 12.0};
+  cfg.numa_mem_bw = 160.0 * kGB;  // 8ch DDR4-2666 per socket
+  cfg.numa_mem_latency_ns = 95.0;
+  cfg.inter_numa_bw = 38.0 * kGB;  // CCPI2
+  cfg.inter_numa_latency_ns = 150.0;
+  cfg.inter_socket_bw = 38.0 * kGB;
+  cfg.inter_socket_latency_ns = 150.0;
+  cfg.network_bw = 12.5e9;
+  cfg.network_latency_us = 1.2;
+  cfg.barrier_hop_ns_same_numa = 70.0;
+  cfg.barrier_hop_ns_cross_numa = 280.0;
+  cfg.barrier_hop_ns_cross_socket = 280.0;
+  cfg.watts_base = 55.0;
+  cfg.watts_per_core_active = 2.8;
+  cfg.watts_per_GBps_dram = 0.35;
+  return cfg;
+}
+
+ProcessorConfig broadwell_dual() {
+  ProcessorConfig cfg;
+  cfg.name = "Broadwell-2695v4x2";
+  cfg.shape = topo::NodeShape{.sockets = 2, .numa_per_socket = 1,
+                              .cores_per_numa = 18};
+  cfg.freq_hz = 2.1 * kGHz;
+  cfg.vec = isa::avx2_256();
+  cfg.fp_pipes = 2;
+  cfg.fp_latency_cycles = 5.0;
+  cfg.scalar_ipc = 2.4;
+  cfg.mem_overlap = 0.85;
+  cfg.branch_miss_penalty_cycles = 15.0;
+  cfg.l1 = CacheLevel{.capacity_bytes = 32 * kKiB, .bytes_per_cycle = 96.0,
+                      .latency_cycles = 4.0};
+  cfg.l2 = CacheLevel{.capacity_bytes = 256 * kKiB, .bytes_per_cycle = 32.0,
+                      .latency_cycles = 12.0};
+  cfg.numa_mem_bw = 76.8 * kGB;  // 4ch DDR4-2400 per socket
+  cfg.numa_mem_latency_ns = 90.0;
+  cfg.inter_numa_bw = 38.4 * kGB;  // 2x QPI
+  cfg.inter_numa_latency_ns = 135.0;
+  cfg.inter_socket_bw = 38.4 * kGB;
+  cfg.inter_socket_latency_ns = 135.0;
+  cfg.network_bw = 12.5e9;
+  cfg.network_latency_us = 1.3;
+  cfg.barrier_hop_ns_same_numa = 65.0;
+  cfg.barrier_hop_ns_cross_numa = 260.0;
+  cfg.barrier_hop_ns_cross_socket = 260.0;
+  cfg.watts_base = 50.0;
+  cfg.watts_per_core_active = 3.3;
+  cfg.watts_per_GBps_dram = 0.4;
+  return cfg;
+}
+
+std::vector<ProcessorConfig> comparison_set() {
+  return {a64fx(), skylake8168_dual(), thunderx2_dual()};
+}
+
+std::vector<ProcessorConfig> extended_comparison_set() {
+  auto set = comparison_set();
+  set.push_back(broadwell_dual());
+  return set;
+}
+
+}  // namespace fibersim::machine

@@ -1,0 +1,113 @@
+// ProcessorConfig — every machine parameter the analytic models consume.
+//
+// Built-in configurations follow the published characteristics of the
+// processors the paper compares:
+//   * Fujitsu A64FX (FX700/Fugaku node): 48 cores in 4 CMGs, 512-bit SVE,
+//     2 FMA pipes, 2.0 GHz (2.2 boost), HBM2 256 GB/s per CMG, shallow
+//     out-of-order resources, high FP latency (9 cycles).
+//   * Intel Xeon Skylake-SP 8168 x2: 2x24 cores, AVX-512, 2 FMA pipes,
+//     2.7 GHz nominal (AVX-512 sustained lower), 6-channel DDR4 per socket
+//     (~128 GB/s), deep OoO (224-entry ROB).
+//   * Marvell ThunderX2 CN9980 x2: 2x32 cores, NEON-128, 2 pipes, 2.5 GHz,
+//     8-channel DDR4 per socket (~160 GB/s).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/vector_isa.hpp"
+#include "topo/topology.hpp"
+
+namespace fibersim::machine {
+
+/// One cache level as seen by a single core.
+struct CacheLevel {
+  double capacity_bytes = 0.0;  ///< capacity available to one core (L2: slice/share)
+  double bytes_per_cycle = 0.0; ///< sustained per-core bandwidth
+  double latency_cycles = 0.0;
+};
+
+struct ProcessorConfig {
+  std::string name;
+  topo::NodeShape shape;
+
+  // Clock and FP resources.
+  double freq_hz = 0.0;
+  isa::VectorIsa vec;
+  int fp_pipes = 2;              ///< SIMD/FP pipelines per core
+  double fp_latency_cycles = 4;  ///< FMA result latency
+  /// Sustained scalar instructions per cycle for non-vectorised code; this is
+  /// where the A64FX's narrow OoO front end penalises "as-is" scalar kernels.
+  double scalar_ipc = 2.0;
+  /// Fraction of min(compute, memory) hidden by out-of-order overlap
+  /// (1 = perfect overlap / pure roofline, 0 = strictly additive ECM).
+  double mem_overlap = 0.8;
+  double branch_miss_penalty_cycles = 12.0;
+
+  CacheLevel l1;
+  CacheLevel l2;
+
+  // Memory system (per NUMA domain = CMG or socket).
+  double numa_mem_bw = 0.0;        ///< bytes/s local stream bandwidth
+  double numa_mem_latency_ns = 100.0;
+  /// Bandwidth of the on-chip network between NUMA domains, per domain pair.
+  double inter_numa_bw = 0.0;
+  double inter_numa_latency_ns = 0.0;
+  /// Socket interconnect (only meaningful for multi-socket shapes).
+  double inter_socket_bw = 0.0;
+  double inter_socket_latency_ns = 0.0;
+  /// Node injection bandwidth / latency of the fabric (Tofu-D / IB class).
+  double network_bw = 6.8e9;
+  double network_latency_us = 1.0;
+  /// Base latency of an intra-node MPI message (matching + two copies);
+  /// distance-specific hop latencies are added on top of this.
+  double intra_node_msg_latency_ns = 300.0;
+
+  // Synchronisation.
+  double barrier_hop_ns_same_numa = 60.0;
+  double barrier_hop_ns_cross_numa = 180.0;
+  double barrier_hop_ns_cross_socket = 350.0;
+
+  // Power model (see power_model.hpp).
+  double watts_base = 30.0;           ///< uncore + memory idle
+  double watts_per_core_active = 2.0; ///< at nominal frequency
+  double watts_per_GBps_dram = 0.25;
+  double freq_power_exponent = 2.2;   ///< P_core ∝ (f/f_nom)^e
+
+  // ----- derived quantities -----
+  int cores() const { return shape.cores_per_node(); }
+  /// Peak double-precision flops/cycle of one core (vector FMA).
+  double vec_flops_per_cycle() const;
+  double peak_flops_per_core() const { return vec_flops_per_cycle() * freq_hz; }
+  double peak_flops_node() const { return peak_flops_per_core() * cores(); }
+  double node_mem_bw() const { return numa_mem_bw * shape.numa_per_node(); }
+  /// Machine balance in flop/byte — where the roofline knee sits.
+  double balance() const { return peak_flops_node() / node_mem_bw(); }
+
+  void validate() const;
+};
+
+/// Power/clock operating modes exposed by the A64FX (and modelled uniformly
+/// for the other processors where applicable).
+enum class PowerMode { kNormal, kBoost, kEco };
+const char* power_mode_name(PowerMode mode);
+
+/// Returns a copy of `base` adjusted for the requested mode: boost raises the
+/// clock (2.0->2.2 GHz on A64FX), eco halves the FP pipes and lowers core
+/// power draw. Non-A64FX processors only support kNormal and return `base`.
+ProcessorConfig with_power_mode(const ProcessorConfig& base, PowerMode mode);
+
+// Built-in configurations.
+ProcessorConfig a64fx();
+ProcessorConfig skylake8168_dual();
+ProcessorConfig thunderx2_dual();
+/// Previous-generation x86 reference point (Xeon E5-2695v4 x2, AVX2).
+ProcessorConfig broadwell_dual();
+
+/// All processors the comparison experiments iterate over (A64FX first).
+std::vector<ProcessorConfig> comparison_set();
+
+/// comparison_set() plus the previous-generation Broadwell reference.
+std::vector<ProcessorConfig> extended_comparison_set();
+
+}  // namespace fibersim::machine

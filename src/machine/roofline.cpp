@@ -1,0 +1,93 @@
+#include "machine/roofline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace fibersim::machine {
+
+double attainable_gflops(const ProcessorConfig& cfg, double intensity) {
+  FS_REQUIRE(intensity >= 0.0, "intensity must be non-negative");
+  const double compute = cfg.peak_flops_node() * 1e-9;
+  const double memory = intensity * cfg.node_mem_bw() * 1e-9;
+  return std::min(compute, memory);
+}
+
+double knee_intensity(const ProcessorConfig& cfg) {
+  return cfg.peak_flops_node() / cfg.node_mem_bw();
+}
+
+RooflinePoint make_point(const ProcessorConfig& cfg, std::string label,
+                         const isa::WorkEstimate& work,
+                         double achieved_gflops) {
+  RooflinePoint p;
+  p.label = std::move(label);
+  p.arithmetic_intensity = work.arithmetic_intensity();
+  p.attainable_gflops = attainable_gflops(cfg, p.arithmetic_intensity);
+  p.achieved_gflops = achieved_gflops;
+  p.memory_bound = p.arithmetic_intensity < knee_intensity(cfg);
+  return p;
+}
+
+std::string render_ascii(const ProcessorConfig& cfg,
+                         const std::vector<RooflinePoint>& points, int width,
+                         int height) {
+  FS_REQUIRE(width >= 20 && height >= 8, "chart too small");
+  // Axis ranges (log10): AI in [2^-6, 2^6], GFLOPS from 1 to 2x peak.
+  const double ai_lo = std::log10(1.0 / 64.0);
+  const double ai_hi = std::log10(64.0);
+  const double gf_lo = std::log10(1.0);
+  const double gf_hi = std::log10(2.0 * cfg.peak_flops_node() * 1e-9);
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  auto to_col = [&](double ai) {
+    const double x = (std::log10(std::max(ai, 1e-9)) - ai_lo) / (ai_hi - ai_lo);
+    return std::clamp(static_cast<int>(x * (width - 1)), 0, width - 1);
+  };
+  auto to_row = [&](double gflops) {
+    const double y =
+        (std::log10(std::max(gflops, 1.0)) - gf_lo) / (gf_hi - gf_lo);
+    return std::clamp(height - 1 - static_cast<int>(y * (height - 1)), 0,
+                      height - 1);
+  };
+
+  // Draw the roofline itself.
+  for (int c = 0; c < width; ++c) {
+    const double ai =
+        std::pow(10.0, ai_lo + (ai_hi - ai_lo) * c / (width - 1));
+    const int r = to_row(attainable_gflops(cfg, ai));
+    grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = '-';
+  }
+  // Mark the knee.
+  const int knee_col = to_col(knee_intensity(cfg));
+  for (int r = 0; r < height; ++r) {
+    char& cell = grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(knee_col)];
+    if (cell == ' ') cell = '.';
+  }
+  // Plot points as letters a, b, c...
+  std::ostringstream legend;
+  char mark = 'a';
+  for (const RooflinePoint& p : points) {
+    const int r = to_row(p.achieved_gflops);
+    const int c = to_col(p.arithmetic_intensity);
+    grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = mark;
+    legend << strfmt("  %c: %-18s AI=%6.3f  achieved=%8.1f GF  roof=%8.1f GF%s\n",
+                     mark, p.label.c_str(), p.arithmetic_intensity,
+                     p.achieved_gflops, p.attainable_gflops,
+                     p.memory_bound ? "  [memory-bound]" : "");
+    mark = (mark == 'z') ? 'A' : static_cast<char>(mark + 1);
+  }
+
+  std::ostringstream os;
+  os << cfg.name << " roofline (x: flop/byte in [2^-6, 2^6] log; y: GFLOPS log; "
+     << "knee at " << strfmt("%.2f", knee_intensity(cfg)) << " f/B)\n";
+  for (const std::string& row : grid) os << '|' << row << "|\n";
+  os << legend.str();
+  return os.str();
+}
+
+}  // namespace fibersim::machine

@@ -1,0 +1,37 @@
+// Roofline placement (experiment F5): where each miniapp phase sits relative
+// to a machine's compute and bandwidth ceilings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/work_estimate.hpp"
+#include "machine/processor.hpp"
+
+namespace fibersim::machine {
+
+struct RooflinePoint {
+  std::string label;
+  double arithmetic_intensity = 0.0;  ///< flop/byte
+  double attainable_gflops = 0.0;     ///< min(peak, AI * bandwidth), node level
+  double achieved_gflops = 0.0;       ///< from the evaluated phase
+  bool memory_bound = false;          ///< below the roofline knee
+};
+
+/// Node-level attainable performance at an arithmetic intensity.
+double attainable_gflops(const ProcessorConfig& cfg, double intensity);
+
+/// Arithmetic intensity at the roofline knee (peak / bandwidth).
+double knee_intensity(const ProcessorConfig& cfg);
+
+/// Build a point for a phase with known achieved performance.
+RooflinePoint make_point(const ProcessorConfig& cfg, std::string label,
+                         const isa::WorkEstimate& work, double achieved_gflops);
+
+/// Render an ASCII roofline chart (log-log) of the given points; used by
+/// bench/fig_roofline so the "figure" is regenerated as text.
+std::string render_ascii(const ProcessorConfig& cfg,
+                         const std::vector<RooflinePoint>& points, int width = 72,
+                         int height = 20);
+
+}  // namespace fibersim::machine

@@ -1,0 +1,344 @@
+#include "miniapps/ccs_qcd.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "common/aligned_buffer.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "miniapps/halo_grid.hpp"
+#include "mp/cart.hpp"
+
+namespace fibersim::apps {
+
+namespace {
+
+// With link entries bounded by 1/3 the spectral norm of each U is at most
+// sqrt(2), so m - 8*kappa*sqrt(2) ~ 0.1 > 0 keeps D positive definite for
+// every seed (worst case, not merely in expectation).
+constexpr double kMass = 1.0;
+constexpr double kKappa = 0.08;
+constexpr int kCgItersPerOuter = 5;
+
+// Interleaved complex layout helpers: a color vector is 6 doubles
+// (re0,im0,re1,...), a color matrix 18 doubles row-major.
+constexpr int kVec = 6;
+constexpr int kMat = 18;
+constexpr int kDirs = 4;
+constexpr int kUComp = kDirs * kMat;  // 72 doubles of links per site
+
+/// out += M * v  (3x3 complex times complex 3-vector).
+inline void mat_vec_acc(const double* m, const double* v, double* out) {
+  for (int r = 0; r < 3; ++r) {
+    double acc_re = 0.0;
+    double acc_im = 0.0;
+    for (int c = 0; c < 3; ++c) {
+      const double mre = m[(r * 3 + c) * 2];
+      const double mim = m[(r * 3 + c) * 2 + 1];
+      const double vre = v[c * 2];
+      const double vim = v[c * 2 + 1];
+      acc_re += mre * vre - mim * vim;
+      acc_im += mre * vim + mim * vre;
+    }
+    out[r * 2] += acc_re;
+    out[r * 2 + 1] += acc_im;
+  }
+}
+
+/// out += M^dagger * v.
+inline void mat_dag_vec_acc(const double* m, const double* v, double* out) {
+  for (int r = 0; r < 3; ++r) {
+    double acc_re = 0.0;
+    double acc_im = 0.0;
+    for (int c = 0; c < 3; ++c) {
+      // (M^dagger)_{rc} = conj(M_{cr})
+      const double mre = m[(c * 3 + r) * 2];
+      const double mim = -m[(c * 3 + r) * 2 + 1];
+      const double vre = v[c * 2];
+      const double vim = v[c * 2 + 1];
+      acc_re += mre * vre - mim * vim;
+      acc_im += mre * vim + mim * vre;
+    }
+    out[r * 2] += acc_re;
+    out[r * 2 + 1] += acc_im;
+  }
+}
+
+std::array<std::int64_t, 4> extents_for(const RunContext& ctx) {
+  // The weak-scale factor stretches the first lattice dimension, keeping
+  // total work proportional to it.
+  std::array<std::int64_t, 4> ext =
+      ctx.dataset == Dataset::kSmall ? std::array<std::int64_t, 4>{8, 8, 8, 8}
+                                     : std::array<std::int64_t, 4>{12, 12, 12, 12};
+  ext[0] *= ctx.weak_scale;
+  return ext;
+}
+
+class CcsQcdMini final : public Miniapp {
+ public:
+  std::string name() const override { return "ccs_qcd"; }
+  std::string description() const override {
+    return "4-D lattice Hermitian hopping-operator CG (CCS-QCD kernel)";
+  }
+
+  RunResult run(const RunContext& ctx) const override {
+    validate_context(ctx);
+    mp::Comm& comm = *ctx.comm;
+    trace::Recorder& rec = *ctx.recorder;
+
+    const mp::CartGrid grid(mp::dims_create(comm.size(), 4), /*periodic=*/true);
+    const HaloGrid<4> hg(grid, comm.rank(), extents_for(ctx), 1);
+
+    const auto n_doubles = static_cast<std::size_t>(hg.field_size(kVec));
+    AlignedVector<double> u(static_cast<std::size_t>(hg.field_size(kUComp)), 0.0);
+    AlignedVector<double> b(n_doubles, 0.0);
+    AlignedVector<double> x(n_doubles, 0.0);
+    AlignedVector<double> r(n_doubles, 0.0);
+    AlignedVector<double> p(n_doubles, 0.0);
+    AlignedVector<double> w(n_doubles, 0.0);
+
+    {
+      trace::Recorder::Scoped phase(rec, "init", /*parallel=*/false, /*timed=*/false);
+      init_fields(ctx, hg, u, b);
+      rec.add_work(init_work(hg));
+      // Links are static: exchange their ghosts once.
+      hg.exchange(comm, std::span<double>(u.data(), u.size()), kUComp);
+    }
+
+    // CG on D x = b with x0 = 0: r = b, p = r.
+    std::copy(b.begin(), b.end(), r.begin());
+    std::copy(b.begin(), b.end(), p.begin());
+    double rr = dot(ctx, hg, r, r);
+    const double r0 = std::sqrt(rr);
+
+    for (int outer = 0; outer < ctx.iterations; ++outer) {
+      for (int it = 0; it < kCgItersPerOuter; ++it) {
+        apply_d(ctx, hg, u, p, w);
+        const double pw = dot(ctx, hg, p, w);
+        FS_REQUIRE(pw > 0.0, "hopping operator lost positive definiteness");
+        const double alpha = rr / pw;
+        axpy(ctx, hg, alpha, p, x);   // x += alpha p
+        axpy(ctx, hg, -alpha, w, r);  // r -= alpha w
+        const double rr_new = dot(ctx, hg, r, r);
+        const double beta = rr_new / rr;
+        xpay(ctx, hg, r, beta, p);  // p = r + beta p
+        rr = rr_new;
+      }
+    }
+
+    RunResult result;
+    const double r_final = std::sqrt(rr);
+    result.check_value = r_final / r0;
+    result.check_description = "CG residual reduction |r|/|r0|";
+    result.verified = std::isfinite(r_final) && r_final < 0.5 * r0;
+    return result;
+  }
+
+ private:
+  /// Fields are generated from global site coordinates so every
+  /// decomposition produces the same global problem.
+  static void init_fields(const RunContext& ctx, const HaloGrid<4>& hg,
+                          AlignedVector<double>& u, AlignedVector<double>& b) {
+    const std::array<std::int64_t, 4> global = extents_for(ctx);
+    for (int i0 = 0; i0 < hg.local(0); ++i0) {
+      for (int i1 = 0; i1 < hg.local(1); ++i1) {
+        for (int i2 = 0; i2 < hg.local(2); ++i2) {
+          for (int i3 = 0; i3 < hg.local(3); ++i3) {
+            const std::int64_t g =
+                (((hg.offset(0) + i0) * global[1] + hg.offset(1) + i1) *
+                     global[2] +
+                 hg.offset(2) + i2) *
+                    global[3] +
+                hg.offset(3) + i3;
+            Xoshiro256 rng(ctx.seed, static_cast<std::uint64_t>(g));
+            const std::int64_t s = hg.site_index({i0, i1, i2, i3});
+            double* usite = u.data() + s * kUComp;
+            // Entries bounded by 1/3 => Frobenius norm <= sqrt(2): see kKappa.
+            for (int k = 0; k < kUComp; ++k) {
+              usite[k] = rng.uniform(-1.0, 1.0) / 3.0;
+            }
+            double* bsite = b.data() + s * kVec;
+            for (int k = 0; k < kVec; ++k) {
+              bsite[k] = rng.uniform(-1.0, 1.0);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  /// w = D v (with halo exchange of v).
+  static void apply_d(const RunContext& ctx, const HaloGrid<4>& hg,
+                      const AlignedVector<double>& u, AlignedVector<double>& v,
+                      AlignedVector<double>& w) {
+    trace::Recorder::Scoped phase(*ctx.recorder, "dslash");
+    hg.exchange(*ctx.comm, std::span<double>(v.data(), v.size()), kVec);
+
+    const std::int64_t n1 = hg.local(1);
+    const std::int64_t n2 = hg.local(2);
+    const std::int64_t n3 = hg.local(3);
+    ctx.team->parallel_for(0, hg.local(0), [&](std::int64_t lo, std::int64_t hi,
+                                               int /*tid*/) {
+      for (std::int64_t i0 = lo; i0 < hi; ++i0) {
+        for (int i1 = 0; i1 < n1; ++i1) {
+          for (int i2 = 0; i2 < n2; ++i2) {
+            for (int i3 = 0; i3 < n3; ++i3) {
+              const HaloGrid<4>::Coord c{static_cast<int>(i0), i1, i2,
+                                         static_cast<int>(i3)};
+              const std::int64_t s = hg.site_index(c);
+              double hop[kVec] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+              for (int mu = 0; mu < kDirs; ++mu) {
+                const std::int64_t step = hg.stride(mu);
+                // Forward: U_mu(x) * v(x+mu)
+                mat_vec_acc(u.data() + s * kUComp + mu * kMat,
+                            v.data() + (s + step) * kVec, hop);
+                // Backward: U_mu(x-mu)^dagger * v(x-mu)
+                mat_dag_vec_acc(u.data() + (s - step) * kUComp + mu * kMat,
+                                v.data() + (s - step) * kVec, hop);
+              }
+              double* out = w.data() + s * kVec;
+              const double* in = v.data() + s * kVec;
+              for (int k = 0; k < kVec; ++k) {
+                out[k] = kMass * in[k] - kKappa * hop[k];
+              }
+            }
+          }
+        }
+      }
+    });
+    ctx.recorder->add_work(dslash_work(hg));
+  }
+
+  static double dot(const RunContext& ctx, const HaloGrid<4>& hg,
+                    const AlignedVector<double>& a,
+                    const AlignedVector<double>& bvec) {
+    trace::Recorder::Scoped phase(*ctx.recorder, "linalg");
+    const std::int64_t n1 = hg.local(1) * hg.local(2) * hg.local(3);
+    double local = ctx.team->parallel_reduce_sum(
+        0, hg.local(0), [&](std::int64_t i0) {
+          double acc = 0.0;
+          for (std::int64_t rest = 0; rest < n1; ++rest) {
+            const int i1 = static_cast<int>(rest / (hg.local(2) * hg.local(3)));
+            const int i2 = static_cast<int>((rest / hg.local(3)) % hg.local(2));
+            const int i3 = static_cast<int>(rest % hg.local(3));
+            const std::int64_t s =
+                hg.site_index({static_cast<int>(i0), i1, i2, i3});
+            const double* pa = a.data() + s * kVec;
+            const double* pb = bvec.data() + s * kVec;
+            for (int k = 0; k < kVec; ++k) acc += pa[k] * pb[k];
+          }
+          return acc;
+        });
+    ctx.recorder->add_work(linalg_work(hg, /*ops_per_double=*/2.0,
+                                       /*streams=*/2.0, /*chain=*/0.25));
+    return ctx.comm->allreduce_sum(local);
+  }
+
+  /// y += alpha * x over interior sites.
+  static void axpy(const RunContext& ctx, const HaloGrid<4>& hg, double alpha,
+                   const AlignedVector<double>& xv, AlignedVector<double>& y) {
+    trace::Recorder::Scoped phase(*ctx.recorder, "linalg");
+    for_interior(ctx, hg, [&](std::int64_t s) {
+      const double* px = xv.data() + s * kVec;
+      double* py = y.data() + s * kVec;
+      for (int k = 0; k < kVec; ++k) py[k] += alpha * px[k];
+    });
+    ctx.recorder->add_work(
+        linalg_work(hg, /*ops_per_double=*/2.0, /*streams=*/3.0, /*chain=*/0.0));
+  }
+
+  /// p = r + beta * p over interior sites.
+  static void xpay(const RunContext& ctx, const HaloGrid<4>& hg,
+                   const AlignedVector<double>& rv, double beta,
+                   AlignedVector<double>& pv) {
+    trace::Recorder::Scoped phase(*ctx.recorder, "linalg");
+    for_interior(ctx, hg, [&](std::int64_t s) {
+      const double* pr = rv.data() + s * kVec;
+      double* pp = pv.data() + s * kVec;
+      for (int k = 0; k < kVec; ++k) pp[k] = pr[k] + beta * pp[k];
+    });
+    ctx.recorder->add_work(
+        linalg_work(hg, /*ops_per_double=*/2.0, /*streams=*/3.0, /*chain=*/0.0));
+  }
+
+  template <typename Fn>
+  static void for_interior(const RunContext& ctx, const HaloGrid<4>& hg,
+                           Fn&& fn) {
+    const std::int64_t n1 = hg.local(1);
+    const std::int64_t n2 = hg.local(2);
+    const std::int64_t n3 = hg.local(3);
+    ctx.team->parallel_for(0, hg.local(0), [&](std::int64_t lo, std::int64_t hi,
+                                               int /*tid*/) {
+      for (std::int64_t i0 = lo; i0 < hi; ++i0) {
+        for (int i1 = 0; i1 < n1; ++i1) {
+          for (int i2 = 0; i2 < n2; ++i2) {
+            for (int i3 = 0; i3 < n3; ++i3) {
+              fn(hg.site_index({static_cast<int>(i0), i1, i2,
+                                static_cast<int>(i3)}));
+            }
+          }
+        }
+      }
+    });
+  }
+
+  static isa::WorkEstimate init_work(const HaloGrid<4>& hg) {
+    isa::WorkEstimate w;
+    const double sites = static_cast<double>(hg.volume());
+    w.flops = sites * (kUComp + kVec) * 3.0;  // RNG + scaling, amortised
+    w.int_ops = sites * (kUComp + kVec) * 6.0;
+    w.store_bytes = sites * (kUComp + kVec) * 8.0;
+    w.iterations = sites;
+    w.vectorizable_fraction = 0.1;  // RNG state chain
+    w.dep_chain_ops = 1.0;
+    w.working_set_bytes = sites * (kUComp + kVec) * 8.0;
+    w.dram_traffic_bytes = sites * (kUComp + kVec) * 8.0;
+    w.inner_trip_count = static_cast<double>(hg.local(3));
+    return w;
+  }
+
+  static isa::WorkEstimate dslash_work(const HaloGrid<4>& hg) {
+    isa::WorkEstimate w;
+    const double sites = static_cast<double>(hg.volume());
+    // Per site: 8 complex 3x3 mat-vecs (66 flops each, fused accumulate)
+    // plus the mass/kappa combination (4 flops per component).
+    w.flops = sites * (8.0 * 66.0 + kVec * 4.0);
+    w.load_bytes = sites * (8.0 * (kMat + kVec) + kVec) * 8.0;
+    w.store_bytes = sites * kVec * 8.0;
+    w.iterations = sites;
+    w.vectorizable_fraction = 0.95;
+    w.fma_fraction = 0.9;
+    w.dep_chain_ops = 0.0;  // sites are independent
+    // Streaming: links + spinor read once, result written once.
+    w.dram_traffic_bytes = sites * (kUComp + 2.0 * kVec) * 8.0;
+    w.working_set_bytes =
+        static_cast<double>(hg.field_size(kUComp) + 2 * hg.field_size(kVec)) * 8.0;
+    w.shared_access_fraction = 0.1;  // halo regions
+    w.inner_trip_count = static_cast<double>(hg.local(3)) * kVec;
+    return w;
+  }
+
+  static isa::WorkEstimate linalg_work(const HaloGrid<4>& hg,
+                                       double ops_per_double, double streams,
+                                       double chain) {
+    isa::WorkEstimate w;
+    const double doubles = static_cast<double>(hg.volume()) * kVec;
+    w.flops = doubles * ops_per_double;
+    w.load_bytes = doubles * 8.0 * (streams - 1.0);
+    w.store_bytes = doubles * 8.0;
+    w.iterations = doubles;
+    w.vectorizable_fraction = 1.0;
+    w.fma_fraction = 1.0;
+    w.dep_chain_ops = chain;
+    w.dram_traffic_bytes = doubles * 8.0 * streams;
+    w.working_set_bytes = doubles * 8.0 * streams;
+    w.inner_trip_count = doubles;
+    return w;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Miniapp> make_ccs_qcd() { return std::make_unique<CcsQcdMini>(); }
+
+}  // namespace fibersim::apps

@@ -1,0 +1,20 @@
+// CCS-QCD mini — lattice QCD linear-solver kernel.
+//
+// Reproduces the computational character of CCS-QCD's Wilson-clover CG
+// solve: a 4-D lattice of SU(3)-like color vectors, a Hermitian hopping
+// operator D = m·I − κ Σ_μ [U_μ(x) δ_{x+μ} + U_μ(x−μ)† δ_{x−μ}] applied with
+// 8-direction halo exchange, and a conjugate-gradient iteration whose dot
+// products allreduce every step. Character: dense complex 3x3 mat-vec
+// arithmetic (high SIMD efficiency, heavy FMA), 4-D surface exchange,
+// latency-sensitive global reductions.
+#pragma once
+
+#include <memory>
+
+#include "miniapps/miniapp.hpp"
+
+namespace fibersim::apps {
+
+std::unique_ptr<Miniapp> make_ccs_qcd();
+
+}  // namespace fibersim::apps

@@ -1,0 +1,20 @@
+// FFB mini — FrontFlow/blue FEM fluid kernel.
+//
+// Reproduces FFB-MINI's dominant cost: a conjugate-gradient solve with an
+// unstructured sparse matrix-vector product. The matrix is a 3-D Poisson
+// operator whose rows are visited through a per-rank permuted node numbering
+// with explicit column-index indirection — the gather-heavy, low-intensity,
+// latency-sensitive access pattern of an unstructured FEM code — with ghost
+// node exchange before every SpMV and dot-product allreduces every
+// iteration.
+#pragma once
+
+#include <memory>
+
+#include "miniapps/miniapp.hpp"
+
+namespace fibersim::apps {
+
+std::unique_ptr<Miniapp> make_ffb();
+
+}  // namespace fibersim::apps

@@ -1,0 +1,265 @@
+#include "miniapps/ffvc.hpp"
+
+#include <cmath>
+
+#include "common/aligned_buffer.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "miniapps/halo_grid.hpp"
+#include "mp/cart.hpp"
+
+namespace fibersim::apps {
+
+namespace {
+
+constexpr double kOmega = 1.5;  // SOR relaxation factor
+
+struct Extents {
+  std::int64_t nx, ny, nz;
+};
+
+Extents extents_for(const RunContext& ctx) {
+  // "Small" is the as-is dataset: per-rank blocks become cache resident at
+  // 48 ranks, exactly the regime the paper describes. Weak scaling
+  // stretches the slowest-varying dimension.
+  Extents ext = ctx.dataset == Dataset::kSmall ? Extents{24, 24, 24}
+                                               : Extents{56, 48, 48};
+  ext.nx *= ctx.weak_scale;
+  return ext;
+}
+
+class FfvcMini final : public Miniapp {
+ public:
+  std::string name() const override { return "ffvc"; }
+  std::string description() const override {
+    return "3-D red/black SOR pressure Poisson + velocity projection "
+           "(FFVC-MINI kernel)";
+  }
+
+  RunResult run(const RunContext& ctx) const override {
+    validate_context(ctx);
+    mp::Comm& comm = *ctx.comm;
+    rt::ThreadTeam& team = *ctx.team;
+    trace::Recorder& rec = *ctx.recorder;
+
+    const Extents ext = extents_for(ctx);
+    const mp::CartGrid grid(mp::dims_create(comm.size(), 3), /*periodic=*/false);
+    const HaloGrid<3> hg(grid, comm.rank(),
+                         {ext.nx, ext.ny, ext.nz}, /*ghost=*/1);
+
+    AlignedVector<double> p(static_cast<std::size_t>(hg.field_size(1)), 0.0);
+    AlignedVector<double> b(static_cast<std::size_t>(hg.field_size(1)), 0.0);
+    // Velocity field for the fractional-step projection (3 components).
+    AlignedVector<double> u(static_cast<std::size_t>(hg.field_size(3)), 0.0);
+
+    // Deterministic RHS: every rank fills its block from the global index so
+    // the problem is decomposition independent.
+    {
+      trace::Recorder::Scoped phase(rec, "init", /*parallel=*/false, /*timed=*/false);
+      Xoshiro256 rng(ctx.seed, 1000);
+      (void)rng;  // rhs is index-derived, not random, for reproducibility
+      for (int i = 0; i < hg.local(0); ++i) {
+        for (int j = 0; j < hg.local(1); ++j) {
+          for (int k = 0; k < hg.local(2); ++k) {
+            const double gx = static_cast<double>(hg.offset(0) + i);
+            const double gy = static_cast<double>(hg.offset(1) + j);
+            const double gz = static_cast<double>(hg.offset(2) + k);
+            b[static_cast<std::size_t>(hg.site_index({i, j, k}))] =
+                std::sin(0.21 * gx) * std::cos(0.17 * gy) + 0.1 * gz;
+          }
+        }
+      }
+      rec.add_work(init_work(hg));
+    }
+
+    // SOR with 0 < omega < 2 strictly decreases the energy functional
+    // F(p) = 1/2 p^T A p + p^T b at every update (successive minimisation),
+    // so a monotonically decreasing F across sweeps verifies the whole
+    // stack: stencil, halo exchange, threading, reduction. F(0) = 0.
+    double f_prev = energy(ctx, hg, p, b);
+    bool monotone = f_prev == 0.0;  // started from p = 0
+    double f_curr = f_prev;
+
+    for (int outer = 0; outer < ctx.iterations; ++outer) {
+      {
+        trace::Recorder::Scoped phase(rec, "sor");
+        for (int color = 0; color < 2; ++color) {
+          hg.exchange(comm, std::span<double>(p.data(), p.size()), 1);
+          sor_half_sweep(team, hg, p, b, color);
+          rec.add_work(sweep_work(hg));
+        }
+      }
+      f_curr = energy(ctx, hg, p, b);
+      monotone = monotone && std::isfinite(f_curr) && f_curr < f_prev;
+      f_prev = f_curr;
+      // Fractional-step projection: u -= grad(p), central differences
+      // through the freshly exchanged ghosts (energy() just exchanged p).
+      {
+        trace::Recorder::Scoped phase(rec, "project");
+        project(team, hg, p, u);
+        rec.add_work(project_work(hg));
+      }
+    }
+
+    RunResult result;
+    result.check_value = f_curr;
+    result.check_description = "SOR energy functional (must decrease)";
+    result.verified = monotone && f_curr < 0.0;
+    return result;
+  }
+
+ private:
+  /// u -= grad(p) by central differences.
+  static void project(rt::ThreadTeam& team, const HaloGrid<3>& hg,
+                      const AlignedVector<double>& p, AlignedVector<double>& u) {
+    const std::int64_t s[3] = {hg.stride(0), hg.stride(1), hg.stride(2)};
+    team.parallel_for(0, hg.local(0), [&](std::int64_t lo, std::int64_t hi,
+                                          int /*tid*/) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        for (int j = 0; j < hg.local(1); ++j) {
+          for (int k = 0; k < hg.local(2); ++k) {
+            const std::int64_t c = hg.site_index({static_cast<int>(i), j, k});
+            double* uc = u.data() + c * 3;
+            for (int d = 0; d < 3; ++d) {
+              uc[d] -= 0.5 * (p[static_cast<std::size_t>(c + s[d])] -
+                              p[static_cast<std::size_t>(c - s[d])]);
+            }
+          }
+        }
+      }
+    });
+  }
+
+  static isa::WorkEstimate project_work(const HaloGrid<3>& hg) {
+    isa::WorkEstimate w;
+    const double sites = static_cast<double>(hg.volume());
+    w.flops = sites * 9.0;
+    w.load_bytes = sites * (6.0 + 3.0) * 8.0;
+    w.store_bytes = sites * 3.0 * 8.0;
+    w.iterations = sites;
+    w.vectorizable_fraction = 0.95;
+    w.fma_fraction = 0.6;
+    w.dram_traffic_bytes = sites * 7.0 * 8.0;  // p once, u read+write
+    w.working_set_bytes = static_cast<double>(hg.field_size(3)) * 8.0;
+    w.shared_access_fraction = 0.15;
+    w.inner_trip_count = static_cast<double>(hg.local(2));
+    return w;
+  }
+
+  static void sor_half_sweep(rt::ThreadTeam& team, const HaloGrid<3>& hg,
+                             AlignedVector<double>& p,
+                             const AlignedVector<double>& b, int color) {
+    const std::int64_t sx = hg.stride(0);
+    const std::int64_t sy = hg.stride(1);
+    const std::int64_t sz = hg.stride(2);
+    team.parallel_for(0, hg.local(0), [&](std::int64_t lo, std::int64_t hi,
+                                          int /*tid*/) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        const std::int64_t gi = hg.offset(0) + i;
+        for (int j = 0; j < hg.local(1); ++j) {
+          const std::int64_t gj = hg.offset(1) + j;
+          // First k of this color in global parity.
+          const int k0 = static_cast<int>((gi + gj + hg.offset(2) + color) & 1);
+          for (int k = k0; k < hg.local(2); k += 2) {
+            const std::int64_t c =
+                hg.site_index({static_cast<int>(i), j, k});
+            const double nbr = p[static_cast<std::size_t>(c - sx)] +
+                               p[static_cast<std::size_t>(c + sx)] +
+                               p[static_cast<std::size_t>(c - sy)] +
+                               p[static_cast<std::size_t>(c + sy)] +
+                               p[static_cast<std::size_t>(c - sz)] +
+                               p[static_cast<std::size_t>(c + sz)];
+            const double gs = (nbr - b[static_cast<std::size_t>(c)]) / 6.0;
+            p[static_cast<std::size_t>(c)] =
+                (1.0 - kOmega) * p[static_cast<std::size_t>(c)] + kOmega * gs;
+          }
+        }
+      }
+    });
+  }
+
+  /// F(p) = 1/2 p^T (6p - nbr) + p^T b — the functional SOR minimises.
+  static double energy(const RunContext& ctx, const HaloGrid<3>& hg,
+                       AlignedVector<double>& p,
+                       const AlignedVector<double>& b) {
+    trace::Recorder::Scoped phase(*ctx.recorder, "diagnose");
+    hg.exchange(*ctx.comm, std::span<double>(p.data(), p.size()), 1);
+    const std::int64_t sx = hg.stride(0);
+    const std::int64_t sy = hg.stride(1);
+    const std::int64_t sz = hg.stride(2);
+    const std::int64_t ny = hg.local(1);
+    const std::int64_t nz = hg.local(2);
+    double local = ctx.team->parallel_reduce_sum(
+        0, hg.local(0) * ny * nz, [&](std::int64_t flat) {
+          const int i = static_cast<int>(flat / (ny * nz));
+          const int j = static_cast<int>((flat / nz) % ny);
+          const int k = static_cast<int>(flat % nz);
+          const std::int64_t c = hg.site_index({i, j, k});
+          const double nbr = p[static_cast<std::size_t>(c - sx)] +
+                             p[static_cast<std::size_t>(c + sx)] +
+                             p[static_cast<std::size_t>(c - sy)] +
+                             p[static_cast<std::size_t>(c + sy)] +
+                             p[static_cast<std::size_t>(c - sz)] +
+                             p[static_cast<std::size_t>(c + sz)];
+          const double pc = p[static_cast<std::size_t>(c)];
+          return pc * (0.5 * (6.0 * pc - nbr) + b[static_cast<std::size_t>(c)]);
+        });
+    ctx.recorder->add_work(residual_work(hg));
+    return ctx.comm->allreduce_sum(local);
+  }
+
+  static isa::WorkEstimate init_work(const HaloGrid<3>& hg) {
+    isa::WorkEstimate w;
+    const double sites = static_cast<double>(hg.volume());
+    w.flops = sites * 12.0;  // sin + cos + fma, amortised
+    w.store_bytes = sites * 8.0;
+    w.iterations = sites;
+    w.vectorizable_fraction = 0.8;
+    w.fma_fraction = 0.2;
+    w.working_set_bytes = sites * 8.0;
+    w.dram_traffic_bytes = sites * 8.0;
+    w.inner_trip_count = static_cast<double>(hg.local(2));
+    return w;
+  }
+
+  static isa::WorkEstimate sweep_work(const HaloGrid<3>& hg) {
+    // One half sweep updates volume/2 sites: 6 adds + 2 sub/div + 3 relax.
+    isa::WorkEstimate w;
+    const double sites = static_cast<double>(hg.volume()) / 2.0;
+    w.flops = sites * 11.0;
+    w.load_bytes = sites * 8.0 * 8.0;  // 6 stencil + centre + rhs
+    w.store_bytes = sites * 8.0;
+    w.iterations = sites;
+    w.vectorizable_fraction = 0.9;  // stride-2 inner loop, still vectorisable
+    w.fma_fraction = 0.35;
+    w.dep_chain_ops = 0.0;  // red/black decouples the updates
+    // Streaming volume: read p + b once, write p once per site touched.
+    w.dram_traffic_bytes = sites * 8.0 * 3.0;
+    w.working_set_bytes = static_cast<double>(hg.field_size(1)) * 2.0 * 8.0;
+    w.shared_access_fraction = 0.15;  // ghost planes + neighbour rows
+    w.inner_trip_count = static_cast<double>(hg.local(2)) / 2.0;
+    return w;
+  }
+
+  static isa::WorkEstimate residual_work(const HaloGrid<3>& hg) {
+    isa::WorkEstimate w;
+    const double sites = static_cast<double>(hg.volume());
+    w.flops = sites * 10.0;
+    w.load_bytes = sites * 8.0 * 8.0;
+    w.iterations = sites;
+    w.vectorizable_fraction = 0.95;
+    w.fma_fraction = 0.5;
+    w.dep_chain_ops = 0.15;  // the sum reduction, partially unrolled
+    w.dram_traffic_bytes = sites * 8.0 * 2.0;
+    w.working_set_bytes = static_cast<double>(hg.field_size(1)) * 2.0 * 8.0;
+    w.shared_access_fraction = 0.15;
+    w.inner_trip_count = static_cast<double>(hg.local(2));
+    return w;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Miniapp> make_ffvc() { return std::make_unique<FfvcMini>(); }
+
+}  // namespace fibersim::apps

@@ -1,0 +1,18 @@
+// FFVC-MINI — incompressible Navier-Stokes finite-volume kernel.
+//
+// The dominant cost of FFVC is the pressure Poisson solve; this mini
+// reproduces it: a 3-D 7-point red/black SOR iteration with Dirichlet
+// boundaries, face halo exchange every half sweep, and a residual-norm
+// allreduce per outer iteration. Character: low arithmetic intensity,
+// memory-bandwidth bound, fully vectorisable, 3-D surface communication.
+#pragma once
+
+#include <memory>
+
+#include "miniapps/miniapp.hpp"
+
+namespace fibersim::apps {
+
+std::unique_ptr<Miniapp> make_ffvc();
+
+}  // namespace fibersim::apps

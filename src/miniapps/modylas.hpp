@@ -1,0 +1,19 @@
+// MODYLAS mini — molecular-dynamics kernel.
+//
+// Reproduces the MODYLAS short-range loop: a 3-D cell decomposition with a
+// fixed number of particles per cell, 27-cell Lennard-Jones force
+// evaluation under a cutoff (indirect neighbour reads, data-dependent cutoff
+// branch), velocity-Verlet integration, ghost-cell position exchange every
+// step, and a global energy/momentum allreduce. Character: gather-heavy
+// mid-intensity compute with 3-D surface communication.
+#pragma once
+
+#include <memory>
+
+#include "miniapps/miniapp.hpp"
+
+namespace fibersim::apps {
+
+std::unique_ptr<Miniapp> make_modylas();
+
+}  // namespace fibersim::apps

@@ -1,0 +1,20 @@
+// mVMC mini — variational Monte Carlo kernel.
+//
+// Reproduces mVMC's inner loop: Metropolis sampling of electron
+// configurations with Slater-determinant ratio evaluation (a dot product
+// against the maintained inverse matrix) and Sherman–Morrison rank-1 inverse
+// updates on acceptance, followed by a cross-rank energy allreduce per sweep.
+// Character: small dense matrices (short vector trip counts), data-dependent
+// branches (accept/reject), allreduce-heavy — the paper's second "as-is
+// small dataset" underperformer on A64FX.
+#pragma once
+
+#include <memory>
+
+#include "miniapps/miniapp.hpp"
+
+namespace fibersim::apps {
+
+std::unique_ptr<Miniapp> make_mvmc();
+
+}  // namespace fibersim::apps

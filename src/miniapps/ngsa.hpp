@@ -1,0 +1,20 @@
+// NGS Analyzer mini — genome-analysis kernel.
+//
+// Reproduces the NGSA workload character: banded Smith–Waterman alignment of
+// short reads against a reference (integer arithmetic, data-dependent max
+// branches, a diagonal recurrence) plus a k-mer counting pass (hash +
+// scatter into a histogram — random memory access). Essentially no floating
+// point: this is the miniapp where the A64FX "as-is" performance collapses
+// on its weak scalar engine and recovers only once the compiler vectorises
+// the integer loops with predication.
+#pragma once
+
+#include <memory>
+
+#include "miniapps/miniapp.hpp"
+
+namespace fibersim::apps {
+
+std::unique_ptr<Miniapp> make_ngsa();
+
+}  // namespace fibersim::apps

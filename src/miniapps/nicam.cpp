@@ -1,0 +1,257 @@
+#include "miniapps/nicam.hpp"
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "common/error.hpp"
+#include "miniapps/halo_grid.hpp"
+#include "mp/cart.hpp"
+
+namespace fibersim::apps {
+
+namespace {
+
+struct Shape {
+  std::int64_t ni, nj;  // horizontal
+  int levels;           // vertical
+};
+
+Shape shape_for(const RunContext& ctx) {
+  Shape shp = ctx.dataset == Dataset::kSmall ? Shape{48, 48, 16}
+                                             : Shape{96, 96, 40};
+  shp.ni *= ctx.weak_scale;
+  return shp;
+}
+
+constexpr double kDiffusion = 0.05;
+constexpr double kDt = 0.2;
+
+class NicamMini final : public Miniapp {
+ public:
+  std::string name() const override { return "nicam"; }
+  std::string description() const override {
+    return "layered horizontal diffusion + vertical implicit solve "
+           "(NICAM-DC kernel)";
+  }
+
+  RunResult run(const RunContext& ctx) const override {
+    validate_context(ctx);
+    mp::Comm& comm = *ctx.comm;
+    trace::Recorder& rec = *ctx.recorder;
+
+    const Shape shp = shape_for(ctx);
+    const mp::CartGrid grid(mp::dims_create(comm.size(), 2), /*periodic=*/true);
+    const HaloGrid<2> hg(grid, comm.rank(), {shp.ni, shp.nj}, /*ghost=*/1);
+    const int K = shp.levels;
+
+    // Prognostic field: one column (K levels) per horizontal site.
+    AlignedVector<double> q(static_cast<std::size_t>(hg.field_size(K)), 0.0);
+    AlignedVector<double> qn(static_cast<std::size_t>(hg.field_size(K)), 0.0);
+
+    {
+      trace::Recorder::Scoped phase(rec, "init", /*parallel=*/false, /*timed=*/false);
+      for (int i = 0; i < hg.local(0); ++i) {
+        for (int j = 0; j < hg.local(1); ++j) {
+          const double gi = static_cast<double>(hg.offset(0) + i);
+          const double gj = static_cast<double>(hg.offset(1) + j);
+          double* col = q.data() + hg.site_index({i, j}) * K;
+          for (int k = 0; k < K; ++k) {
+            col[k] = std::sin(0.13 * gi) * std::cos(0.11 * gj) +
+                     0.01 * static_cast<double>(k);
+          }
+        }
+      }
+      rec.add_work(init_work(hg, K));
+    }
+
+    const double mass0 = total_mass(ctx, hg, K, q);
+
+    for (int step = 0; step < ctx.iterations; ++step) {
+      // --- horizontal diffusion (9-point, per level) ---
+      {
+        trace::Recorder::Scoped phase(rec, "hdiff");
+        hg.exchange(comm, std::span<double>(q.data(), q.size()), K);
+        hdiff(ctx, hg, K, q, qn);
+        rec.add_work(hdiff_work(hg, K));
+      }
+      std::swap(q, qn);
+      // --- vertical implicit diffusion (Thomas solve per column) ---
+      {
+        trace::Recorder::Scoped phase(rec, "vimpl");
+        vimpl(ctx, hg, K, q);
+        rec.add_work(vimpl_work(hg, K));
+      }
+    }
+
+    // The periodic 9-point diffusion operator conserves the global integral;
+    // the vertical solve uses zero-flux ends, so mass must be conserved.
+    const double mass1 = total_mass(ctx, hg, K, q);
+    RunResult result;
+    const double drift = std::abs(mass1 - mass0) /
+                         std::max(1.0, std::abs(mass0));
+    result.check_value = drift;
+    result.check_description = "relative global-mass drift";
+    result.verified = std::isfinite(drift) && drift < 1e-10;
+    return result;
+  }
+
+ private:
+  static void hdiff(const RunContext& ctx, const HaloGrid<2>& hg, int K,
+                    const AlignedVector<double>& q, AlignedVector<double>& qn) {
+    const std::int64_t si = hg.stride(0);
+    const std::int64_t sj = hg.stride(1);
+    ctx.team->parallel_for(0, hg.local(0), [&](std::int64_t lo, std::int64_t hi,
+                                               int /*tid*/) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        for (int j = 0; j < hg.local(1); ++j) {
+          const std::int64_t c = hg.site_index({static_cast<int>(i), j});
+          const double* qc = q.data() + c * K;
+          const double* qe = q.data() + (c + sj) * K;
+          const double* qw = q.data() + (c - sj) * K;
+          const double* qn_ = q.data() + (c - si) * K;
+          const double* qs = q.data() + (c + si) * K;
+          const double* qne = q.data() + (c - si + sj) * K;
+          const double* qnw = q.data() + (c - si - sj) * K;
+          const double* qse = q.data() + (c + si + sj) * K;
+          const double* qsw = q.data() + (c + si - sj) * K;
+          double* out = qn.data() + c * K;
+          // 9-point conservative diffusion; inner loop over levels
+          // vectorises cleanly (stride-1 over k).
+          for (int k = 0; k < K; ++k) {
+            const double lap = qe[k] + qw[k] + qn_[k] + qs[k] +
+                               0.5 * (qne[k] + qnw[k] + qse[k] + qsw[k]) -
+                               6.0 * qc[k];
+            out[k] = qc[k] + kDiffusion * kDt * lap;
+          }
+        }
+      }
+    });
+  }
+
+  /// Implicit vertical diffusion: (I - dt*nu*Lz) q = q_old with zero-flux
+  /// boundary rows; Thomas algorithm per column (loop-carried recurrence).
+  static void vimpl(const RunContext& ctx, const HaloGrid<2>& hg, int K,
+                    AlignedVector<double>& q) {
+    const double a = -kDiffusion * kDt;  // off-diagonal
+    ctx.team->parallel_for(0, hg.local(0), [&](std::int64_t lo, std::int64_t hi,
+                                               int /*tid*/) {
+      std::vector<double> cp(static_cast<std::size_t>(K));
+      std::vector<double> dp(static_cast<std::size_t>(K));
+      for (std::int64_t i = lo; i < hi; ++i) {
+        for (int j = 0; j < hg.local(1); ++j) {
+          double* col = q.data() + hg.site_index({static_cast<int>(i), j}) * K;
+          // Zero-flux tridiagonal rows: diag compensates so that row sums
+          // are 1 and the column sum (mass) is preserved exactly.
+          // Forward elimination.
+          {
+            const double b0 = 1.0 - a;  // one neighbour at the bottom
+            cp[0] = a / b0;
+            dp[0] = col[0] / b0;
+          }
+          for (int k = 1; k < K; ++k) {
+            const double bk = (k == K - 1 ? 1.0 - a : 1.0 - 2.0 * a);
+            const double m = bk - a * cp[static_cast<std::size_t>(k - 1)];
+            cp[static_cast<std::size_t>(k)] = a / m;
+            dp[static_cast<std::size_t>(k)] =
+                (col[k] - a * dp[static_cast<std::size_t>(k - 1)]) / m;
+          }
+          // Back substitution.
+          col[K - 1] = dp[static_cast<std::size_t>(K - 1)];
+          for (int k = K - 2; k >= 0; --k) {
+            col[k] = dp[static_cast<std::size_t>(k)] -
+                     cp[static_cast<std::size_t>(k)] * col[k + 1];
+          }
+        }
+      }
+    });
+  }
+
+  static double total_mass(const RunContext& ctx, const HaloGrid<2>& hg, int K,
+                           const AlignedVector<double>& q) {
+    trace::Recorder::Scoped phase(*ctx.recorder, "diagnose");
+    const std::int64_t nj = hg.local(1);
+    double local = ctx.team->parallel_reduce_sum(
+        0, hg.local(0) * nj, [&](std::int64_t flat) {
+          const int i = static_cast<int>(flat / nj);
+          const int j = static_cast<int>(flat % nj);
+          const double* col = q.data() + hg.site_index({i, j}) * K;
+          double acc = 0.0;
+          for (int k = 0; k < K; ++k) acc += col[k];
+          return acc;
+        });
+    isa::WorkEstimate w;
+    const double n = static_cast<double>(hg.volume()) * K;
+    w.flops = n;
+    w.load_bytes = n * 8.0;
+    w.iterations = n;
+    w.vectorizable_fraction = 1.0;
+    w.dep_chain_ops = 0.25;
+    w.dram_traffic_bytes = n * 8.0;
+    w.working_set_bytes = n * 8.0;
+    w.inner_trip_count = K;
+    ctx.recorder->add_work(w);
+    return ctx.comm->allreduce_sum(local);
+  }
+
+  static isa::WorkEstimate init_work(const HaloGrid<2>& hg, int K) {
+    isa::WorkEstimate w;
+    const double n = static_cast<double>(hg.volume()) * K;
+    w.flops = n * 8.0;
+    w.store_bytes = n * 8.0;
+    w.iterations = n;
+    w.vectorizable_fraction = 0.7;
+    w.dram_traffic_bytes = n * 8.0;
+    w.working_set_bytes = n * 8.0;
+    w.inner_trip_count = K;
+    return w;
+  }
+
+  static isa::WorkEstimate hdiff_work(const HaloGrid<2>& hg, int K) {
+    isa::WorkEstimate w;
+    const double n = static_cast<double>(hg.volume()) * K;
+    w.flops = n * 12.0;
+    w.load_bytes = n * 9.0 * 8.0;
+    w.store_bytes = n * 8.0;
+    w.iterations = n;
+    w.vectorizable_fraction = 0.95;
+    w.fma_fraction = 0.4;
+    w.dep_chain_ops = 0.0;
+    // Streaming: q read once, qn written once; columns reused across the
+    // stencil within cache.
+    w.dram_traffic_bytes = n * 2.0 * 8.0;
+    w.working_set_bytes =
+        static_cast<double>(hg.field_size(K)) * 2.0 * 8.0;
+    w.shared_access_fraction = 0.2;  // many small shared arrays in NICAM
+    w.inner_trip_count = K;
+    return w;
+  }
+
+  static isa::WorkEstimate vimpl_work(const HaloGrid<2>& hg, int K) {
+    isa::WorkEstimate w;
+    const double cols = static_cast<double>(hg.volume());
+    const double n = cols * K;
+    w.flops = n * 9.0;  // elimination + substitution
+    w.load_bytes = n * 3.0 * 8.0;
+    w.store_bytes = n * 2.0 * 8.0;
+    w.iterations = n;
+    // As-is the k loop is a recurrence: not vectorisable along k. (The tuned
+    // version interchanges loops to vectorise across columns — that is what
+    // VectorizeLevel::kEnhanced models via the higher ability.)
+    w.vectorizable_fraction = 0.6;
+    w.fma_fraction = 0.6;
+    w.dep_chain_ops = 2.0;  // divide + fma recurrence per level
+    w.dram_traffic_bytes = n * 2.0 * 8.0;
+    w.working_set_bytes = static_cast<double>(hg.field_size(K)) * 8.0;
+    w.shared_access_fraction = 0.2;
+    w.inner_trip_count = K;
+    return w;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Miniapp> make_nicam() { return std::make_unique<NicamMini>(); }
+
+}  // namespace fibersim::apps

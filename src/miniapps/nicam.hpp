@@ -1,0 +1,19 @@
+// NICAM-DC mini — global atmospheric dynamical-core kernel.
+//
+// Reproduces the two dominant NICAM-DC loops: a horizontal 9-point diffusion
+// operator applied per vertical level (wide memory-bound stencil over many
+// small arrays, 2-D halo exchange) and a vertical implicit (tridiagonal
+// Thomas) solve per column — a loop-carried recurrence that vectorises
+// poorly "as-is" and is exactly the pattern the Fujitsu compiler's
+// scheduling options target.
+#pragma once
+
+#include <memory>
+
+#include "miniapps/miniapp.hpp"
+
+namespace fibersim::apps {
+
+std::unique_ptr<Miniapp> make_nicam();
+
+}  // namespace fibersim::apps

@@ -1,0 +1,245 @@
+#include "miniapps/ntchem.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace fibersim::apps {
+
+namespace {
+
+struct Dims {
+  int n;  ///< global square dimension (C = A * B, all n x n)
+};
+
+Dims dims_for(Dataset dataset) {
+  if (dataset == Dataset::kSmall) return {96};
+  return {240};
+}
+
+constexpr int kTile = 24;  // cache-blocking tile edge
+
+class NtchemMini final : public Miniapp {
+ public:
+  std::string name() const override { return "ntchem"; }
+  std::string description() const override {
+    return "distributed blocked DGEMM contraction (NTChem RI-MP2 kernel)";
+  }
+
+  RunResult run(const RunContext& ctx) const override {
+    validate_context(ctx);
+    mp::Comm& comm = *ctx.comm;
+    trace::Recorder& rec = *ctx.recorder;
+
+    const int n = dims_for(ctx.dataset).n;
+    const int size = comm.size();
+    const int rank = comm.rank();
+    // Row-block distribution (uneven blocks allowed).
+    const int base = n / size;
+    const int extra = n % size;
+    const int my_rows = base + (rank < extra ? 1 : 0);
+    const int row0 = base * rank + std::min(rank, extra);
+
+    const auto nn = static_cast<std::size_t>(n);
+    AlignedVector<double> a(static_cast<std::size_t>(my_rows) * nn);
+    AlignedVector<double> b_local(static_cast<std::size_t>(my_rows) * nn);
+    AlignedVector<double> b_full(nn * nn);
+    AlignedVector<double> c(static_cast<std::size_t>(my_rows) * nn, 0.0);
+
+    {
+      trace::Recorder::Scoped phase(rec, "init", /*parallel=*/false, /*timed=*/false);
+      // Global element (i, j) depends only on (seed, i, j): decomposition
+      // independent.
+      fill_matrix(ctx.seed, 1, row0, my_rows, n, a);
+      fill_matrix(ctx.seed, 2, row0, my_rows, n, b_local);
+      rec.add_work(init_work(my_rows, n));
+    }
+
+    double checksum_err = 0.0;
+    for (int outer = 0; outer < ctx.iterations; ++outer) {
+      // --- assemble B ---
+      {
+        trace::Recorder::Scoped phase(rec, "assembleB");
+        assemble_b(comm, n, b_local, b_full);
+        rec.add_work(assemble_work(my_rows, n));
+      }
+      // --- contraction: C (+)= A * B; the weak-scale factor repeats
+      // the contraction (RI-MP2 performs a tower of them) ---
+      {
+        trace::Recorder::Scoped phase(rec, "dgemm");
+        std::fill(c.begin(), c.end(), 0.0);
+        for (int rep = 0; rep < ctx.weak_scale; ++rep) {
+          dgemm(ctx, my_rows, n, a, b_full, c);
+          rec.add_work(dgemm_work(my_rows, n));
+        }
+      }
+      // --- verification identity: sum(C) == scale * sum_k rowsumA_k *
+      // colsumB_k (the contraction tower accumulated weak_scale times) ---
+      {
+        trace::Recorder::Scoped phase(rec, "check");
+        checksum_err = checksum_error(ctx, my_rows, n, a, b_full, c,
+                                      ctx.weak_scale);
+      }
+    }
+
+    RunResult result;
+    result.check_value = checksum_err;
+    result.check_description = "relative |sum(C) - sum_k rowsumA_k*colsumB_k|";
+    result.verified = std::isfinite(checksum_err) && checksum_err < 1e-10;
+    return result;
+  }
+
+ private:
+  static void fill_matrix(std::uint64_t seed, int which, int row0, int rows,
+                          int n, AlignedVector<double>& m) {
+    for (int i = 0; i < rows; ++i) {
+      Xoshiro256 rng(seed + static_cast<std::uint64_t>(which) * 7919,
+                     static_cast<std::uint64_t>(row0 + i));
+      for (int j = 0; j < n; ++j) {
+        m[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+          static_cast<std::size_t>(j)] = rng.uniform(-1.0, 1.0);
+      }
+    }
+  }
+
+  /// Allgather the row blocks of B into b_full (handles uneven blocks with a
+  /// max-padded allgather).
+  static void assemble_b(mp::Comm& comm, int n,
+                         const AlignedVector<double>& b_local,
+                         AlignedVector<double>& b_full) {
+    const int size = comm.size();
+    const int base = n / size;
+    const int extra = n % size;
+    const int max_rows = base + (extra > 0 ? 1 : 0);
+    const std::size_t block =
+        static_cast<std::size_t>(max_rows) * static_cast<std::size_t>(n);
+    std::vector<double> send(block, 0.0);
+    std::copy(b_local.begin(), b_local.end(), send.begin());
+    std::vector<double> recv(block * static_cast<std::size_t>(size));
+    comm.allgather_bytes(send.data(), block * sizeof(double), recv.data());
+    for (int r = 0; r < size; ++r) {
+      const int rows = base + (r < extra ? 1 : 0);
+      const int row0 = base * r + std::min(r, extra);
+      std::copy_n(recv.data() + static_cast<std::size_t>(r) * block,
+                  static_cast<std::size_t>(rows) * static_cast<std::size_t>(n),
+                  b_full.data() +
+                      static_cast<std::size_t>(row0) * static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Tiled C += A * B with the k-loop innermost tiled for L1 residency.
+  static void dgemm(const RunContext& ctx, int my_rows, int n,
+                    const AlignedVector<double>& a,
+                    const AlignedVector<double>& b,
+                    AlignedVector<double>& c) {
+    const auto nn = static_cast<std::size_t>(n);
+    ctx.team->parallel_for(0, my_rows, rt::Schedule::kStatic, kTile,
+                           [&](std::int64_t ilo, std::int64_t ihi, int) {
+      for (int jt = 0; jt < n; jt += kTile) {
+        const int jhi = std::min(n, jt + kTile);
+        for (int kt = 0; kt < n; kt += kTile) {
+          const int khi = std::min(n, kt + kTile);
+          for (std::int64_t i = ilo; i < ihi; ++i) {
+            const double* arow = a.data() + static_cast<std::size_t>(i) * nn;
+            double* crow = c.data() + static_cast<std::size_t>(i) * nn;
+            for (int k = kt; k < khi; ++k) {
+              const double aik = arow[k];
+              const double* brow = b.data() + static_cast<std::size_t>(k) * nn;
+              for (int j = jt; j < jhi; ++j) {
+                crow[j] += aik * brow[j];
+              }
+            }
+          }
+        }
+      }
+    });
+  }
+
+  static double checksum_error(const RunContext& ctx, int my_rows, int n,
+                               const AlignedVector<double>& a,
+                               const AlignedVector<double>& b_full,
+                               const AlignedVector<double>& c,
+                               int accumulations) {
+    const auto nn = static_cast<std::size_t>(n);
+    // sum(C) over all ranks must equal sum_k rowsumA(k)... more precisely:
+    // sum_ij C_ij = sum_k (sum_i A_ik) * (sum_j B_kj).
+    double local_c = 0.0;
+    std::vector<double> col_sum_a(nn, 0.0);
+    for (int i = 0; i < my_rows; ++i) {
+      for (int j = 0; j < n; ++j) {
+        local_c += c[static_cast<std::size_t>(i) * nn + static_cast<std::size_t>(j)];
+        col_sum_a[static_cast<std::size_t>(j)] +=
+            a[static_cast<std::size_t>(i) * nn + static_cast<std::size_t>(j)];
+      }
+    }
+    const double sum_c = ctx.comm->allreduce_sum(local_c);
+    ctx.comm->allreduce_sum(std::span<double>(col_sum_a.data(), col_sum_a.size()));
+    double expected = 0.0;
+    for (int k = 0; k < n; ++k) {
+      double row_sum_b = 0.0;
+      const double* brow = b_full.data() + static_cast<std::size_t>(k) * nn;
+      for (int j = 0; j < n; ++j) row_sum_b += brow[j];
+      expected += col_sum_a[static_cast<std::size_t>(k)] * row_sum_b;
+    }
+    expected *= static_cast<double>(accumulations);
+    const double scale = std::max({1.0, std::fabs(sum_c), std::fabs(expected)});
+    return std::fabs(sum_c - expected) / scale;
+  }
+
+  static isa::WorkEstimate init_work(int rows, int n) {
+    isa::WorkEstimate w;
+    const double elems = 2.0 * rows * n;
+    w.flops = elems * 2.0;
+    w.int_ops = elems * 6.0;
+    w.store_bytes = elems * 8.0;
+    w.iterations = elems;
+    w.vectorizable_fraction = 0.1;
+    w.dep_chain_ops = 1.0;
+    w.working_set_bytes = elems * 8.0;
+    return w;
+  }
+
+  static isa::WorkEstimate assemble_work(int rows, int n) {
+    isa::WorkEstimate w;
+    const double elems = static_cast<double>(rows) * n;
+    w.load_bytes = elems * 8.0;
+    w.store_bytes = elems * 8.0;
+    w.iterations = elems;
+    w.vectorizable_fraction = 1.0;
+    w.dram_traffic_bytes = elems * 16.0;
+    w.working_set_bytes = elems * 16.0;
+    w.inner_trip_count = n;
+    return w;
+  }
+
+  static isa::WorkEstimate dgemm_work(int rows, int n) {
+    isa::WorkEstimate w;
+    const double nmul = static_cast<double>(rows) * n * n;
+    w.flops = 2.0 * nmul;
+    // Tiled loads: each operand element is touched n/kTile times from cache.
+    w.load_bytes = nmul / kTile * 3.0 * 8.0;
+    w.store_bytes = static_cast<double>(rows) * n * 8.0;
+    w.iterations = nmul / kTile;  // innermost j-loop iterations per (i,k)
+    w.vectorizable_fraction = 0.98;
+    w.fma_fraction = 1.0;
+    w.dep_chain_ops = 0.0;  // independent j lanes
+    // Streaming: A once, B n/kTile... with tiling B streams rows/kTile times.
+    w.dram_traffic_bytes =
+        (static_cast<double>(rows) * n +
+         static_cast<double>(n) * n * (static_cast<double>(rows) / kTile) * 0.1 +
+         static_cast<double>(rows) * n) * 8.0;
+    w.working_set_bytes = 3.0 * kTile * kTile * 8.0;  // the active tiles
+    w.shared_access_fraction = 0.05;
+    w.inner_trip_count = kTile;
+    return w;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Miniapp> make_ntchem() { return std::make_unique<NtchemMini>(); }
+
+}  // namespace fibersim::apps

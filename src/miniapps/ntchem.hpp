@@ -1,0 +1,19 @@
+// NTChem mini — quantum-chemistry (RI-MP2) kernel.
+//
+// Reproduces NTChem-MINI's dominant cost: dense matrix-matrix contractions.
+// Each rank owns a block of rows of A and a block of rows of B; B is
+// assembled with a ring allgather and the local C block is computed with a
+// cache-blocked DGEMM. Character: compute bound, near-peak SIMD/FMA, large
+// collective payloads — the workload class where the A64FX matches or beats
+// the comparison processors once vectorised.
+#pragma once
+
+#include <memory>
+
+#include "miniapps/miniapp.hpp"
+
+namespace fibersim::apps {
+
+std::unique_ptr<Miniapp> make_ntchem();
+
+}  // namespace fibersim::apps

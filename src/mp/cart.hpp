@@ -1,0 +1,41 @@
+// Cartesian process-grid helper (MPI_Dims_create / MPI_Cart_* equivalent).
+//
+// Every halo-exchanging miniapp decomposes its domain with this grid so the
+// decomposition logic is tested once.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fibersim::mp {
+
+/// Factor `size` into `ndims` near-equal dimensions, largest first (the
+/// MPI_Dims_create contract: product == size, dims as balanced as possible).
+std::vector<int> dims_create(int size, int ndims);
+
+class CartGrid {
+ public:
+  /// `periodic` applies to every dimension.
+  CartGrid(std::vector<int> dims, bool periodic);
+
+  int ndims() const { return static_cast<int>(dims_.size()); }
+  const std::vector<int>& dims() const { return dims_; }
+  int size() const { return size_; }
+  bool periodic() const { return periodic_; }
+
+  /// Row-major coordinates of a rank.
+  std::vector<int> coords_of(int rank) const;
+  /// Rank of coordinates (periodic wrap if enabled); -1 when outside a
+  /// non-periodic grid.
+  int rank_of(std::span<const int> coords) const;
+  /// Neighbouring rank along `dim` in direction `dir` (+1/-1); -1 at a
+  /// non-periodic boundary.
+  int neighbor(int rank, int dim, int dir) const;
+
+ private:
+  std::vector<int> dims_;
+  bool periodic_;
+  int size_;
+};
+
+}  // namespace fibersim::mp

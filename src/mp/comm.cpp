@@ -1,0 +1,356 @@
+#include "mp/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "mp/job.hpp"
+
+namespace fibersim::mp {
+
+namespace {
+// Collective-internal messages live in a reserved tag range so they can never
+// match user tags. A rolling sequence number keeps back-to-back collectives
+// of the same kind from cross-matching.
+constexpr int kCollectiveTagBase = 1 << 24;
+constexpr int kCollectiveSeqSlots = 4096;
+}  // namespace
+
+Mailbox& Comm::mailbox_of(int r) const {
+  FS_REQUIRE(r >= 0 && r < size_, "peer rank out of range");
+  return *state_->mailboxes[static_cast<std::size_t>(r)];
+}
+
+void Comm::send_bytes(int dst, int tag, const void* data, std::size_t bytes) {
+  FS_REQUIRE(tag >= 0 && tag < kCollectiveTagBase,
+             "user tags must be in [0, 2^24)");
+  FS_REQUIRE(bytes == 0 || data != nullptr, "null payload with nonzero size");
+  Message m;
+  m.source = rank_;
+  m.tag = tag;
+  m.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(m.payload.data(), data, bytes);
+  mailbox_of(dst).push(std::move(m));
+  log_.record_send(dst, bytes);
+}
+
+void Comm::recv_bytes(int src, int tag, void* data, std::size_t bytes) {
+  FS_REQUIRE(src == kAnySource || (src >= 0 && src < size_),
+             "source rank out of range");
+  Message m = mailbox_of(rank_).pop(src, tag);
+  FS_REQUIRE(m.payload.size() == bytes,
+             "recv size does not match the sent payload");
+  if (bytes > 0) std::memcpy(data, m.payload.data(), bytes);
+}
+
+void Comm::sendrecv_bytes(int dst, int send_tag, const void* send_data,
+                          std::size_t send_size, int src, int recv_tag,
+                          void* recv_data, std::size_t recv_size) {
+  send_bytes(dst, send_tag, send_data, send_size);
+  recv_bytes(src, recv_tag, recv_data, recv_size);
+}
+
+bool Comm::probe(int src, int tag) const {
+  return mailbox_of(rank_).probe(src, tag);
+}
+
+// ----- internal unlogged p2p used by collective algorithms -----
+namespace {
+void raw_send(detail::JobState& state, int self, int dst, int tag,
+              const void* data, std::size_t bytes) {
+  Message m;
+  m.source = self;
+  m.tag = tag;
+  m.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(m.payload.data(), data, bytes);
+  state.mailboxes[static_cast<std::size_t>(dst)]->push(std::move(m));
+}
+
+void raw_recv(detail::JobState& state, int self, int src, int tag, void* data,
+              std::size_t bytes) {
+  Message m = state.mailboxes[static_cast<std::size_t>(self)]->pop(src, tag);
+  FS_REQUIRE(m.payload.size() == bytes, "collective payload size mismatch");
+  if (bytes > 0) std::memcpy(data, m.payload.data(), bytes);
+}
+}  // namespace
+
+void Comm::barrier() {
+  log_.record_collective(CollectiveKind::kBarrier, 0);
+  // Dissemination barrier: log2(size) rounds.
+  static constexpr int kRoundStride = 32;  // max rounds per barrier
+  const int seq =
+      static_cast<int>(log_.collectives[CollectiveKind::kBarrier].calls %
+                       (kCollectiveSeqSlots / kRoundStride));
+  int round = 0;
+  for (int dist = 1; dist < size_; dist *= 2, ++round) {
+    const int tag = kCollectiveTagBase + 800000 + seq * kRoundStride + round;
+    const int dst = (rank_ + dist) % size_;
+    const int src = (rank_ - dist % size_ + size_) % size_;
+    char token = 0;
+    raw_send(*state_, rank_, dst, tag, &token, 1);
+    raw_recv(*state_, rank_, src, tag, &token, 1);
+  }
+}
+
+void Comm::bcast_bytes(void* data, std::size_t bytes, int root) {
+  FS_REQUIRE(root >= 0 && root < size_, "bcast root out of range");
+  FS_REQUIRE(bytes == 0 || data != nullptr, "null payload with nonzero size");
+  log_.record_collective(CollectiveKind::kBcast, bytes);
+  const int seq =
+      static_cast<int>(log_.collectives[CollectiveKind::kBcast].calls %
+                       kCollectiveSeqSlots);
+  const int tag = kCollectiveTagBase + seq;
+  const int relrank = (rank_ - root + size_) % size_;
+  // Binomial tree: receive from parent, forward to children.
+  int mask = 1;
+  while (mask < size_) {
+    if (relrank & mask) {
+      const int src = (relrank - mask + root) % size_;
+      raw_recv(*state_, rank_, src, tag, data, bytes);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relrank + mask < size_) {
+      const int dst = (relrank + mask + root) % size_;
+      raw_send(*state_, rank_, dst, tag, data, bytes);
+    }
+    mask >>= 1;
+  }
+}
+
+template <typename Op>
+void Comm::allreduce_op(std::span<double> data, Op op, CollectiveKind kind) {
+  log_.record_collective(kind, data.size_bytes());
+  const int seq = static_cast<int>(log_.collectives[kind].calls %
+                                   (kCollectiveSeqSlots / 2));
+  const int tag = kCollectiveTagBase + static_cast<int>(kind) * 100000 +
+                  seq * 2;
+  // Reduce to rank 0 over a binomial tree...
+  std::vector<double> incoming(data.size());
+  int mask = 1;
+  while (mask < size_) {
+    if ((rank_ & mask) == 0) {
+      const int src = rank_ | mask;
+      if (src < size_) {
+        raw_recv(*state_, rank_, src, tag, incoming.data(),
+                 data.size_bytes());
+        for (std::size_t i = 0; i < data.size(); ++i) {
+          data[i] = op(data[i], incoming[i]);
+        }
+      }
+    } else {
+      const int dst = rank_ & ~mask;
+      raw_send(*state_, rank_, dst, tag, data.data(), data.size_bytes());
+      break;
+    }
+    mask <<= 1;
+  }
+  // ...then broadcast the result (re-using the binomial pattern, tag+1).
+  const int btag = tag + 1;
+  mask = 1;
+  while (mask < size_) {
+    if (rank_ & mask) {
+      const int src = rank_ - mask;
+      raw_recv(*state_, rank_, src, btag, data.data(), data.size_bytes());
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rank_ + mask < size_) {
+      raw_send(*state_, rank_, rank_ + mask, btag, data.data(),
+               data.size_bytes());
+    }
+    mask >>= 1;
+  }
+}
+
+void Comm::reduce_sum(std::span<double> data, int root) {
+  FS_REQUIRE(root >= 0 && root < size_, "reduce root out of range");
+  log_.record_collective(CollectiveKind::kReduce, data.size_bytes());
+  const int seq =
+      static_cast<int>(log_.collectives[CollectiveKind::kReduce].calls %
+                       kCollectiveSeqSlots);
+  const int tag = kCollectiveTagBase + 900000 + seq;
+  const int relrank = (rank_ - root + size_) % size_;
+  std::vector<double> incoming(data.size());
+  int mask = 1;
+  while (mask < size_) {
+    if ((relrank & mask) == 0) {
+      const int src_rel = relrank | mask;
+      if (src_rel < size_) {
+        raw_recv(*state_, rank_, (src_rel + root) % size_, tag,
+                 incoming.data(), data.size_bytes());
+        for (std::size_t i = 0; i < data.size(); ++i) data[i] += incoming[i];
+      }
+    } else {
+      const int dst_rel = relrank & ~mask;
+      raw_send(*state_, rank_, (dst_rel + root) % size_, tag, data.data(),
+               data.size_bytes());
+      break;
+    }
+    mask <<= 1;
+  }
+}
+
+void Comm::allreduce_sum(std::span<double> data) {
+  allreduce_op(data, [](double a, double b) { return a + b; },
+               CollectiveKind::kAllreduce);
+}
+
+double Comm::allreduce_sum(double value) {
+  allreduce_sum(std::span<double>(&value, 1));
+  return value;
+}
+
+double Comm::allreduce_max(double value) {
+  allreduce_op(std::span<double>(&value, 1),
+               [](double a, double b) { return std::max(a, b); },
+               CollectiveKind::kAllreduce);
+  return value;
+}
+
+double Comm::allreduce_min(double value) {
+  allreduce_op(std::span<double>(&value, 1),
+               [](double a, double b) { return std::min(a, b); },
+               CollectiveKind::kAllreduce);
+  return value;
+}
+
+std::uint64_t Comm::allreduce_sum_u64(std::uint64_t value) {
+  // Exact for counts below 2^53, which covers every counter in the suite.
+  double v = static_cast<double>(value);
+  allreduce_sum(std::span<double>(&v, 1));
+  return static_cast<std::uint64_t>(v);
+}
+
+void Comm::gather_bytes(const void* send, std::size_t bytes, void* recv,
+                        int root) {
+  FS_REQUIRE(root >= 0 && root < size_, "gather root out of range");
+  log_.record_collective(CollectiveKind::kGather, bytes);
+  const int seq =
+      static_cast<int>(log_.collectives[CollectiveKind::kGather].calls %
+                       kCollectiveSeqSlots);
+  const int tag = kCollectiveTagBase + 1000000 + seq;
+  if (rank_ == root) {
+    FS_REQUIRE(recv != nullptr || bytes == 0, "gather root needs a buffer");
+    auto* out = static_cast<std::byte*>(recv);
+    std::memcpy(out + static_cast<std::size_t>(root) * bytes, send, bytes);
+    for (int r = 0; r < size_; ++r) {
+      if (r == root) continue;
+      raw_recv(*state_, rank_, r, tag, out + static_cast<std::size_t>(r) * bytes,
+               bytes);
+    }
+  } else {
+    raw_send(*state_, rank_, root, tag, send, bytes);
+  }
+}
+
+void Comm::allgather_bytes(const void* send, std::size_t bytes, void* recv) {
+  log_.record_collective(CollectiveKind::kAllgather, bytes);
+  const int seq =
+      static_cast<int>(log_.collectives[CollectiveKind::kAllgather].calls %
+                       kCollectiveSeqSlots);
+  const int tag = kCollectiveTagBase + 2000000 + seq;
+  // Ring allgather: size-1 rounds, each forwarding the block received last.
+  auto* out = static_cast<std::byte*>(recv);
+  std::memcpy(out + static_cast<std::size_t>(rank_) * bytes, send, bytes);
+  const int next = (rank_ + 1) % size_;
+  const int prev = (rank_ - 1 + size_) % size_;
+  int have = rank_;  // block most recently added to our buffer
+  for (int round = 0; round < size_ - 1; ++round) {
+    raw_send(*state_, rank_, next, tag + 0,
+             out + static_cast<std::size_t>(have) * bytes, bytes);
+    const int incoming = (have - 1 + size_) % size_;
+    raw_recv(*state_, rank_, prev, tag + 0,
+             out + static_cast<std::size_t>(incoming) * bytes, bytes);
+    have = incoming;
+  }
+}
+
+void Comm::alltoall_bytes(const void* send, std::size_t bytes, void* recv) {
+  log_.record_collective(CollectiveKind::kAlltoall, bytes);
+  const int seq =
+      static_cast<int>(log_.collectives[CollectiveKind::kAlltoall].calls %
+                       kCollectiveSeqSlots);
+  const int tag = kCollectiveTagBase + 3000000 + seq;
+  const auto* in = static_cast<const std::byte*>(send);
+  auto* out = static_cast<std::byte*>(recv);
+  std::memcpy(out + static_cast<std::size_t>(rank_) * bytes,
+              in + static_cast<std::size_t>(rank_) * bytes, bytes);
+  for (int r = 0; r < size_; ++r) {
+    if (r == rank_) continue;
+    raw_send(*state_, rank_, r, tag, in + static_cast<std::size_t>(r) * bytes,
+             bytes);
+  }
+  for (int r = 0; r < size_; ++r) {
+    if (r == rank_) continue;
+    raw_recv(*state_, rank_, r, tag, out + static_cast<std::size_t>(r) * bytes,
+             bytes);
+  }
+}
+
+void Comm::reduce_scatter_sum(std::span<const double> send,
+                              std::span<double> recv) {
+  const std::size_t block = recv.size();
+  FS_REQUIRE(send.size() == block * static_cast<std::size_t>(size_),
+             "reduce_scatter send buffer must hold size() blocks");
+  log_.record_collective(CollectiveKind::kReduceScatter, send.size_bytes());
+  const int seq = static_cast<int>(
+      log_.collectives[CollectiveKind::kReduceScatter].calls %
+      (kCollectiveSeqSlots / 2));
+  const int tag = kCollectiveTagBase + 5000000 + seq * 2;  // +1 for scatter
+  // Reduce the whole vector to rank 0 over a binomial tree, then scatter the
+  // blocks directly (simple and adequate at suite scale).
+  std::vector<double> acc(send.begin(), send.end());
+  std::vector<double> incoming(send.size());
+  int mask = 1;
+  while (mask < size_) {
+    if ((rank_ & mask) == 0) {
+      const int src = rank_ | mask;
+      if (src < size_) {
+        raw_recv(*state_, rank_, src, tag, incoming.data(),
+                 incoming.size() * sizeof(double));
+        for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += incoming[i];
+      }
+    } else {
+      raw_send(*state_, rank_, rank_ & ~mask, tag, acc.data(),
+               acc.size() * sizeof(double));
+      break;
+    }
+    mask <<= 1;
+  }
+  if (rank_ == 0) {
+    std::copy_n(acc.data(), block, recv.data());
+    for (int r = 1; r < size_; ++r) {
+      raw_send(*state_, rank_, r, tag + 1,
+               acc.data() + static_cast<std::size_t>(r) * block,
+               block * sizeof(double));
+    }
+  } else {
+    raw_recv(*state_, rank_, 0, tag + 1, recv.data(), block * sizeof(double));
+  }
+}
+
+double Comm::scan_sum(double value) {
+  log_.record_collective(CollectiveKind::kScan, sizeof(double));
+  const int seq = static_cast<int>(
+      log_.collectives[CollectiveKind::kScan].calls % kCollectiveSeqSlots);
+  const int tag = kCollectiveTagBase + 4000000 + seq;
+  double acc = value;
+  if (rank_ > 0) {
+    double upstream = 0.0;
+    raw_recv(*state_, rank_, rank_ - 1, tag, &upstream, sizeof(double));
+    acc += upstream;
+  }
+  if (rank_ + 1 < size_) {
+    raw_send(*state_, rank_, rank_ + 1, tag, &acc, sizeof(double));
+  }
+  return acc;
+}
+
+}  // namespace fibersim::mp

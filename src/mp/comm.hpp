@@ -1,0 +1,120 @@
+// Comm — the per-rank communicator handle of the in-process message runtime.
+//
+// Semantics follow MPI where it matters for the miniapps:
+//   * send is buffered and never blocks (eager protocol), so symmetric
+//     exchange patterns cannot deadlock;
+//   * recv blocks until a matching (source, tag) message arrives and requires
+//     the exact payload size — a size mismatch is a protocol error;
+//   * collectives are implemented over point-to-point with the standard
+//     algorithms (binomial bcast/reduce, recursive allgather, direct
+//     alltoall) and must be entered by every rank of the job.
+//
+// Every operation is recorded in the rank's CommLog for the cost model.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "mp/comm_log.hpp"
+#include "mp/mailbox.hpp"
+
+namespace fibersim::mp {
+
+namespace detail {
+struct JobState;  // shared between the ranks of one Job
+}
+
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+
+  // ----- point-to-point -----
+  /// Buffered send of raw bytes; returns immediately.
+  void send_bytes(int dst, int tag, const void* data, std::size_t bytes);
+  /// Blocking receive; `bytes` must equal the sender's payload size.
+  void recv_bytes(int src, int tag, void* data, std::size_t bytes);
+  /// Combined exchange (send then receive; safe because sends are buffered).
+  void sendrecv_bytes(int dst, int send_tag, const void* send_data,
+                      std::size_t send_bytes, int src, int recv_tag,
+                      void* recv_data, std::size_t recv_bytes);
+  /// True if a matching message is already queued.
+  bool probe(int src, int tag) const;
+
+  template <typename T>
+  void send(int dst, int tag, std::span<const T> data) {
+    send_bytes(dst, tag, data.data(), data.size_bytes());
+  }
+  template <typename T>
+  void recv(int src, int tag, std::span<T> data) {
+    recv_bytes(src, tag, data.data(), data.size_bytes());
+  }
+  template <typename T>
+  void send_value(int dst, int tag, const T& value) {
+    send_bytes(dst, tag, &value, sizeof(T));
+  }
+  template <typename T>
+  T recv_value(int src, int tag) {
+    T value;
+    recv_bytes(src, tag, &value, sizeof(T));
+    return value;
+  }
+  template <typename T>
+  void sendrecv(int dst, std::span<const T> send_data, int src,
+                std::span<T> recv_data, int tag = 0) {
+    sendrecv_bytes(dst, tag, send_data.data(), send_data.size_bytes(), src, tag,
+                   recv_data.data(), recv_data.size_bytes());
+  }
+
+  // ----- collectives -----
+  void barrier();
+  void bcast_bytes(void* data, std::size_t bytes, int root);
+  /// Elementwise sum-reduce of doubles to `root`.
+  void reduce_sum(std::span<double> data, int root);
+  void allreduce_sum(std::span<double> data);
+  double allreduce_sum(double value);
+  double allreduce_max(double value);
+  double allreduce_min(double value);
+  std::uint64_t allreduce_sum_u64(std::uint64_t value);
+  /// Gather fixed-size blocks to root; recv must hold size()*bytes at root.
+  void gather_bytes(const void* send, std::size_t bytes, void* recv, int root);
+  void allgather_bytes(const void* send, std::size_t bytes, void* recv);
+  /// Personalised exchange: send block i to rank i; blocks are `bytes` each.
+  void alltoall_bytes(const void* send, std::size_t bytes, void* recv);
+  /// Inclusive prefix sum.
+  double scan_sum(double value);
+  /// Elementwise sum over all ranks, then scatter block i to rank i:
+  /// `send` holds size()*block_elems doubles, `recv` holds block_elems.
+  void reduce_scatter_sum(std::span<const double> send,
+                          std::span<double> recv);
+
+  template <typename T>
+  void bcast(std::span<T> data, int root) {
+    bcast_bytes(data.data(), data.size_bytes(), root);
+  }
+  template <typename T>
+  void allgather(const T& mine, std::span<T> all) {
+    allgather_bytes(&mine, sizeof(T), all.data());
+  }
+
+  const CommLog& log() const { return log_; }
+
+ private:
+  friend class Job;
+  Comm(detail::JobState& state, int rank, int size)
+      : state_(&state), rank_(rank), size_(size) {}
+
+  Mailbox& mailbox_of(int rank) const;
+  /// Generic elementwise binary-op allreduce over doubles.
+  template <typename Op>
+  void allreduce_op(std::span<double> data, Op op, CollectiveKind kind);
+
+  detail::JobState* state_;
+  int rank_;
+  int size_;
+  CommLog log_;
+};
+
+}  // namespace fibersim::mp

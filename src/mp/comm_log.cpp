@@ -1,0 +1,89 @@
+#include "mp/comm_log.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace fibersim::mp {
+
+const char* collective_name(CollectiveKind kind) {
+  switch (kind) {
+    case CollectiveKind::kBarrier: return "barrier";
+    case CollectiveKind::kBcast: return "bcast";
+    case CollectiveKind::kReduce: return "reduce";
+    case CollectiveKind::kAllreduce: return "allreduce";
+    case CollectiveKind::kGather: return "gather";
+    case CollectiveKind::kAllgather: return "allgather";
+    case CollectiveKind::kAlltoall: return "alltoall";
+    case CollectiveKind::kScan: return "scan";
+    case CollectiveKind::kReduceScatter: return "reduce_scatter";
+  }
+  return "?";
+}
+
+void CommLog::record_send(int dst, std::uint64_t bytes) {
+  PeerTraffic& t = sends[dst];
+  ++t.messages;
+  t.bytes += bytes;
+}
+
+void CommLog::record_collective(CollectiveKind kind, std::uint64_t bytes) {
+  CollectiveTraffic& t = collectives[kind];
+  ++t.calls;
+  t.bytes += bytes;
+}
+
+std::uint64_t CommLog::total_p2p_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [dst, t] : sends) total += t.bytes;
+  return total;
+}
+
+std::uint64_t CommLog::total_p2p_messages() const {
+  std::uint64_t total = 0;
+  for (const auto& [dst, t] : sends) total += t.messages;
+  return total;
+}
+
+CommLog CommLog::diff(const CommLog& earlier) const {
+  CommLog out;
+  for (const auto& [dst, now] : sends) {
+    PeerTraffic base;
+    if (const auto it = earlier.sends.find(dst); it != earlier.sends.end()) {
+      base = it->second;
+    }
+    FS_ASSERT(now.messages >= base.messages && now.bytes >= base.bytes,
+              "comm log went backwards");
+    if (now.messages > base.messages || now.bytes > base.bytes) {
+      out.sends[dst] = PeerTraffic{now.messages - base.messages,
+                                   now.bytes - base.bytes};
+    }
+  }
+  for (const auto& [kind, now] : collectives) {
+    CollectiveTraffic base;
+    if (const auto it = earlier.collectives.find(kind);
+        it != earlier.collectives.end()) {
+      base = it->second;
+    }
+    FS_ASSERT(now.calls >= base.calls && now.bytes >= base.bytes,
+              "comm log went backwards");
+    if (now.calls > base.calls || now.bytes > base.bytes) {
+      out.collectives[kind] =
+          CollectiveTraffic{now.calls - base.calls, now.bytes - base.bytes};
+    }
+  }
+  return out;
+}
+
+std::string CommLog::summary() const {
+  std::ostringstream os;
+  os << "p2p: " << total_p2p_messages() << " msgs / " << total_p2p_bytes()
+     << " B";
+  for (const auto& [kind, t] : collectives) {
+    os << "; " << collective_name(kind) << ": " << t.calls << " calls / "
+       << t.bytes << " B";
+  }
+  return os.str();
+}
+
+}  // namespace fibersim::mp

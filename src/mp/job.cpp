@@ -1,0 +1,53 @@
+#include "mp/job.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace fibersim::mp {
+
+std::vector<CommLog> Job::run_logged(int ranks, const RankFn& fn) {
+  FS_REQUIRE(ranks >= 1, "job needs at least one rank");
+  FS_REQUIRE(ranks <= 4096, "rank count unreasonably large");
+  FS_REQUIRE(static_cast<bool>(fn), "rank function must be callable");
+
+  detail::JobState state;
+  state.mailboxes.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    state.mailboxes.push_back(std::make_unique<Mailbox>());
+  }
+
+  std::vector<CommLog> logs(static_cast<std::size_t>(ranks));
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto body = [&](int rank) {
+    Comm comm(state, rank, ranks);
+    try {
+      fn(comm);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      // Unblock every rank waiting in recv.
+      for (auto& mbox : state.mailboxes) mbox->poison();
+    }
+    logs[static_cast<std::size_t>(rank)] = comm.log();
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(ranks - 1));
+  for (int r = 1; r < ranks; ++r) threads.emplace_back(body, r);
+  body(0);
+  for (std::thread& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+  return logs;
+}
+
+void Job::run(int ranks, const RankFn& fn) { (void)run_logged(ranks, fn); }
+
+}  // namespace fibersim::mp

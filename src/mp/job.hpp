@@ -1,0 +1,33 @@
+// Job — runs an SPMD function on N ranks, each on its own thread.
+//
+// This is the "mpiexec" of the in-process runtime. If any rank throws, every
+// mailbox is poisoned so blocked ranks unwind, and the first exception is
+// rethrown to the caller after all ranks have joined.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mp/comm.hpp"
+
+namespace fibersim::mp {
+
+namespace detail {
+struct JobState {
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+};
+}  // namespace detail
+
+class Job {
+ public:
+  using RankFn = std::function<void(Comm&)>;
+
+  /// Run `fn(comm)` on `ranks` concurrent ranks and join.
+  static void run(int ranks, const RankFn& fn);
+
+  /// As run(), but returns each rank's communication log (indexed by rank).
+  static std::vector<CommLog> run_logged(int ranks, const RankFn& fn);
+};
+
+}  // namespace fibersim::mp

@@ -1,0 +1,54 @@
+#include "mp/mailbox.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace fibersim::mp {
+
+void Mailbox::push(Message message) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(message));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::pop(int source, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (poisoned_) throw Error("mp job aborted: mailbox poisoned");
+    const auto it = std::find_if(queue_.begin(), queue_.end(),
+                                 [&](const Message& m) {
+                                   return matches(m, source, tag);
+                                 });
+    if (it != queue_.end()) {
+      Message out = std::move(*it);
+      queue_.erase(it);
+      return out;
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::probe(int source, int tag) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::any_of(queue_.begin(), queue_.end(), [&](const Message& m) {
+    return matches(m, source, tag);
+  });
+}
+
+void Mailbox::poison() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    poisoned_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace fibersim::mp

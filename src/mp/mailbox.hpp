@@ -1,0 +1,60 @@
+// Mailbox — the per-rank receive queue of the in-process message runtime.
+//
+// Senders copy their payload into the destination mailbox (buffered,
+// non-blocking send — the MPI "eager" protocol); receivers block until a
+// message matching (source, tag) is present. MPI ordering semantics hold:
+// messages from the same source with the same tag are received in send order.
+// poison() aborts every pending and future receive, which Job uses to unwind
+// all ranks when one rank throws.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace fibersim::mp {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct Message {
+  int source = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+class Mailbox {
+ public:
+  /// Deposit a message (thread-safe, never blocks).
+  void push(Message message);
+
+  /// Block until a message matching (source, tag) arrives and return it.
+  /// kAnySource / kAnyTag match anything. Throws fibersim::Error if the
+  /// mailbox is poisoned while waiting.
+  Message pop(int source, int tag);
+
+  /// Non-blocking probe: true if a matching message is queued.
+  bool probe(int source, int tag) const;
+
+  /// Wake all waiters with an error; further pops throw immediately.
+  void poison();
+
+  /// Queued message count (diagnostics/tests).
+  std::size_t pending() const;
+
+ private:
+  bool matches(const Message& m, int source, int tag) const {
+    return (source == kAnySource || m.source == source) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool poisoned_ = false;
+};
+
+}  // namespace fibersim::mp

@@ -1,0 +1,186 @@
+#include "rt/thread_team.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace fibersim::rt {
+
+const char* schedule_name(Schedule schedule) {
+  switch (schedule) {
+    case Schedule::kStatic: return "static";
+    case Schedule::kDynamic: return "dynamic";
+    case Schedule::kGuided: return "guided";
+  }
+  return "?";
+}
+
+ThreadTeam::ThreadTeam(int size) : size_(size) {
+  FS_REQUIRE(size >= 1, "team size must be >= 1");
+  FS_REQUIRE(size <= 4096, "team size unreasonably large");
+  workers_.reserve(static_cast<std::size_t>(size - 1));
+  for (int tid = 1; tid < size; ++tid) {
+    workers_.emplace_back([this, tid] { worker_loop(tid); });
+  }
+}
+
+ThreadTeam::~ThreadTeam() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadTeam::worker_loop(int tid) {
+  std::uint64_t seen_epoch = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+    }
+    run_region(tid);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--running_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadTeam::run_region(int tid) {
+  try {
+    region_(tid);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void ThreadTeam::parallel(const std::function<void(int)>& region) {
+  FS_REQUIRE(static_cast<bool>(region), "parallel region must be callable");
+  regions_.fetch_add(1, std::memory_order_relaxed);
+  if (size_ == 1) {
+    region(0);  // no protocol needed, run inline
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    region_ = region;
+    running_ = size_ - 1;
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  run_region(0);  // the caller is thread 0
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return running_ == 0; });
+    region_ = nullptr;
+  }
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    std::swap(err, first_error_);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void ThreadTeam::parallel_for(std::int64_t begin, std::int64_t end,
+                              Schedule schedule, std::int64_t chunk,
+                              const ChunkBody& body) {
+  FS_REQUIRE(begin <= end, "parallel_for range is inverted");
+  const std::int64_t range = end - begin;
+  if (range == 0) return;
+
+  if (schedule == Schedule::kStatic) {
+    // Contiguous blocks, remainder spread over the first threads — matches
+    // omp schedule(static) without a chunk argument when chunk <= 0.
+    if (chunk <= 0) {
+      parallel([&](int tid) {
+        const std::int64_t base = range / size_;
+        const std::int64_t extra = range % size_;
+        const std::int64_t my_begin =
+            begin + tid * base + std::min<std::int64_t>(tid, extra);
+        const std::int64_t my_size = base + (tid < extra ? 1 : 0);
+        if (my_size > 0) body(my_begin, my_begin + my_size, tid);
+      });
+    } else {
+      // Round-robin chunks of the given size.
+      parallel([&, chunk](int tid) {
+        for (std::int64_t c = begin + tid * chunk; c < end;
+             c += chunk * size_) {
+          body(c, std::min(end, c + chunk), tid);
+        }
+      });
+    }
+    return;
+  }
+
+  // Dynamic / guided share a work counter.
+  std::atomic<std::int64_t> next{begin};
+  const std::int64_t min_chunk =
+      chunk > 0 ? chunk : std::max<std::int64_t>(1, range / (size_ * 8));
+  if (schedule == Schedule::kDynamic) {
+    parallel([&](int tid) {
+      while (true) {
+        const std::int64_t c = next.fetch_add(min_chunk);
+        if (c >= end) break;
+        body(c, std::min(end, c + min_chunk), tid);
+      }
+    });
+  } else {  // kGuided: shrinking chunks, floored at min_chunk.
+    std::mutex grab;
+    parallel([&](int tid) {
+      while (true) {
+        std::int64_t c_begin = 0;
+        std::int64_t c_end = 0;
+        {
+          std::lock_guard<std::mutex> lock(grab);
+          c_begin = next.load();
+          if (c_begin >= end) break;
+          const std::int64_t remaining = end - c_begin;
+          const std::int64_t size = std::max(
+              min_chunk, remaining / (2 * static_cast<std::int64_t>(size_)));
+          c_end = std::min(end, c_begin + size);
+          next.store(c_end);
+        }
+        body(c_begin, c_end, tid);
+      }
+    });
+  }
+}
+
+double ThreadTeam::parallel_reduce_sum(
+    std::int64_t begin, std::int64_t end,
+    const std::function<double(std::int64_t)>& term) {
+  FS_REQUIRE(begin <= end, "parallel_reduce_sum range is inverted");
+  // Pad slots to avoid false sharing on the host.
+  struct alignas(64) Slot { double value = 0.0; };
+  std::vector<Slot> slots(static_cast<std::size_t>(size_));
+  parallel_for(begin, end, Schedule::kStatic, 0,
+               [&](std::int64_t lo, std::int64_t hi, int tid) {
+                 double acc = 0.0;
+                 for (std::int64_t i = lo; i < hi; ++i) acc += term(i);
+                 slots[static_cast<std::size_t>(tid)].value += acc;
+               });
+  double total = 0.0;
+  for (const Slot& s : slots) total += s.value;
+  return total;
+}
+
+void ThreadTeam::barrier() {
+  if (size_ == 1) return;
+  const int sense = barrier_sense_.load(std::memory_order_acquire);
+  if (barrier_count_.fetch_add(1, std::memory_order_acq_rel) == size_ - 1) {
+    barrier_count_.store(0, std::memory_order_relaxed);
+    barrier_sense_.store(1 - sense, std::memory_order_release);
+  } else {
+    while (barrier_sense_.load(std::memory_order_acquire) == sense) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace fibersim::rt

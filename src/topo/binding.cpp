@@ -1,0 +1,175 @@
+#include "topo/binding.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace fibersim::topo {
+
+int ThreadBindPolicy::effective_stride(const NodeShape& shape) const {
+  switch (kind) {
+    case BindKind::kCompact: return 1;
+    case BindKind::kStrided: return stride;
+    case BindKind::kScatter: return shape.cores_per_numa;
+  }
+  return 1;
+}
+
+std::string ThreadBindPolicy::name() const {
+  switch (kind) {
+    case BindKind::kCompact: return "compact";
+    case BindKind::kStrided: return strfmt("stride-%d", stride);
+    case BindKind::kScatter: return "scatter";
+  }
+  return "?";
+}
+
+const char* rank_alloc_name(RankAllocPolicy policy) {
+  switch (policy) {
+    case RankAllocPolicy::kBlock: return "block";
+    case RankAllocPolicy::kCyclic: return "cyclic";
+    case RankAllocPolicy::kScatter: return "scatter";
+  }
+  return "?";
+}
+
+std::vector<int> binding_order(const NodeShape& shape, ThreadBindPolicy bind) {
+  const int n = shape.cores_per_node();
+  const int s = bind.effective_stride(shape);
+  FS_REQUIRE(s >= 1 && s <= n, "thread stride out of range");
+  FS_REQUIRE(n % s == 0, "thread stride must divide the node core count");
+  const int rows = n / s;
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    order[static_cast<std::size_t>(i)] = (i / rows) + (i % rows) * s;
+  }
+  return order;
+}
+
+namespace {
+
+/// Chunk index claimed by a local rank: every policy keeps a rank's threads
+/// contiguous in the binding order (as real launchers do for threaded ranks)
+/// and only permutes the rank->chunk assignment.
+int chunk_of(RankAllocPolicy alloc, int local_ranks, const NodeShape& shape,
+             int local_rank) {
+  auto round_robin = [&](int groups) {
+    const int g = std::min(local_ranks, groups);
+    if (g <= 1 || local_ranks % g != 0) return local_rank;  // fall back
+    const int per_group = local_ranks / g;
+    return (local_rank % g) * per_group + local_rank / g;
+  };
+  switch (alloc) {
+    case RankAllocPolicy::kBlock:
+      return local_rank;
+    case RankAllocPolicy::kCyclic:
+      // Round-robin over NUMA domains (mpiexec --map-by numa).
+      return round_robin(shape.numa_per_node());
+    case RankAllocPolicy::kScatter:
+      // Round-robin over sockets (--map-by socket); equals kCyclic on
+      // single-socket machines like the A64FX — which is exactly why the
+      // paper finds the allocation method has little impact there.
+      return round_robin(shape.sockets);
+  }
+  return local_rank;
+}
+
+}  // namespace
+
+Binding Binding::make(const Topology& topology, int ranks, int threads_per_rank,
+                      RankAllocPolicy alloc, ThreadBindPolicy bind) {
+  FS_REQUIRE(ranks >= 1, "need at least one rank");
+  FS_REQUIRE(threads_per_rank >= 1, "need at least one thread per rank");
+  const int nodes = topology.nodes();
+  const int cores_per_node = topology.cores_per_node();
+  FS_REQUIRE(static_cast<long long>(ranks) * threads_per_rank <=
+                 static_cast<long long>(nodes) * cores_per_node,
+             "placement does not fit on the machine");
+
+  // Spread ranks over nodes: first (ranks % nodes) nodes take one extra.
+  const int base = ranks / nodes;
+  const int extra = ranks % nodes;
+
+  const std::vector<int> order = binding_order(topology.shape(), bind);
+
+  Binding binding(topology, ranks, threads_per_rank);
+  binding.cores_.resize(static_cast<std::size_t>(ranks) *
+                        static_cast<std::size_t>(threads_per_rank));
+
+  int rank = 0;
+  for (int node = 0; node < nodes; ++node) {
+    const int local_ranks = base + (node < extra ? 1 : 0);
+    FS_REQUIRE(local_ranks * threads_per_rank <= cores_per_node,
+               strfmt("node %d cannot host %d ranks x %d threads", node,
+                      local_ranks, threads_per_rank));
+    for (int lr = 0; lr < local_ranks; ++lr, ++rank) {
+      const int chunk = chunk_of(alloc, local_ranks, topology.shape(), lr);
+      for (int t = 0; t < threads_per_rank; ++t) {
+        const int slot = chunk * threads_per_rank + t;
+        FS_ASSERT(slot >= 0 && slot < cores_per_node, "slot out of range");
+        binding.cores_[binding.index(rank, t)] =
+            CoreId{node, order[static_cast<std::size_t>(slot)]};
+      }
+    }
+  }
+  FS_ASSERT(rank == ranks, "rank distribution mismatch");
+
+  // A placement is only valid if no two threads share a core.
+  std::set<std::pair<int, int>> seen;
+  for (const CoreId& c : binding.cores_) {
+    FS_ASSERT(seen.insert({c.node, c.core}).second,
+              "binding assigned two threads to one core");
+  }
+  return binding;
+}
+
+std::size_t Binding::index(int rank, int thread) const {
+  FS_REQUIRE(rank >= 0 && rank < ranks_, "rank out of range");
+  FS_REQUIRE(thread >= 0 && thread < threads_per_rank_, "thread out of range");
+  return static_cast<std::size_t>(rank) * static_cast<std::size_t>(threads_per_rank_) +
+         static_cast<std::size_t>(thread);
+}
+
+CoreId Binding::core_of(int rank, int thread) const {
+  return cores_[index(rank, thread)];
+}
+
+int Binding::node_of(int rank) const { return core_of(rank, 0).node; }
+
+int Binding::thread_numa(int rank, int thread) const {
+  return topology_.global_numa(core_of(rank, thread));
+}
+
+int Binding::numa_span(int rank) const {
+  std::set<int> domains;
+  for (int t = 0; t < threads_per_rank_; ++t) {
+    domains.insert(thread_numa(rank, t));
+  }
+  return static_cast<int>(domains.size());
+}
+
+Distance Binding::rank_distance(int a, int b) const {
+  return topology_.distance(core_of(a, 0), core_of(b, 0));
+}
+
+Distance Binding::team_span(int rank) const {
+  Distance widest = Distance::kSameCore;
+  for (int t = 1; t < threads_per_rank_; ++t) {
+    widest = std::max(widest, topology_.distance(core_of(rank, 0), core_of(rank, t)));
+  }
+  // A single-thread team still synchronises within its own NUMA domain.
+  return std::max(widest, Distance::kSameNuma);
+}
+
+Distance Binding::job_span() const {
+  Distance widest = Distance::kSameNuma;
+  for (int r = 1; r < ranks_; ++r) {
+    widest = std::max(widest, rank_distance(0, r));
+  }
+  return widest;
+}
+
+}  // namespace fibersim::topo

@@ -1,0 +1,140 @@
+#include "trace/predict.hpp"
+
+#include <algorithm>
+
+#include "cg/codegen_model.hpp"
+#include "common/error.hpp"
+#include "machine/comm_model.hpp"
+
+namespace fibersim::trace {
+
+namespace {
+
+/// Communication seconds of one rank in one phase.
+double rank_comm_seconds(const machine::CommCostModel& model,
+                         const topo::Binding& binding, int rank,
+                         const mp::CommLog& comm) {
+  double seconds = 0.0;
+  for (const auto& [dst, traffic] : comm.sends) {
+    const topo::Distance d = binding.rank_distance(rank, dst);
+    seconds += static_cast<double>(traffic.messages) * model.latency_seconds(d) +
+               static_cast<double>(traffic.bytes) / model.bandwidth(d);
+  }
+  const topo::Distance span = binding.job_span();
+  for (const auto& [kind, traffic] : comm.collectives) {
+    if (traffic.calls == 0) continue;
+    const double bytes_per_call =
+        static_cast<double>(traffic.bytes) / static_cast<double>(traffic.calls);
+    double per_call = 0.0;
+    if (kind == mp::CollectiveKind::kAlltoall) {
+      per_call = model.alltoall_seconds(binding.ranks(), bytes_per_call, span);
+    } else {
+      per_call = model.collective_seconds(binding.ranks(), bytes_per_call, span);
+    }
+    seconds += per_call * static_cast<double>(traffic.calls);
+  }
+  return seconds;
+}
+
+}  // namespace
+
+JobPrediction predict_job(const machine::ProcessorConfig& cfg,
+                          const cg::CompileOptions& opts,
+                          const topo::Binding& binding, const JobTrace& trace) {
+  FS_REQUIRE(static_cast<int>(trace.size()) == binding.ranks(),
+             "trace rank count does not match the binding");
+  FS_REQUIRE(!trace.empty(), "empty trace");
+  const std::size_t n_phases = trace.front().size();
+  for (const RankTrace& rt : trace) {
+    FS_REQUIRE(rt.size() == n_phases,
+               "ranks recorded different phase sequences");
+  }
+
+  const machine::ExecModel exec(cfg);
+  const machine::CommCostModel comm_model(cfg);
+  const int threads = binding.threads_per_rank();
+
+  JobPrediction out;
+  out.phases.reserve(n_phases);
+
+  for (std::size_t p = 0; p < n_phases; ++p) {
+    const std::string& phase_name = trace.front()[p].name;
+    const bool parallel = trace.front()[p].parallel;
+
+    std::vector<machine::ThreadWork> thread_work;
+    thread_work.reserve(trace.size() * static_cast<std::size_t>(threads));
+    double worst_comm_s = 0.0;
+
+    for (int rank = 0; rank < binding.ranks(); ++rank) {
+      const PhaseRecord& rec = trace[static_cast<std::size_t>(rank)][p];
+      FS_REQUIRE(rec.name == phase_name,
+                 "ranks disagree on phase order: " + rec.name + " vs " +
+                     phase_name);
+      const isa::WorkEstimate generated = cg::apply(opts, rec.work);
+
+      if (parallel && threads > 1) {
+        const isa::WorkEstimate share =
+            generated.scaled(1.0 / static_cast<double>(threads));
+        for (int t = 0; t < threads; ++t) {
+          machine::ThreadWork tw;
+          tw.work = share;
+          tw.rank = rank;
+          tw.numa = binding.thread_numa(rank, t);
+          tw.home_numa = binding.home_numa(rank);
+          tw.team_size = threads;
+          tw.team_span = binding.team_span(rank);
+          thread_work.push_back(std::move(tw));
+        }
+      } else {
+        machine::ThreadWork tw;
+        tw.work = generated;
+        tw.rank = rank;
+        tw.numa = binding.thread_numa(rank, 0);
+        tw.home_numa = binding.home_numa(rank);
+        // Serial phases fork no team: no barrier is charged.
+        tw.team_size = 1;
+        tw.team_span = topo::Distance::kSameNuma;
+        thread_work.push_back(std::move(tw));
+      }
+
+      worst_comm_s = std::max(
+          worst_comm_s, rank_comm_seconds(comm_model, binding, rank, rec.comm));
+    }
+
+    PhasePrediction phase;
+    phase.name = phase_name;
+    phase.timed = trace.front()[p].timed;
+    phase.time = exec.evaluate_phase(thread_work);
+    // Per-entry team barriers: one fork-join per phase entry.
+    const std::uint64_t entries = trace.front()[p].entries;
+    if (parallel && threads > 1 && entries > 1) {
+      // evaluate_phase charged one barrier; charge the remaining entries.
+      topo::Distance widest = topo::Distance::kSameNuma;
+      for (int rank = 0; rank < binding.ranks(); ++rank) {
+        widest = std::max(widest, binding.team_span(rank));
+      }
+      phase.time.barrier_s +=
+          static_cast<double>(entries - 1) * exec.barrier_seconds(threads, widest);
+      phase.time.total_s +=
+          static_cast<double>(entries - 1) * exec.barrier_seconds(threads, widest);
+    }
+    phase.comm_s = worst_comm_s;
+    phase.total_s = phase.time.total_s + phase.comm_s;
+
+    if (phase.timed) {
+      out.compute_s += phase.time.compute_s;
+      out.memory_s += phase.time.memory_s;
+      out.barrier_s += phase.time.barrier_s;
+      out.comm_s += phase.comm_s;
+      out.total_s += phase.total_s;
+      out.flops += phase.time.flops;
+      out.dram_bytes += phase.time.dram_bytes;
+    } else {
+      out.setup_s += phase.total_s;
+    }
+    out.phases.push_back(std::move(phase));
+  }
+  return out;
+}
+
+}  // namespace fibersim::trace

@@ -1,0 +1,60 @@
+// predict — turn a recorded job trace into a predicted execution time on a
+// target processor under a compile configuration and a placement.
+//
+// This is where the deterministic-prediction contract of DESIGN.md is
+// enforced: the inputs are counted work and logged traffic; the outputs are
+// model seconds, never host wall-clock.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cg/compile_options.hpp"
+#include "machine/exec_model.hpp"
+#include "machine/processor.hpp"
+#include "topo/binding.hpp"
+#include "trace/recorder.hpp"
+
+namespace fibersim::trace {
+
+/// One rank's recorded trace.
+using RankTrace = std::vector<PhaseRecord>;
+/// The whole job: per-rank traces, index == rank.
+using JobTrace = std::vector<RankTrace>;
+
+struct PhasePrediction {
+  std::string name;
+  machine::PhaseTime time;  ///< compute/memory/barrier of the phase
+  double comm_s = 0.0;      ///< slowest rank's communication in the phase
+  double total_s = 0.0;     ///< time.total_s + comm_s
+  bool timed = true;        ///< false for setup/init phases
+};
+
+/// Headline aggregates cover only `timed` phases (the kernel section the
+/// Fiber miniapps report); setup_s keeps the excluded init/setup time.
+struct JobPrediction {
+  std::vector<PhasePrediction> phases;
+  double total_s = 0.0;
+  double compute_s = 0.0;
+  double memory_s = 0.0;
+  double comm_s = 0.0;
+  double barrier_s = 0.0;
+  double flops = 0.0;
+  double dram_bytes = 0.0;
+  double setup_s = 0.0;  ///< predicted time of the untimed phases
+
+  double gflops() const { return total_s > 0.0 ? flops * 1e-9 / total_s : 0.0; }
+};
+
+/// Predict the execution time of a recorded job.
+///
+/// Requirements: `trace.size()` ranks must match `binding.ranks()`; every
+/// rank must have recorded the same phase sequence (SPMD programs do). Phase
+/// work is distributed over the rank's threads (evenly for parallel phases,
+/// on the master for serial ones), placed according to `binding`, transformed
+/// by `opts`, and evaluated on `cfg`.
+JobPrediction predict_job(const machine::ProcessorConfig& cfg,
+                          const cg::CompileOptions& opts,
+                          const topo::Binding& binding, const JobTrace& trace);
+
+}  // namespace fibersim::trace

@@ -1,0 +1,58 @@
+#include "trace/recorder.hpp"
+
+#include "common/error.hpp"
+
+namespace fibersim::trace {
+
+int Recorder::find_or_create(const std::string& name, bool parallel,
+                             bool timed) {
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (phases_[i].name == name) {
+      FS_REQUIRE(phases_[i].parallel == parallel && phases_[i].timed == timed,
+                 "phase re-entered with different flags: " + name);
+      return static_cast<int>(i);
+    }
+  }
+  PhaseRecord rec;
+  rec.name = name;
+  rec.parallel = parallel;
+  rec.timed = timed;
+  phases_.push_back(std::move(rec));
+  return static_cast<int>(phases_.size() - 1);
+}
+
+void Recorder::begin_phase(const std::string& name, bool parallel, bool timed) {
+  FS_REQUIRE(open_ < 0, "phases cannot nest (still in '" +
+                            (open_ >= 0 ? phases_[static_cast<std::size_t>(open_)].name
+                                        : std::string()) +
+                            "')");
+  FS_REQUIRE(!name.empty(), "phase needs a name");
+  open_ = find_or_create(name, parallel, timed);
+  ++phases_[static_cast<std::size_t>(open_)].entries;
+  if (comm_ != nullptr) comm_at_begin_ = comm_->log();
+}
+
+void Recorder::add_work(const isa::WorkEstimate& work) {
+  FS_REQUIRE(open_ >= 0, "add_work outside a phase");
+  work.validate();
+  phases_[static_cast<std::size_t>(open_)].work.merge(work);
+}
+
+void Recorder::end_phase() {
+  FS_REQUIRE(open_ >= 0, "end_phase without begin_phase");
+  if (comm_ != nullptr) {
+    const mp::CommLog delta = comm_->log().diff(comm_at_begin_);
+    PhaseRecord& rec = phases_[static_cast<std::size_t>(open_)];
+    for (const auto& [dst, t] : delta.sends) {
+      rec.comm.sends[dst].messages += t.messages;
+      rec.comm.sends[dst].bytes += t.bytes;
+    }
+    for (const auto& [kind, t] : delta.collectives) {
+      rec.comm.collectives[kind].calls += t.calls;
+      rec.comm.collectives[kind].bytes += t.bytes;
+    }
+  }
+  open_ = -1;
+}
+
+}  // namespace fibersim::trace

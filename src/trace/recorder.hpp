@@ -1,0 +1,74 @@
+// Recorder — per-rank phase instrumentation.
+//
+// A miniapp rank opens named phases around its kernels and deposits the work
+// it actually performed. Re-entering a phase name accumulates into the same
+// record (so an iterative solver's 500th "spmv" merges into one entry),
+// keeping trace size independent of iteration count. Communication executed
+// between begin/end is attributed to the phase by diffing the rank's CommLog.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/work_estimate.hpp"
+#include "mp/comm.hpp"
+
+namespace fibersim::trace {
+
+struct PhaseRecord {
+  std::string name;
+  /// Whole-rank work for this phase, accumulated over all entries.
+  isa::WorkEstimate work;
+  /// Communication attributed to this phase.
+  mp::CommLog comm;
+  /// False for master-only (serial) phases: all work lands on thread 0 and
+  /// no team barrier is charged.
+  bool parallel = true;
+  /// False for setup/init phases: still predicted and listed, but excluded
+  /// from the headline time (the Fiber miniapps report kernel-section times).
+  bool timed = true;
+  /// Number of times the phase was entered (fork-join count for the model).
+  std::uint64_t entries = 0;
+};
+
+class Recorder {
+ public:
+  /// `comm` may be null for single-rank runs without message passing.
+  explicit Recorder(const mp::Comm* comm = nullptr) : comm_(comm) {}
+
+  /// Open a phase; nesting is not allowed (phases partition the timeline).
+  void begin_phase(const std::string& name, bool parallel = true,
+                   bool timed = true);
+  /// Deposit work into the open phase.
+  void add_work(const isa::WorkEstimate& work);
+  void end_phase();
+
+  bool in_phase() const { return open_ >= 0; }
+  const std::vector<PhaseRecord>& phases() const { return phases_; }
+
+  /// RAII phase guard.
+  class Scoped {
+   public:
+    Scoped(Recorder& rec, const std::string& name, bool parallel = true,
+           bool timed = true)
+        : rec_(rec) {
+      rec_.begin_phase(name, parallel, timed);
+    }
+    ~Scoped() { rec_.end_phase(); }
+    Scoped(const Scoped&) = delete;
+    Scoped& operator=(const Scoped&) = delete;
+
+   private:
+    Recorder& rec_;
+  };
+
+ private:
+  int find_or_create(const std::string& name, bool parallel, bool timed);
+
+  const mp::Comm* comm_;
+  std::vector<PhaseRecord> phases_;
+  int open_ = -1;
+  mp::CommLog comm_at_begin_;
+};
+
+}  // namespace fibersim::trace

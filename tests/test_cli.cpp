@@ -1,0 +1,289 @@
+// Tests for the config parser and CLI driver.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/cli.hpp"
+#include "core/config_parse.hpp"
+
+namespace fibersim::core {
+namespace {
+
+// ----- value parsers -----
+
+TEST(Parse, Bind) {
+  EXPECT_EQ(parse_bind("compact").name(), "compact");
+  EXPECT_EQ(parse_bind(" Stride-4 ").name(), "stride-4");
+  EXPECT_EQ(parse_bind("scatter").name(), "scatter");
+  EXPECT_THROW(parse_bind("strided"), Error);
+  EXPECT_THROW(parse_bind("stride-x"), Error);
+  EXPECT_THROW(parse_bind(""), Error);
+}
+
+TEST(Parse, Alloc) {
+  EXPECT_EQ(parse_alloc("block"), topo::RankAllocPolicy::kBlock);
+  EXPECT_EQ(parse_alloc("CYCLIC"), topo::RankAllocPolicy::kCyclic);
+  EXPECT_EQ(parse_alloc("scatter"), topo::RankAllocPolicy::kScatter);
+  EXPECT_THROW(parse_alloc("round-robin"), Error);
+}
+
+TEST(Parse, Compile) {
+  EXPECT_EQ(parse_compile("as-is").name(), "simd");
+  EXPECT_EQ(parse_compile("simd+").name(), "simd+");
+  EXPECT_EQ(parse_compile("simd+swp").name(), "simd+,swp");
+  EXPECT_EQ(parse_compile("nosimd").vectorize, cg::VectorizeLevel::kNone);
+  EXPECT_THROW(parse_compile("O3"), Error);
+}
+
+TEST(Parse, Processor) {
+  EXPECT_EQ(parse_processor("a64fx").name, "A64FX");
+  EXPECT_EQ(parse_processor("a64fx-boost").name, "A64FX-boost");
+  EXPECT_EQ(parse_processor("a64fx-eco").fp_pipes, 1);
+  EXPECT_EQ(parse_processor("skylake").name, "Skylake-8168x2");
+  EXPECT_EQ(parse_processor("thunderx2").name, "ThunderX2x2");
+  EXPECT_EQ(parse_processor("broadwell").name, "Broadwell-2695v4x2");
+  EXPECT_THROW(parse_processor("epyc"), Error);
+}
+
+TEST(Parse, Dataset) {
+  EXPECT_EQ(parse_dataset("small"), apps::Dataset::kSmall);
+  EXPECT_EQ(parse_dataset(" LARGE "), apps::Dataset::kLarge);
+  EXPECT_THROW(parse_dataset("medium"), Error);
+}
+
+// ----- config files -----
+
+TEST(ConfigFile, ParsesEveryKey) {
+  const ExperimentConfig cfg = parse_experiment_config(R"(
+# full config
+app        = ccs_qcd
+dataset    = large
+ranks      = 8
+threads    = 6
+nodes      = 2
+bind       = stride-2
+alloc      = cyclic
+compile    = simd+
+unroll     = 4
+fission    = true
+processor  = thunderx2
+iterations = 5
+seed       = 123
+)");
+  EXPECT_EQ(cfg.app, "ccs_qcd");
+  EXPECT_EQ(cfg.dataset, apps::Dataset::kLarge);
+  EXPECT_EQ(cfg.ranks, 8);
+  EXPECT_EQ(cfg.threads, 6);
+  EXPECT_EQ(cfg.nodes, 2);
+  EXPECT_EQ(cfg.bind.name(), "stride-2");
+  EXPECT_EQ(cfg.alloc, topo::RankAllocPolicy::kCyclic);
+  EXPECT_EQ(cfg.compile.vectorize, cg::VectorizeLevel::kEnhanced);
+  EXPECT_EQ(cfg.compile.unroll, 4);
+  EXPECT_TRUE(cfg.compile.loop_fission);
+  EXPECT_EQ(cfg.processor.name, "ThunderX2x2");
+  EXPECT_EQ(cfg.iterations, 5);
+  EXPECT_EQ(cfg.seed, 123u);
+}
+
+TEST(ConfigFile, DefaultsSurviveEmptyConfig) {
+  const ExperimentConfig cfg = parse_experiment_config("# nothing\n\n");
+  EXPECT_EQ(cfg.app, "ffvc");
+  EXPECT_EQ(cfg.ranks, 4);
+}
+
+TEST(ConfigFile, CommentsAndWhitespaceIgnored) {
+  const ExperimentConfig cfg =
+      parse_experiment_config("  app = nicam   # trailing comment\n");
+  EXPECT_EQ(cfg.app, "nicam");
+}
+
+TEST(ConfigFile, UnknownKeyRejected) {
+  EXPECT_THROW(parse_experiment_config("appp = ffvc\n"), Error);
+}
+
+TEST(ConfigFile, MissingEqualsRejected) {
+  EXPECT_THROW(parse_experiment_config("app ffvc\n"), Error);
+}
+
+TEST(ConfigFile, BadValuesRejected) {
+  EXPECT_THROW(parse_experiment_config("ranks = many\n"), Error);
+  EXPECT_THROW(parse_experiment_config("fission = maybe\n"), Error);
+  EXPECT_THROW(parse_experiment_config("ranks =\n"), Error);
+}
+
+TEST(ConfigFile, ResultIsValidated) {
+  // 49 ranks x 2 threads does not fit on one A64FX node.
+  EXPECT_THROW(parse_experiment_config("ranks = 49\nthreads = 2\n"), Error);
+}
+
+TEST(ConfigFile, LoadFromDisk) {
+  const std::string path = "/tmp/fibersim_test_config.txt";
+  {
+    std::ofstream out(path);
+    out << "app = ntchem\nranks = 2\nthreads = 1\niterations = 1\n";
+  }
+  const ExperimentConfig cfg = load_experiment_config(path);
+  EXPECT_EQ(cfg.app, "ntchem");
+  std::remove(path.c_str());
+  EXPECT_THROW(load_experiment_config("/nonexistent/x.cfg"), Error);
+}
+
+// ----- CLI driver -----
+
+struct CliResult {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliResult run_cli(std::vector<std::string> args) {
+  args.insert(args.begin(), "fibersim");
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = cli_main(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(Cli, NoArgsPrintsUsage) {
+  const CliResult r = run_cli({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("usage"), std::string::npos);
+}
+
+TEST(Cli, HelpSucceeds) {
+  const CliResult r = run_cli({"help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("usage"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommand) {
+  const CliResult r = run_cli({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, ListShowsSuiteAndReports) {
+  const CliResult r = run_cli({"list"});
+  EXPECT_EQ(r.code, 0);
+  for (const auto& name : apps::registry_names()) {
+    EXPECT_NE(r.out.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(r.out.find("T1"), std::string::npos);
+  EXPECT_NE(r.out.find("E1"), std::string::npos);
+}
+
+TEST(Cli, DescribeApp) {
+  const CliResult r = run_cli({"describe", "mvmc"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("Sherman-Morrison"), std::string::npos);
+  EXPECT_EQ(run_cli({"describe"}).code, 2);
+  EXPECT_EQ(run_cli({"describe", "nope"}).code, 2);
+}
+
+TEST(Cli, RunExperimentEndToEnd) {
+  const CliResult r = run_cli({"run", "--app", "ffvc", "--dataset", "small",
+                               "--ranks", "2", "--threads", "2",
+                               "--iterations", "1"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("predicted time"), std::string::npos);
+  EXPECT_NE(r.out.find("verified"), std::string::npos);
+  EXPECT_NE(r.out.find("phases"), std::string::npos);
+}
+
+TEST(Cli, RunWithConfigFileAndOverride) {
+  const std::string path = "/tmp/fibersim_cli_config.txt";
+  {
+    std::ofstream out(path);
+    out << "app = ffvc\nranks = 2\nthreads = 2\niterations = 1\n"
+        << "dataset = small\n";
+  }
+  // Flags after --config override the file.
+  const CliResult r =
+      run_cli({"run", "--config", path, "--processor", "skylake"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("Skylake"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, RunJsonOutput) {
+  const CliResult r = run_cli({"run", "--app", "ntchem", "--ranks", "2",
+                               "--threads", "1", "--iterations", "1",
+                               "--json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out.front(), '{');
+  EXPECT_NE(r.out.find("\"total_s\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"phases\""), std::string::npos);
+}
+
+TEST(Cli, RunDumpTraceWritesFile) {
+  const std::string path = "/tmp/fibersim_cli_trace.json";
+  const CliResult r = run_cli({"run", "--app", "ntchem", "--ranks", "2",
+                               "--threads", "1", "--iterations", "1",
+                               "--dump-trace", path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_EQ(first_line.front(), '[');
+  EXPECT_NE(first_line.find("dgemm"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, RunDumpTraceRejectsBadPath) {
+  const CliResult r = run_cli({"run", "--app", "ntchem", "--ranks", "1",
+                               "--threads", "1", "--iterations", "1",
+                               "--dump-trace", "/nonexistent/dir/x.json"});
+  EXPECT_EQ(r.code, 2);
+}
+
+TEST(Cli, RunRejectsBadFlags) {
+  EXPECT_EQ(run_cli({"run", "--bogus", "1"}).code, 2);
+  EXPECT_EQ(run_cli({"run", "--app"}).code, 2);
+  EXPECT_EQ(run_cli({"run", "--processor", "epyc"}).code, 2);
+}
+
+TEST(Cli, ReportT1) {
+  const CliResult r = run_cli({"report", "T1"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("A64FX"), std::string::npos);
+}
+
+TEST(Cli, ReportA2NeedsNoExecution) {
+  const CliResult r = run_cli({"report", "a2"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("threads"), std::string::npos);
+}
+
+TEST(Cli, ReportWithAppFilter) {
+  const CliResult r = run_cli({"report", "F2", "--apps", "ffvc", "--dataset",
+                               "small", "--iterations", "1"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("ffvc"), std::string::npos);
+  EXPECT_NE(r.out.find("compact"), std::string::npos);
+}
+
+TEST(Cli, ReportAllRegeneratesEveryId) {
+  const CliResult r = run_cli({"report", "all", "--apps", "ffvc", "--dataset",
+                               "small", "--iterations", "1"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  for (const auto& id : cli_report_ids()) {
+    EXPECT_NE(r.out.find("== " + id + " =="), std::string::npos) << id;
+  }
+}
+
+TEST(Cli, ReportRejectsUnknownId) {
+  EXPECT_EQ(run_cli({"report", "Z9"}).code, 2);
+  EXPECT_EQ(run_cli({"report"}).code, 2);
+}
+
+TEST(Cli, ReportIdsCoverTheDesignIndex) {
+  const auto ids = cli_report_ids();
+  EXPECT_EQ(ids.size(), 16u);
+}
+
+}  // namespace
+}  // namespace fibersim::core

@@ -1,0 +1,328 @@
+// Unit tests for the common utilities: error handling, RNG, statistics,
+// strings, tables, aligned buffers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/aligned_buffer.hpp"
+#include "common/barchart.hpp"
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "common/units.hpp"
+
+namespace fibersim {
+namespace {
+
+TEST(Error, RequireThrowsWithContext) {
+  try {
+    FS_REQUIRE(1 == 2, "numbers disagree");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("numbers disagree"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Error, RequirePassesSilently) {
+  EXPECT_NO_THROW(FS_REQUIRE(true, "never"));
+}
+
+TEST(Log, LevelGate) {
+  const LogLevel old = log_level();
+  set_log_level(LogLevel::kOff);
+  FS_LOG(kError) << "suppressed";  // must not crash while off
+  set_log_level(old);
+}
+
+// ----- RNG -----
+
+TEST(Rng, DeterministicPerSeed) {
+  Xoshiro256 a(42, 0);
+  Xoshiro256 b(42, 0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, StreamsDiffer) {
+  Xoshiro256 a(42, 0);
+  Xoshiro256 b(42, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentred) {
+  Xoshiro256 rng(11);
+  Accumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.add(rng.uniform());
+  EXPECT_NEAR(acc.mean(), 0.5, 0.02);
+}
+
+class RngBoundedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundedTest, BoundedStaysBelowBound) {
+  const std::uint64_t bound = GetParam();
+  Xoshiro256 rng(13, bound);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(rng.bounded(bound), bound);
+  }
+}
+
+TEST_P(RngBoundedTest, BoundedCoversRangeForSmallBounds) {
+  const std::uint64_t bound = GetParam();
+  if (bound > 64) GTEST_SKIP() << "coverage check only for small bounds";
+  Xoshiro256 rng(17, bound);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(rng.bounded(bound));
+  EXPECT_EQ(seen.size(), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundedTest,
+                         ::testing::Values(1, 2, 3, 7, 16, 64, 1000, 1u << 20));
+
+TEST(Rng, BoundedZeroReturnsZero) {
+  Xoshiro256 rng(1);
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+// ----- statistics -----
+
+TEST(Stats, AccumulatorBasics) {
+  Accumulator acc;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_NEAR(acc.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.sum(), 10.0);
+}
+
+TEST(Stats, EmptyAccumulatorThrowsOnMinMax) {
+  Accumulator acc;
+  EXPECT_THROW(acc.min(), Error);
+  EXPECT_THROW(acc.max(), Error);
+  EXPECT_EQ(acc.mean(), 0.0);
+}
+
+TEST(Stats, MergeEqualsSequential) {
+  Xoshiro256 rng(3);
+  Accumulator whole;
+  Accumulator left;
+  Accumulator right;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(-10.0, 10.0);
+    whole.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Stats, MergeWithEmptyIsIdentity) {
+  Accumulator a;
+  a.add(5.0);
+  Accumulator empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.0);
+}
+
+TEST(Stats, PercentileValidation) {
+  EXPECT_THROW(percentile({}, 0.5), Error);
+  EXPECT_THROW(percentile({1.0}, 1.5), Error);
+}
+
+TEST(Stats, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometric_mean({4.0, 1.0}), 2.0);
+  EXPECT_THROW(geometric_mean({1.0, -1.0}), Error);
+  EXPECT_THROW(geometric_mean({}), Error);
+}
+
+TEST(Stats, RelativeSpread) {
+  EXPECT_DOUBLE_EQ(relative_spread({2.0, 3.0}), 0.5);
+  EXPECT_DOUBLE_EQ(relative_spread({5.0}), 0.0);
+  EXPECT_THROW(relative_spread({0.0, 1.0}), Error);
+}
+
+// ----- strings -----
+
+TEST(Strings, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitSingle) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, Strfmt) {
+  EXPECT_EQ(strfmt("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(strfmt("%.2f", 1.235), "1.24");
+}
+
+TEST(Strings, SiFormat) {
+  EXPECT_EQ(si_format(1540.0, 2), "1.54 k");
+  EXPECT_EQ(si_format(2.5e9, 1), "2.5 G");
+  EXPECT_EQ(si_format(12.0, 0), "12");
+}
+
+TEST(Strings, ToLower) { EXPECT_EQ(to_lower("AbC"), "abc"); }
+
+// ----- tables -----
+
+TEST(Table, RowArityEnforced) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1.5"});
+  t.add_row({"longer", "20"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvQuotesCommas) {
+  TextTable t({"k", "v"});
+  t.add_row({"a,b", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
+}
+
+// ----- bar charts -----
+
+TEST(BarChart, RendersBarsProportionally) {
+  BarChart chart("latency", "us");
+  chart.add("fast", 1.0);
+  chart.add("slow", 2.0);
+  std::ostringstream os;
+  chart.print(os, 20);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("latency"), std::string::npos);
+  EXPECT_NE(out.find("fast"), std::string::npos);
+  // The max bar fills the width; the half-value bar is half as long.
+  EXPECT_NE(out.find(std::string(20, '#')), std::string::npos);
+  EXPECT_NE(out.find(std::string(10, '#') + std::string(10, ' ')),
+            std::string::npos);
+  EXPECT_NE(out.find("us"), std::string::npos);
+}
+
+TEST(BarChart, HandlesAllZeroValues) {
+  BarChart chart("empty");
+  chart.add("a", 0.0);
+  std::ostringstream os;
+  chart.print(os);
+  EXPECT_NE(os.str().find("a"), std::string::npos);
+}
+
+TEST(BarChart, RejectsNegativeValuesAndTinyWidth) {
+  BarChart chart("x");
+  EXPECT_THROW(chart.add("bad", -1.0), Error);
+  chart.add("ok", 1.0);
+  std::ostringstream os;
+  EXPECT_THROW(chart.print(os, 4), Error);
+}
+
+TEST(BarChart, SeparatorAddsBlankLine) {
+  BarChart chart("grouped");
+  chart.add("a", 1.0);
+  chart.add_separator();
+  chart.add("b", 2.0);
+  EXPECT_EQ(chart.bars(), 3u);
+  std::ostringstream os;
+  chart.print(os, 12);
+  EXPECT_NE(os.str().find("\n\n"), std::string::npos);
+}
+
+TEST(Table, HeaderAccessor) {
+  TextTable t({"x", "y"});
+  EXPECT_EQ(t.header()[1], "y");
+}
+
+// ----- aligned buffers -----
+
+TEST(Aligned, VectorIsCacheLineAligned) {
+  AlignedVector<double> v(100, 1.0);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kCacheLineBytes, 0u);
+  EXPECT_EQ(v[99], 1.0);
+}
+
+TEST(Aligned, EmptyAllocationIsFine) {
+  AlignedVector<double> v;
+  v.resize(0);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(Timer, MeasuresForwardTime) {
+  WallTimer t;
+  EXPECT_GE(t.elapsed(), 0.0);
+  t.reset();
+  EXPECT_GE(t.elapsed(), 0.0);
+}
+
+TEST(Units, Constants) {
+  using namespace units;
+  EXPECT_DOUBLE_EQ(kGiB, 1024.0 * 1024.0 * 1024.0);
+  EXPECT_DOUBLE_EQ(kGHz, 1e9);
+}
+
+}  // namespace
+}  // namespace fibersim

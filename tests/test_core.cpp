@@ -1,0 +1,149 @@
+// Tests for the experiment framework: config validation, runner caching,
+// sweep helpers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "core/runner.hpp"
+#include "core/sweep.hpp"
+
+namespace fibersim::core {
+namespace {
+
+ExperimentConfig small_ffvc(int ranks = 2, int threads = 2) {
+  ExperimentConfig cfg;
+  cfg.app = "ffvc";
+  cfg.dataset = apps::Dataset::kSmall;
+  cfg.ranks = ranks;
+  cfg.threads = threads;
+  cfg.iterations = 1;
+  return cfg;
+}
+
+TEST(Config, LabelDescribesEverything) {
+  const std::string label = small_ffvc().label();
+  EXPECT_NE(label.find("ffvc"), std::string::npos);
+  EXPECT_NE(label.find("2x2"), std::string::npos);
+  EXPECT_NE(label.find("A64FX"), std::string::npos);
+}
+
+TEST(Config, ValidationCatchesOversubscription) {
+  ExperimentConfig cfg = small_ffvc(48, 2);
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = small_ffvc();
+  cfg.iterations = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = small_ffvc();
+  cfg.app.clear();
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+TEST(Runner, ProducesVerifiedPrediction) {
+  Runner runner;
+  const ExperimentResult res = runner.run(small_ffvc());
+  EXPECT_TRUE(res.verified);
+  EXPECT_GT(res.seconds(), 0.0);
+  EXPECT_GT(res.prediction.flops, 0.0);
+  EXPECT_FALSE(res.check_description.empty());
+  EXPECT_GT(res.power.watts, 0.0);
+}
+
+TEST(Runner, CachesNativeExecutions) {
+  Runner runner;
+  (void)runner.run(small_ffvc());
+  EXPECT_EQ(runner.native_runs(), 1u);
+
+  // Placement/compiler/processor variations re-use the cached trace...
+  ExperimentConfig cfg = small_ffvc();
+  cfg.bind = topo::ThreadBindPolicy::scatter();
+  (void)runner.run(cfg);
+  cfg = small_ffvc();
+  cfg.compile = cg::CompileOptions::as_is();
+  (void)runner.run(cfg);
+  cfg = small_ffvc();
+  cfg.processor = machine::thunderx2_dual();
+  (void)runner.run(cfg);
+  EXPECT_EQ(runner.native_runs(), 1u);
+
+  // ...but a different decomposition or dataset re-executes.
+  (void)runner.run(small_ffvc(4, 1));
+  EXPECT_EQ(runner.native_runs(), 2u);
+  cfg = small_ffvc();
+  cfg.dataset = apps::Dataset::kLarge;
+  (void)runner.run(cfg);
+  EXPECT_EQ(runner.native_runs(), 3u);
+}
+
+TEST(Runner, PlacementChangesOnlyPrediction) {
+  Runner runner;
+  const auto compact = runner.run(small_ffvc(2, 12));
+  ExperimentConfig cfg = small_ffvc(2, 12);
+  cfg.bind = topo::ThreadBindPolicy::scatter();
+  const auto scatter = runner.run(cfg);
+  EXPECT_EQ(compact.check_value, scatter.check_value);
+  EXPECT_NE(compact.seconds(), scatter.seconds());
+}
+
+TEST(Runner, ProcessorChangesPrediction) {
+  Runner runner;
+  const auto a64 = runner.run(small_ffvc());
+  ExperimentConfig cfg = small_ffvc();
+  cfg.processor = machine::skylake8168_dual();
+  const auto skx = runner.run(cfg);
+  EXPECT_NE(a64.seconds(), skx.seconds());
+}
+
+// ----- sweep helpers -----
+
+TEST(Sweep, MpiOmpCombinationsAreDivisorPairs) {
+  const auto combos = mpi_omp_combinations(48);
+  EXPECT_EQ(combos.front(), (std::pair<int, int>{48, 1}));
+  EXPECT_EQ(combos.back(), (std::pair<int, int>{1, 48}));
+  std::set<int> ranks_seen;
+  for (const auto& [p, t] : combos) {
+    EXPECT_EQ(p * t, 48);
+    EXPECT_TRUE(ranks_seen.insert(p).second);
+  }
+  EXPECT_EQ(combos.size(), 10u);  // divisors of 48
+}
+
+TEST(Sweep, MpiOmpCombinationsPrime) {
+  const auto combos = mpi_omp_combinations(7);
+  EXPECT_EQ(combos.size(), 2u);
+}
+
+TEST(Sweep, RepresentativeCombosValid) {
+  for (const auto& proc : machine::comparison_set()) {
+    const auto combos = representative_combos(proc);
+    EXPECT_GE(combos.size(), 3u);
+    std::set<std::pair<int, int>> unique(combos.begin(), combos.end());
+    EXPECT_EQ(unique.size(), combos.size());
+    for (const auto& [p, t] : combos) {
+      EXPECT_EQ(p * t, proc.cores()) << proc.name;
+    }
+    // Must include the all-MPI, per-NUMA and all-threads corner points.
+    EXPECT_TRUE(unique.count({proc.cores(), 1}));
+    EXPECT_TRUE(unique.count({1, proc.cores()}));
+    EXPECT_TRUE(unique.count(
+        {proc.shape.numa_per_node(), proc.cores() / proc.shape.numa_per_node()}));
+  }
+}
+
+TEST(Sweep, StridePoliciesStartCompactEndScatter) {
+  const auto policies = stride_policies(machine::a64fx().shape);
+  ASSERT_GE(policies.size(), 3u);
+  EXPECT_EQ(policies.front().name(), "compact");
+  EXPECT_EQ(policies.back().name(), "scatter");
+  // Every stride must divide the core count (binding_order precondition).
+  for (const auto& p : policies) {
+    EXPECT_EQ(48 % p.effective_stride(machine::a64fx().shape), 0);
+  }
+}
+
+TEST(Sweep, AllocPoliciesCoverTheEnum) {
+  EXPECT_EQ(alloc_policies().size(), 3u);
+}
+
+}  // namespace
+}  // namespace fibersim::core

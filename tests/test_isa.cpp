@@ -1,0 +1,171 @@
+// Unit and property tests for the ISA descriptors and WorkEstimate record.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "isa/vector_isa.hpp"
+#include "isa/work_estimate.hpp"
+
+namespace fibersim::isa {
+namespace {
+
+TEST(VectorIsa, LaneCounts) {
+  EXPECT_EQ(sve512().lanes(8), 8);
+  EXPECT_EQ(sve512().lanes(4), 16);
+  EXPECT_EQ(avx512().lanes(8), 8);
+  EXPECT_EQ(neon128().lanes(8), 2);
+  EXPECT_EQ(avx2_256().lanes(8), 4);
+}
+
+TEST(VectorIsa, PredicationFlags) {
+  EXPECT_TRUE(sve512().has_predication);
+  EXPECT_TRUE(avx512().has_predication);
+  EXPECT_FALSE(neon128().has_predication);
+  EXPECT_FALSE(avx2_256().has_predication);
+}
+
+TEST(VectorIsa, GatherSupport) {
+  EXPECT_GT(avx512().gather_lanes_per_cycle, sve512().gather_lanes_per_cycle - 1e-9);
+  EXPECT_EQ(neon128().gather_lanes_per_cycle, 0.0);
+}
+
+WorkEstimate sample(double flops = 100.0) {
+  WorkEstimate w;
+  w.flops = flops;
+  w.load_bytes = 800.0;
+  w.store_bytes = 80.0;
+  w.int_ops = 50.0;
+  w.branches = 10.0;
+  w.iterations = 25.0;
+  w.vectorizable_fraction = 0.8;
+  w.fma_fraction = 0.5;
+  w.dep_chain_ops = 1.0;
+  w.gather_fraction = 0.25;
+  w.branch_miss_rate = 0.1;
+  w.shared_access_fraction = 0.2;
+  w.working_set_bytes = 1000.0;
+  w.inner_trip_count = 16.0;
+  w.dram_traffic_bytes = 400.0;
+  return w;
+}
+
+TEST(WorkEstimate, ArithmeticIntensity) {
+  WorkEstimate w = sample();
+  EXPECT_DOUBLE_EQ(w.arithmetic_intensity(), 100.0 / 880.0);
+  WorkEstimate empty;
+  EXPECT_DOUBLE_EQ(empty.arithmetic_intensity(), 0.0);
+}
+
+TEST(WorkEstimate, ValidateAcceptsSample) { sample().validate(); }
+
+TEST(WorkEstimate, ValidateRejectsOutOfRange) {
+  WorkEstimate w = sample();
+  w.vectorizable_fraction = 1.1;
+  EXPECT_THROW(w.validate(), Error);
+  w = sample();
+  w.flops = -1.0;
+  EXPECT_THROW(w.validate(), Error);
+  w = sample();
+  w.dram_traffic_bytes = 1e9;  // exceeds total traffic
+  EXPECT_THROW(w.validate(), Error);
+  w = sample();
+  w.branch_miss_rate = -0.2;
+  EXPECT_THROW(w.validate(), Error);
+}
+
+TEST(WorkEstimate, MergeAddsCounts) {
+  WorkEstimate a = sample();
+  a.merge(sample());
+  EXPECT_DOUBLE_EQ(a.flops, 200.0);
+  EXPECT_DOUBLE_EQ(a.load_bytes, 1600.0);
+  EXPECT_DOUBLE_EQ(a.iterations, 50.0);
+  EXPECT_DOUBLE_EQ(a.dram_traffic_bytes, 800.0);
+}
+
+TEST(WorkEstimate, MergeIdenticalAnnotationsAreFixedPoints) {
+  WorkEstimate a = sample();
+  a.merge(sample());
+  EXPECT_NEAR(a.vectorizable_fraction, 0.8, 1e-12);
+  EXPECT_NEAR(a.fma_fraction, 0.5, 1e-12);
+  EXPECT_NEAR(a.gather_fraction, 0.25, 1e-12);
+  EXPECT_NEAR(a.dep_chain_ops, 1.0, 1e-12);
+}
+
+TEST(WorkEstimate, MergeWeightsByWork) {
+  WorkEstimate a = sample(100.0);
+  a.vectorizable_fraction = 1.0;
+  a.int_ops = 0.0;
+  WorkEstimate b = sample(300.0);
+  b.vectorizable_fraction = 0.0;
+  b.int_ops = 0.0;
+  a.merge(b);
+  EXPECT_NEAR(a.vectorizable_fraction, 0.25, 1e-12);
+}
+
+TEST(WorkEstimate, MergeIntoEmptyKeepsAnnotationsAndHint) {
+  // The critical regression case: a fresh phase record merged with a hinted
+  // integer-only kernel must keep both the vector fraction and the hint.
+  WorkEstimate empty;
+  WorkEstimate intwork;
+  intwork.int_ops = 1000.0;
+  intwork.load_bytes = 100.0;
+  intwork.vectorizable_fraction = 0.85;
+  intwork.dram_traffic_bytes = 50.0;
+  intwork.iterations = 10.0;
+  empty.merge(intwork);
+  EXPECT_NEAR(empty.vectorizable_fraction, 0.85, 1e-12);
+  EXPECT_DOUBLE_EQ(empty.dram_traffic_bytes, 50.0);
+}
+
+TEST(WorkEstimate, MergeUnhintedDropsHint) {
+  WorkEstimate a = sample();
+  WorkEstimate b = sample();
+  b.dram_traffic_bytes = -1.0;
+  a.merge(b);
+  EXPECT_LT(a.dram_traffic_bytes, 0.0);
+}
+
+class ScaleProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScaleProperty, ScalesCountsLinearly) {
+  const double s = GetParam();
+  const WorkEstimate w = sample().scaled(s);
+  EXPECT_DOUBLE_EQ(w.flops, 100.0 * s);
+  EXPECT_DOUBLE_EQ(w.load_bytes, 800.0 * s);
+  EXPECT_DOUBLE_EQ(w.store_bytes, 80.0 * s);
+  EXPECT_DOUBLE_EQ(w.int_ops, 50.0 * s);
+  EXPECT_DOUBLE_EQ(w.branches, 10.0 * s);
+  EXPECT_DOUBLE_EQ(w.iterations, 25.0 * s);
+  EXPECT_DOUBLE_EQ(w.dram_traffic_bytes, 400.0 * s);
+  // Annotations are invariant under scaling.
+  EXPECT_DOUBLE_EQ(w.vectorizable_fraction, 0.8);
+  EXPECT_DOUBLE_EQ(w.working_set_bytes, 1000.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, ScaleProperty,
+                         ::testing::Values(0.0, 0.25, 0.5, 1.0, 2.0, 16.0));
+
+TEST(WorkEstimate, ScaleRejectsNegative) {
+  EXPECT_THROW(sample().scaled(-1.0), Error);
+}
+
+TEST(WorkEstimate, SummaryMentionsKeyNumbers) {
+  const std::string s = sample().summary();
+  EXPECT_NE(s.find("flops"), std::string::npos);
+  EXPECT_NE(s.find("vec"), std::string::npos);
+}
+
+TEST(WorkEstimate, MergeAssociativityOfCounts) {
+  WorkEstimate ab = sample(10.0);
+  ab.merge(sample(20.0));
+  ab.merge(sample(30.0));
+  WorkEstimate bc = sample(20.0);
+  bc.merge(sample(30.0));
+  WorkEstimate a_bc = sample(10.0);
+  a_bc.merge(bc);
+  EXPECT_NEAR(ab.flops, a_bc.flops, 1e-12);
+  EXPECT_NEAR(ab.load_bytes, a_bc.load_bytes, 1e-9);
+  EXPECT_NEAR(ab.vectorizable_fraction, a_bc.vectorizable_fraction, 1e-12);
+}
+
+}  // namespace
+}  // namespace fibersim::isa

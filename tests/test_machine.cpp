@@ -1,0 +1,447 @@
+// Unit and property tests for the machine models: processor configs, cache
+// locality, execution, communication cost, power, roofline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "machine/comm_model.hpp"
+#include "machine/exec_model.hpp"
+#include "machine/memory_model.hpp"
+#include "machine/power_model.hpp"
+#include "machine/processor.hpp"
+#include "machine/roofline.hpp"
+
+namespace fibersim::machine {
+namespace {
+
+TEST(Processor, BuiltinsValidate) {
+  for (const auto& cfg : comparison_set()) {
+    EXPECT_NO_THROW(cfg.validate()) << cfg.name;
+  }
+}
+
+TEST(Processor, A64fxHeadlineNumbers) {
+  const ProcessorConfig cfg = a64fx();
+  EXPECT_EQ(cfg.cores(), 48);
+  EXPECT_EQ(cfg.shape.numa_per_node(), 4);
+  // 8 lanes x 2 pipes x 2 flops = 32 flop/cycle -> 3.072 TF at 2 GHz.
+  EXPECT_DOUBLE_EQ(cfg.vec_flops_per_cycle(), 32.0);
+  EXPECT_NEAR(cfg.peak_flops_node() * 1e-12, 3.072, 1e-9);
+  EXPECT_NEAR(cfg.node_mem_bw() * 1e-9, 1024.0, 1e-9);
+  EXPECT_NEAR(cfg.balance(), 3.0, 1e-9);
+}
+
+TEST(Processor, BroadwellReferencePoint) {
+  const ProcessorConfig cfg = broadwell_dual();
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_EQ(cfg.cores(), 36);
+  // AVX2: 4 lanes x 2 pipes x 2 = 16 flop/cycle.
+  EXPECT_DOUBLE_EQ(cfg.vec_flops_per_cycle(), 16.0);
+  EXPECT_EQ(extended_comparison_set().size(), comparison_set().size() + 1);
+}
+
+TEST(Processor, SkylakeAndTx2Shapes) {
+  EXPECT_EQ(skylake8168_dual().cores(), 48);
+  EXPECT_EQ(skylake8168_dual().shape.numa_per_node(), 2);
+  EXPECT_EQ(thunderx2_dual().cores(), 64);
+  // NEON 128-bit: 2 lanes x 2 pipes x 2 = 8 flop/cycle.
+  EXPECT_DOUBLE_EQ(thunderx2_dual().vec_flops_per_cycle(), 8.0);
+}
+
+TEST(Processor, PowerModes) {
+  const ProcessorConfig base = a64fx();
+  const ProcessorConfig boost = with_power_mode(base, PowerMode::kBoost);
+  EXPECT_NEAR(boost.freq_hz, 2.2e9, 1e3);
+  const ProcessorConfig eco = with_power_mode(base, PowerMode::kEco);
+  EXPECT_EQ(eco.fp_pipes, 1);
+  EXPECT_LT(eco.watts_per_core_active, base.watts_per_core_active);
+  // Non-A64FX processors ignore the modes.
+  const ProcessorConfig skx = with_power_mode(skylake8168_dual(), PowerMode::kBoost);
+  EXPECT_EQ(skx.freq_hz, skylake8168_dual().freq_hz);
+}
+
+TEST(Processor, ValidateCatchesBrokenConfigs) {
+  ProcessorConfig cfg = a64fx();
+  cfg.freq_hz = 0.0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = a64fx();
+  cfg.mem_overlap = 1.5;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = a64fx();
+  cfg.numa_mem_bw = 0.0;
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+// ----- locality classifier -----
+
+TEST(Locality, FitsInL1) {
+  const auto split = classify_locality(1000.0, a64fx());
+  EXPECT_DOUBLE_EQ(split.l1_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(split.mem_fraction, 0.0);
+}
+
+TEST(Locality, StreamingGoesToDram) {
+  const auto split = classify_locality(0.0, a64fx());
+  EXPECT_DOUBLE_EQ(split.mem_fraction, 1.0);
+}
+
+TEST(Locality, HugeWorkingSetIsMostlyDram) {
+  const auto split = classify_locality(1e9, a64fx());
+  EXPECT_GT(split.mem_fraction, 0.99);
+}
+
+TEST(Locality, FractionsSumToOne) {
+  for (double ws : {1.0, 1e3, 1e4, 1e5, 1e6, 1e7, 1e9}) {
+    const auto split = classify_locality(ws, a64fx());
+    EXPECT_NEAR(split.l1_fraction + split.l2_fraction + split.mem_fraction, 1.0,
+                1e-12)
+        << "ws=" << ws;
+    EXPECT_GE(split.l1_fraction, 0.0);
+    EXPECT_GE(split.l2_fraction, 0.0);
+    EXPECT_GE(split.mem_fraction, 0.0);
+  }
+}
+
+TEST(Locality, MemFractionMonotoneInWorkingSet) {
+  double prev = 0.0;
+  for (double ws = 1e3; ws < 1e9; ws *= 2.0) {
+    const double mem = classify_locality(ws, a64fx()).mem_fraction;
+    EXPECT_GE(mem, prev - 1e-12);
+    prev = mem;
+  }
+}
+
+TEST(Locality, CacheTransferSeconds) {
+  const ProcessorConfig cfg = a64fx();
+  EXPECT_DOUBLE_EQ(cache_transfer_seconds(0.0, cfg.l1, cfg.freq_hz), 0.0);
+  const double t = cache_transfer_seconds(1280.0, cfg.l1, cfg.freq_hz);
+  EXPECT_NEAR(t, 10.0 / cfg.freq_hz, 1e-18);
+}
+
+// ----- execution model -----
+
+isa::WorkEstimate vec_work() {
+  isa::WorkEstimate w;
+  w.flops = 3.2e6;
+  w.load_bytes = 1e6;
+  w.iterations = 1e5;
+  w.vectorizable_fraction = 1.0;
+  w.fma_fraction = 1.0;
+  w.inner_trip_count = 1024.0;
+  w.working_set_bytes = 1e4;
+  return w;
+}
+
+TEST(ExecModel, VectorPeakIsApproached) {
+  const ExecModel model(a64fx());
+  const double cycles = model.compute_cycles(vec_work());
+  // 3.2e6 flops at 32 flop/cycle = 1e5 cycles (up to lane-tail effects).
+  EXPECT_NEAR(cycles, 1e5, 5e3);
+}
+
+TEST(ExecModel, ScalarCodeIsMuchSlower) {
+  const ExecModel model(a64fx());
+  isa::WorkEstimate w = vec_work();
+  w.vectorizable_fraction = 0.0;
+  EXPECT_GT(model.compute_cycles(w), 10.0 * model.compute_cycles(vec_work()));
+}
+
+TEST(ExecModel, ComputeCyclesMonotoneInVectorFraction) {
+  const ExecModel model(a64fx());
+  double prev = 1e18;
+  for (double vf : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    isa::WorkEstimate w = vec_work();
+    w.vectorizable_fraction = vf;
+    const double c = model.compute_cycles(w);
+    EXPECT_LE(c, prev + 1e-9);
+    prev = c;
+  }
+}
+
+TEST(ExecModel, ChainBoundsCompute) {
+  const ExecModel model(a64fx());
+  isa::WorkEstimate w = vec_work();
+  w.dep_chain_ops = 4.0;
+  w.vectorizable_fraction = 0.0;
+  const double chain = model.chain_cycles(w);
+  EXPECT_DOUBLE_EQ(chain, 1e5 * 4.0 * 9.0);
+  EXPECT_GE(model.compute_cycles(w), chain);
+}
+
+TEST(ExecModel, VectorizationShortensChain) {
+  const ExecModel model(a64fx());
+  isa::WorkEstimate w = vec_work();
+  w.dep_chain_ops = 2.0;
+  const double vec_chain = model.chain_cycles(w);
+  w.vectorizable_fraction = 0.0;
+  EXPECT_GT(model.chain_cycles(w), 5.0 * vec_chain);
+}
+
+TEST(ExecModel, GatherPenalisesA64fxMoreThanSkylake) {
+  isa::WorkEstimate w = vec_work();
+  w.gather_fraction = 0.8;
+  const double a64 = ExecModel(a64fx()).compute_cycles(w) /
+                     ExecModel(a64fx()).compute_cycles(vec_work());
+  const double skx = ExecModel(skylake8168_dual()).compute_cycles(w) /
+                     ExecModel(skylake8168_dual()).compute_cycles(vec_work());
+  EXPECT_GT(a64, skx);
+}
+
+TEST(ExecModel, BranchMissesCost) {
+  const ExecModel model(a64fx());
+  isa::WorkEstimate w = vec_work();
+  w.branches = 1e5;
+  w.branch_miss_rate = 0.2;
+  EXPECT_GT(model.compute_cycles(w), model.compute_cycles(vec_work()));
+}
+
+TEST(ExecModel, ShortTripCountsHurtWithoutPredication) {
+  isa::WorkEstimate w = vec_work();
+  w.inner_trip_count = 3.0;  // less than half a NEON... and a 8-lane vector
+  const double tx2_short = ExecModel(thunderx2_dual()).compute_cycles(w);
+  const double tx2_long = ExecModel(thunderx2_dual()).compute_cycles(vec_work());
+  EXPECT_GT(tx2_short, 1.2 * tx2_long);
+}
+
+TEST(ExecModel, BarrierGrowsWithSizeAndSpan) {
+  const ExecModel model(a64fx());
+  EXPECT_EQ(model.barrier_seconds(1, topo::Distance::kSameNuma), 0.0);
+  const double t2 = model.barrier_seconds(2, topo::Distance::kSameNuma);
+  const double t12 = model.barrier_seconds(12, topo::Distance::kSameNuma);
+  const double t12x = model.barrier_seconds(12, topo::Distance::kSameSocket);
+  EXPECT_GT(t12, t2);
+  EXPECT_GT(t12x, t12);
+}
+
+std::vector<ThreadWork> uniform_job(int threads_total, int per_numa,
+                                    double dram_bytes_each) {
+  std::vector<ThreadWork> job;
+  for (int t = 0; t < threads_total; ++t) {
+    ThreadWork tw;
+    tw.work.flops = 1e5;
+    tw.work.load_bytes = dram_bytes_each;
+    tw.work.vectorizable_fraction = 1.0;
+    tw.work.iterations = 1e4;
+    tw.work.dram_traffic_bytes = dram_bytes_each;
+    tw.numa = t / per_numa;
+    tw.home_numa = t / per_numa;
+    tw.rank = t;
+    tw.team_size = 1;
+    job.push_back(tw);
+  }
+  return job;
+}
+
+TEST(ExecModel, MemoryChannelContention) {
+  const ExecModel model(a64fx());
+  // 12 threads streaming 1 MB each from one CMG vs spread over 4 CMGs.
+  auto packed = uniform_job(12, 12, 1e6);
+  auto spread = uniform_job(12, 3, 1e6);
+  const PhaseTime t_packed = model.evaluate_phase(packed);
+  const PhaseTime t_spread = model.evaluate_phase(spread);
+  EXPECT_GT(t_packed.memory_s, 3.0 * t_spread.memory_s);
+  EXPECT_NEAR(t_packed.memory_s, 12e6 / 256e9, 1e-7);
+}
+
+TEST(ExecModel, RemoteTrafficChargedToHomeAndInterconnect) {
+  const ExecModel model(a64fx());
+  auto job = uniform_job(12, 3, 1e6);
+  for (auto& tw : job) {
+    tw.work.shared_access_fraction = 1.0;
+    tw.home_numa = 0;  // all shared data homed in CMG 0
+  }
+  const PhaseTime t = model.evaluate_phase(job);
+  EXPECT_GT(t.remote_bytes, 8e6);  // 9 threads off-home
+  // All 12 MB now through CMG0's HBM (and the ring for 9 MB).
+  EXPECT_GE(t.memory_s, 12e6 / 256e9 * 0.99);
+}
+
+TEST(ExecModel, PhaseTotalRespectsOverlapBounds) {
+  const ExecModel model(a64fx());
+  const auto job = uniform_job(4, 1, 5e6);
+  const PhaseTime t = model.evaluate_phase(job);
+  EXPECT_GE(t.total_s, std::max(t.compute_s, t.memory_s));
+  EXPECT_LE(t.total_s,
+            t.compute_s + t.memory_s + t.barrier_s + 1e-12);
+}
+
+TEST(ExecModel, EmptyPhaseRejected) {
+  const ExecModel model(a64fx());
+  EXPECT_THROW(model.evaluate_phase({}), Error);
+}
+
+TEST(ExecModel, FlopsAggregated) {
+  const ExecModel model(a64fx());
+  const auto job = uniform_job(8, 2, 1e5);
+  EXPECT_DOUBLE_EQ(model.evaluate_phase(job).flops, 8e5);
+}
+
+TEST(ExecModel, LimiterClassification) {
+  const ExecModel model(a64fx());
+  // Memory limited: huge streaming traffic, little compute.
+  {
+    std::vector<ThreadWork> job(4);
+    for (auto& tw : job) {
+      tw.work.flops = 1e3;
+      tw.work.load_bytes = 1e8;
+      tw.work.dram_traffic_bytes = 1e8;
+      tw.work.vectorizable_fraction = 1.0;
+      tw.work.iterations = 100.0;
+    }
+    EXPECT_EQ(model.evaluate_phase(job).limiter, Limiter::kMemory);
+  }
+  // Chain limited: long recurrence, no traffic.
+  {
+    std::vector<ThreadWork> job(1);
+    job[0].work.flops = 1e5;
+    job[0].work.iterations = 1e5;
+    job[0].work.dep_chain_ops = 8.0;
+    job[0].work.vectorizable_fraction = 0.0;
+    const PhaseTime t = model.evaluate_phase(job);
+    EXPECT_EQ(t.limiter, Limiter::kChain);
+  }
+  // Barrier limited: trivial work, wide cross-CMG team.
+  {
+    std::vector<ThreadWork> job(2);
+    for (auto& tw : job) {
+      tw.work.flops = 1.0;
+      tw.work.iterations = 1.0;
+      tw.team_size = 48;
+      tw.team_span = topo::Distance::kSameSocket;
+    }
+    EXPECT_EQ(model.evaluate_phase(job).limiter, Limiter::kBarrier);
+  }
+}
+
+TEST(ExecModel, LaneUtilizationViaTripCounts) {
+  const ExecModel model(a64fx());
+  // Predicated ISA: trip 9 on 8 lanes issues 2 vectors for 9 lanes of work.
+  isa::WorkEstimate w = vec_work();
+  w.inner_trip_count = 9.0;
+  const double c9 = model.compute_cycles(w);
+  w.inner_trip_count = 16.0;
+  const double c16 = model.compute_cycles(w);
+  EXPECT_GT(c9, 1.5 * c16);
+  // Exact multiples of the lane count are fully utilised.
+  w.inner_trip_count = 8.0;
+  EXPECT_NEAR(model.compute_cycles(w), c16, c16 * 0.01);
+}
+
+// ----- communication model -----
+
+TEST(CommModel, LatencyMonotoneInDistance) {
+  const CommCostModel model(a64fx());
+  double prev = 0.0;
+  for (auto d : {topo::Distance::kSameNuma, topo::Distance::kSameSocket,
+                 topo::Distance::kRemoteNode}) {
+    const double lat = model.latency_seconds(d);
+    EXPECT_GT(lat, prev);
+    prev = lat;
+  }
+}
+
+TEST(CommModel, BandwidthMonotoneInDistance) {
+  const CommCostModel model(a64fx());
+  EXPECT_GE(model.bandwidth(topo::Distance::kSameNuma),
+            model.bandwidth(topo::Distance::kSameSocket));
+  EXPECT_GE(model.bandwidth(topo::Distance::kSameSocket),
+            model.bandwidth(topo::Distance::kRemoteNode));
+}
+
+TEST(CommModel, MessageCostComposition) {
+  const CommCostModel model(a64fx());
+  const double lat = model.latency_seconds(topo::Distance::kSameSocket);
+  const double one = model.message_seconds(1e6, topo::Distance::kSameSocket);
+  EXPECT_NEAR(one - lat, 1e6 / model.bandwidth(topo::Distance::kSameSocket),
+              1e-12);
+}
+
+TEST(CommModel, CollectiveLogRounds) {
+  const CommCostModel model(a64fx());
+  const double c2 = model.collective_seconds(2, 8, topo::Distance::kSameNuma);
+  const double c16 = model.collective_seconds(16, 8, topo::Distance::kSameNuma);
+  EXPECT_NEAR(c16, 4.0 * c2, 1e-12);
+  EXPECT_EQ(model.collective_seconds(1, 8, topo::Distance::kSameNuma), 0.0);
+}
+
+TEST(CommModel, AlltoallScalesWithRanks) {
+  const CommCostModel model(a64fx());
+  const double a4 = model.alltoall_seconds(4, 1e6, topo::Distance::kSameSocket);
+  const double a8 = model.alltoall_seconds(8, 1e6, topo::Distance::kSameSocket);
+  EXPECT_GT(a8, 1.5 * a4);
+}
+
+// ----- power model -----
+
+TEST(Power, ComponentsAddUp) {
+  const ProcessorConfig cfg = a64fx();
+  const double idle = phase_watts(cfg, 0, 0.0, cfg.freq_hz);
+  EXPECT_DOUBLE_EQ(idle, cfg.watts_base);
+  const double full = phase_watts(cfg, 48, 0.0, cfg.freq_hz);
+  EXPECT_NEAR(full, cfg.watts_base + 48 * cfg.watts_per_core_active, 1e-9);
+  EXPECT_GT(phase_watts(cfg, 48, 1e11, cfg.freq_hz), full);
+}
+
+TEST(Power, BoostDrawsSuperlinearPower) {
+  const ProcessorConfig boost = with_power_mode(a64fx(), PowerMode::kBoost);
+  const double normal = phase_watts(a64fx(), 48, 0.0, a64fx().freq_hz);
+  const double boosted = phase_watts(boost, 48, 0.0, a64fx().freq_hz);
+  // 10% clock -> more than 10% core power (exponent > 1).
+  EXPECT_GT((boosted - boost.watts_base) / (normal - a64fx().watts_base), 1.1);
+}
+
+TEST(Power, EstimateComputesEnergyAndEfficiency) {
+  PhaseTime phase;
+  phase.total_s = 2.0;
+  phase.flops = 1e12;
+  phase.dram_bytes = 1e11;
+  const PowerEstimate est = estimate_power(a64fx(), phase, 48, a64fx().freq_hz);
+  EXPECT_NEAR(est.joules, est.watts * 2.0, 1e-9);
+  EXPECT_NEAR(est.gflops_per_watt, 1e12 * 1e-9 / 2.0 / est.watts, 1e-9);
+}
+
+TEST(Power, RejectsBadCoreCount) {
+  EXPECT_THROW(phase_watts(a64fx(), 49, 0.0, 2e9), Error);
+  EXPECT_THROW(phase_watts(a64fx(), -1, 0.0, 2e9), Error);
+}
+
+// ----- roofline -----
+
+TEST(Roofline, KneeAndAttainable) {
+  const ProcessorConfig cfg = a64fx();
+  const double knee = knee_intensity(cfg);
+  EXPECT_NEAR(knee, 3.0, 1e-9);
+  EXPECT_NEAR(attainable_gflops(cfg, knee), cfg.peak_flops_node() * 1e-9, 1e-6);
+  EXPECT_NEAR(attainable_gflops(cfg, knee / 2.0),
+              cfg.peak_flops_node() * 1e-9 / 2.0, 1e-6);
+  EXPECT_DOUBLE_EQ(attainable_gflops(cfg, 100.0), cfg.peak_flops_node() * 1e-9);
+}
+
+TEST(Roofline, PointClassification) {
+  const ProcessorConfig cfg = a64fx();
+  isa::WorkEstimate w;
+  w.flops = 1.0;
+  w.load_bytes = 10.0;  // AI 0.1 -> memory bound
+  const RooflinePoint p = make_point(cfg, "x", w, 50.0);
+  EXPECT_TRUE(p.memory_bound);
+  isa::WorkEstimate c;
+  c.flops = 100.0;
+  c.load_bytes = 1.0;
+  EXPECT_FALSE(make_point(cfg, "y", c, 50.0).memory_bound);
+}
+
+TEST(Roofline, AsciiRenderContainsPointsAndLegend) {
+  const ProcessorConfig cfg = a64fx();
+  isa::WorkEstimate w;
+  w.flops = 1.0;
+  w.load_bytes = 2.0;
+  const std::string fig =
+      render_ascii(cfg, {make_point(cfg, "alpha", w, 100.0)});
+  EXPECT_NE(fig.find("alpha"), std::string::npos);
+  EXPECT_NE(fig.find("a:"), std::string::npos);
+  EXPECT_NE(fig.find("roofline"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fibersim::machine

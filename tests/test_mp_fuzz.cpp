@@ -1,0 +1,138 @@
+// Randomised (seeded, deterministic) differential tests of the collectives:
+// every result is checked against an independently computed serial
+// reference, across random payload sizes, rank counts and value patterns.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mp/job.hpp"
+
+namespace fibersim::mp {
+namespace {
+
+/// Deterministic per-(seed, rank, index) payload value.
+double element(std::uint64_t seed, int rank, std::size_t index) {
+  Xoshiro256 rng(seed, static_cast<std::uint64_t>(rank) * 1000003 + index);
+  return rng.uniform(-100.0, 100.0);
+}
+
+class CollectiveFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CollectiveFuzz, AllreduceMatchesSerialReference) {
+  const std::uint64_t seed = GetParam();
+  Xoshiro256 shape_rng(seed, 999);
+  const int ranks = 1 + static_cast<int>(shape_rng.bounded(9));
+  const std::size_t len = 1 + shape_rng.bounded(257);
+
+  std::vector<double> expected(len, 0.0);
+  for (int r = 0; r < ranks; ++r) {
+    for (std::size_t i = 0; i < len; ++i) expected[i] += element(seed, r, i);
+  }
+
+  Job::run(ranks, [&](Comm& comm) {
+    std::vector<double> data(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      data[i] = element(seed, comm.rank(), i);
+    }
+    comm.allreduce_sum(std::span<double>(data));
+    for (std::size_t i = 0; i < len; ++i) {
+      ASSERT_NEAR(data[i], expected[i], 1e-9) << "rank " << comm.rank()
+                                              << " index " << i;
+    }
+  });
+}
+
+TEST_P(CollectiveFuzz, BcastDeliversRootPayloadUnchanged) {
+  const std::uint64_t seed = GetParam();
+  Xoshiro256 shape_rng(seed, 777);
+  const int ranks = 1 + static_cast<int>(shape_rng.bounded(8));
+  const std::size_t len = 1 + shape_rng.bounded(500);
+  const int root = static_cast<int>(shape_rng.bounded(
+      static_cast<std::uint64_t>(ranks)));
+
+  Job::run(ranks, [&](Comm& comm) {
+    std::vector<double> data(len, 0.0);
+    if (comm.rank() == root) {
+      for (std::size_t i = 0; i < len; ++i) data[i] = element(seed, root, i);
+    }
+    comm.bcast(std::span<double>(data), root);
+    for (std::size_t i = 0; i < len; ++i) {
+      ASSERT_DOUBLE_EQ(data[i], element(seed, root, i));
+    }
+  });
+}
+
+TEST_P(CollectiveFuzz, AllgatherAssemblesEveryBlockInOrder) {
+  const std::uint64_t seed = GetParam();
+  Xoshiro256 shape_rng(seed, 555);
+  const int ranks = 1 + static_cast<int>(shape_rng.bounded(7));
+  const std::size_t block = 1 + shape_rng.bounded(100);
+
+  Job::run(ranks, [&](Comm& comm) {
+    std::vector<double> mine(block);
+    for (std::size_t i = 0; i < block; ++i) {
+      mine[i] = element(seed, comm.rank(), i);
+    }
+    std::vector<double> all(block * static_cast<std::size_t>(ranks), -1.0);
+    comm.allgather_bytes(mine.data(), block * sizeof(double), all.data());
+    for (int r = 0; r < ranks; ++r) {
+      for (std::size_t i = 0; i < block; ++i) {
+        ASSERT_DOUBLE_EQ(all[static_cast<std::size_t>(r) * block + i],
+                         element(seed, r, i));
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveFuzz, ReduceToEveryRootMatches) {
+  const std::uint64_t seed = GetParam();
+  Xoshiro256 shape_rng(seed, 333);
+  const int ranks = 2 + static_cast<int>(shape_rng.bounded(6));
+  const std::size_t len = 1 + shape_rng.bounded(64);
+
+  std::vector<double> expected(len, 0.0);
+  for (int r = 0; r < ranks; ++r) {
+    for (std::size_t i = 0; i < len; ++i) expected[i] += element(seed, r, i);
+  }
+  for (int root = 0; root < ranks; ++root) {
+    Job::run(ranks, [&](Comm& comm) {
+      std::vector<double> data(len);
+      for (std::size_t i = 0; i < len; ++i) {
+        data[i] = element(seed, comm.rank(), i);
+      }
+      comm.reduce_sum(std::span<double>(data), root);
+      if (comm.rank() == root) {
+        for (std::size_t i = 0; i < len; ++i) {
+          ASSERT_NEAR(data[i], expected[i], 1e-9);
+        }
+      }
+    });
+  }
+}
+
+TEST_P(CollectiveFuzz, AlltoallTransposesBlocks) {
+  const std::uint64_t seed = GetParam();
+  Xoshiro256 shape_rng(seed, 111);
+  const int ranks = 1 + static_cast<int>(shape_rng.bounded(6));
+
+  Job::run(ranks, [&](Comm& comm) {
+    std::vector<double> send(static_cast<std::size_t>(ranks));
+    for (int j = 0; j < ranks; ++j) {
+      send[static_cast<std::size_t>(j)] =
+          element(seed, comm.rank(), static_cast<std::size_t>(j));
+    }
+    std::vector<double> recv(static_cast<std::size_t>(ranks), -1.0);
+    comm.alltoall_bytes(send.data(), sizeof(double), recv.data());
+    for (int i = 0; i < ranks; ++i) {
+      ASSERT_DOUBLE_EQ(recv[static_cast<std::size_t>(i)],
+                       element(seed, i, static_cast<std::size_t>(comm.rank())));
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollectiveFuzz,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace fibersim::mp

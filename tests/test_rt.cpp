@@ -1,0 +1,183 @@
+// Unit and property tests for the thread-team runtime.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "rt/thread_team.hpp"
+
+namespace fibersim::rt {
+namespace {
+
+TEST(Team, SizeOneRunsInline) {
+  ThreadTeam team(1);
+  int hits = 0;
+  team.parallel([&](int tid) {
+    EXPECT_EQ(tid, 0);
+    ++hits;
+  });
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(Team, EveryThreadRunsOnce) {
+  ThreadTeam team(4);
+  std::vector<std::atomic<int>> hits(4);
+  team.parallel([&](int tid) { hits[static_cast<std::size_t>(tid)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Team, ReusableAcrossRegions) {
+  ThreadTeam team(3);
+  std::atomic<int> total{0};
+  for (int r = 0; r < 50; ++r) {
+    team.parallel([&](int) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 150);
+  EXPECT_EQ(team.regions_executed(), 50u);
+}
+
+TEST(Team, ExceptionPropagatesAfterJoin) {
+  ThreadTeam team(4);
+  EXPECT_THROW(team.parallel([&](int tid) {
+                 if (tid == 2) throw Error("worker failure");
+               }),
+               Error);
+  // The team must still be usable afterwards.
+  std::atomic<int> ok{0};
+  team.parallel([&](int) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(Team, RejectsBadSizes) {
+  EXPECT_THROW(ThreadTeam(0), Error);
+  EXPECT_THROW(ThreadTeam(-2), Error);
+}
+
+TEST(Team, BarrierSynchronisesPhases) {
+  ThreadTeam team(4);
+  std::vector<int> stage_a(4, 0);
+  std::atomic<int> violations{0};
+  team.parallel([&](int tid) {
+    stage_a[static_cast<std::size_t>(tid)] = 1;
+    team.barrier();
+    for (int v : stage_a) {
+      if (v != 1) violations.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(Team, BarrierReusableManyTimes) {
+  ThreadTeam team(3);
+  std::atomic<int> counter{0};
+  team.parallel([&](int) {
+    for (int i = 0; i < 20; ++i) {
+      counter.fetch_add(1);
+      team.barrier();
+    }
+  });
+  EXPECT_EQ(counter.load(), 60);
+}
+
+// ----- parallel_for coverage: every index exactly once, any schedule -----
+
+struct ForCase {
+  int team;
+  std::int64_t begin;
+  std::int64_t end;
+  Schedule schedule;
+  std::int64_t chunk;
+};
+
+class ParallelForCoverage : public ::testing::TestWithParam<ForCase> {};
+
+TEST_P(ParallelForCoverage, EachIndexExactlyOnce) {
+  const ForCase c = GetParam();
+  ThreadTeam team(c.team);
+  const auto n = static_cast<std::size_t>(c.end - c.begin);
+  std::vector<std::atomic<int>> hits(n);
+  team.parallel_for(c.begin, c.end, c.schedule, c.chunk,
+                    [&](std::int64_t lo, std::int64_t hi, int tid) {
+                      EXPECT_GE(tid, 0);
+                      EXPECT_LT(tid, c.team);
+                      EXPECT_LE(c.begin, lo);
+                      EXPECT_LE(hi, c.end);
+                      for (std::int64_t i = lo; i < hi; ++i) {
+                        hits[static_cast<std::size_t>(i - c.begin)]++;
+                      }
+                    });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParallelForCoverage,
+    ::testing::Values(ForCase{1, 0, 100, Schedule::kStatic, 0},
+                      ForCase{4, 0, 100, Schedule::kStatic, 0},
+                      ForCase{4, 0, 100, Schedule::kStatic, 7},
+                      ForCase{4, 0, 3, Schedule::kStatic, 0},
+                      ForCase{3, 5, 104, Schedule::kStatic, 0},
+                      ForCase{4, 0, 100, Schedule::kDynamic, 0},
+                      ForCase{4, 0, 100, Schedule::kDynamic, 3},
+                      ForCase{2, -10, 35, Schedule::kDynamic, 1},
+                      ForCase{4, 0, 100, Schedule::kGuided, 0},
+                      ForCase{8, 0, 1000, Schedule::kGuided, 5},
+                      ForCase{4, 0, 0, Schedule::kStatic, 0},
+                      ForCase{5, 7, 8, Schedule::kGuided, 0}));
+
+TEST(ParallelFor, RejectsInvertedRange) {
+  ThreadTeam team(2);
+  EXPECT_THROW(team.parallel_for(5, 2, Schedule::kStatic, 0,
+                                 [](std::int64_t, std::int64_t, int) {}),
+               Error);
+}
+
+TEST(ParallelFor, StaticDefaultGivesContiguousBalancedBlocks) {
+  ThreadTeam team(4);
+  std::vector<std::pair<std::int64_t, std::int64_t>> blocks(4, {-1, -1});
+  team.parallel_for(0, 10, Schedule::kStatic, 0,
+                    [&](std::int64_t lo, std::int64_t hi, int tid) {
+                      blocks[static_cast<std::size_t>(tid)] = {lo, hi};
+                    });
+  // 10 over 4: 3,3,2,2.
+  EXPECT_EQ(blocks[0], (std::pair<std::int64_t, std::int64_t>{0, 3}));
+  EXPECT_EQ(blocks[1], (std::pair<std::int64_t, std::int64_t>{3, 6}));
+  EXPECT_EQ(blocks[2], (std::pair<std::int64_t, std::int64_t>{6, 8}));
+  EXPECT_EQ(blocks[3], (std::pair<std::int64_t, std::int64_t>{8, 10}));
+}
+
+TEST(Reduce, MatchesSerialSum) {
+  ThreadTeam team(4);
+  const double got = team.parallel_reduce_sum(
+      1, 1001, [](std::int64_t i) { return static_cast<double>(i); });
+  EXPECT_DOUBLE_EQ(got, 500500.0);
+}
+
+TEST(Reduce, EmptyRangeIsZero) {
+  ThreadTeam team(3);
+  EXPECT_DOUBLE_EQ(
+      team.parallel_reduce_sum(5, 5, [](std::int64_t) { return 1.0; }), 0.0);
+}
+
+TEST(Reduce, NonTrivialTerms) {
+  ThreadTeam team(5);
+  const double got = team.parallel_reduce_sum(0, 200, [](std::int64_t i) {
+    return 1.0 / static_cast<double>(i + 1);
+  });
+  double want = 0.0;
+  for (int i = 0; i < 200; ++i) want += 1.0 / (i + 1);
+  EXPECT_NEAR(got, want, 1e-9);
+}
+
+TEST(Schedule, Names) {
+  EXPECT_STREQ(schedule_name(Schedule::kStatic), "static");
+  EXPECT_STREQ(schedule_name(Schedule::kDynamic), "dynamic");
+  EXPECT_STREQ(schedule_name(Schedule::kGuided), "guided");
+}
+
+}  // namespace
+}  // namespace fibersim::rt

@@ -1,0 +1,13 @@
+// The fibersim command-line tool: run experiments and regenerate the
+// paper's tables/figures from a shell. All logic lives in core/cli.cpp so
+// it is unit-testable; this file only adapts main().
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  return fibersim::core::cli_main(args, std::cout, std::cerr);
+}
