@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cmg_penalty.dir/abl_cmg_penalty.cpp.o"
+  "CMakeFiles/abl_cmg_penalty.dir/abl_cmg_penalty.cpp.o.d"
+  "abl_cmg_penalty"
+  "abl_cmg_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cmg_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

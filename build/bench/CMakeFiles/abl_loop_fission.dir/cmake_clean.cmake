@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_loop_fission.dir/abl_loop_fission.cpp.o"
+  "CMakeFiles/abl_loop_fission.dir/abl_loop_fission.cpp.o.d"
+  "abl_loop_fission"
+  "abl_loop_fission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_loop_fission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

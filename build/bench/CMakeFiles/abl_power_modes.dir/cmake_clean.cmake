@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_power_modes.dir/abl_power_modes.cpp.o"
+  "CMakeFiles/abl_power_modes.dir/abl_power_modes.cpp.o.d"
+  "abl_power_modes"
+  "abl_power_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_power_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_vector_length.dir/abl_vector_length.cpp.o"
+  "CMakeFiles/abl_vector_length.dir/abl_vector_length.cpp.o.d"
+  "abl_vector_length"
+  "abl_vector_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_vector_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_mpi_omp.dir/fig_mpi_omp.cpp.o"
+  "CMakeFiles/fig_mpi_omp.dir/fig_mpi_omp.cpp.o.d"
+  "fig_mpi_omp"
+  "fig_mpi_omp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_mpi_omp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

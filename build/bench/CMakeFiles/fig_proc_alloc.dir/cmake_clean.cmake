@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_proc_alloc.dir/fig_proc_alloc.cpp.o"
+  "CMakeFiles/fig_proc_alloc.dir/fig_proc_alloc.cpp.o.d"
+  "fig_proc_alloc"
+  "fig_proc_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_proc_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_proc_alloc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_processor_compare.dir/fig_processor_compare.cpp.o"
+  "CMakeFiles/fig_processor_compare.dir/fig_processor_compare.cpp.o.d"
+  "fig_processor_compare"
+  "fig_processor_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_processor_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

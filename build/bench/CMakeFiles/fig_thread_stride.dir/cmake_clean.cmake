@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_thread_stride.dir/fig_thread_stride.cpp.o"
+  "CMakeFiles/fig_thread_stride.dir/fig_thread_stride.cpp.o.d"
+  "fig_thread_stride"
+  "fig_thread_stride.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_thread_stride.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_thread_stride.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab_compiler_tuning.cpp" "bench/CMakeFiles/tab_compiler_tuning.dir/tab_compiler_tuning.cpp.o" "gcc" "bench/CMakeFiles/tab_compiler_tuning.dir/tab_compiler_tuning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fibersim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/miniapps/CMakeFiles/fibersim_miniapps.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/fibersim_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fibersim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/fibersim_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/fibersim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/cg/CMakeFiles/fibersim_cg.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/fibersim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/fibersim_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fibersim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

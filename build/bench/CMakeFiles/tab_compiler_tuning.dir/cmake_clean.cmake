@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_compiler_tuning.dir/tab_compiler_tuning.cpp.o"
+  "CMakeFiles/tab_compiler_tuning.dir/tab_compiler_tuning.cpp.o.d"
+  "tab_compiler_tuning"
+  "tab_compiler_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_compiler_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_machines.dir/tab_machines.cpp.o"
+  "CMakeFiles/tab_machines.dir/tab_machines.cpp.o.d"
+  "tab_machines"
+  "tab_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_mpi_omp.dir/tab_mpi_omp.cpp.o"
+  "CMakeFiles/tab_mpi_omp.dir/tab_mpi_omp.cpp.o.d"
+  "tab_mpi_omp"
+  "tab_mpi_omp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_mpi_omp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_phase_breakdown.dir/tab_phase_breakdown.cpp.o"
+  "CMakeFiles/tab_phase_breakdown.dir/tab_phase_breakdown.cpp.o.d"
+  "tab_phase_breakdown"
+  "tab_phase_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_phase_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_processor.dir/custom_processor.cpp.o"
+  "CMakeFiles/custom_processor.dir/custom_processor.cpp.o.d"
+  "custom_processor"
+  "custom_processor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_processor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/new_miniapp.dir/new_miniapp.cpp.o"
+  "CMakeFiles/new_miniapp.dir/new_miniapp.cpp.o.d"
+  "new_miniapp"
+  "new_miniapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/new_miniapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

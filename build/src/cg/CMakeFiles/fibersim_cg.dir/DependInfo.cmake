@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cg/codegen_model.cpp" "src/cg/CMakeFiles/fibersim_cg.dir/codegen_model.cpp.o" "gcc" "src/cg/CMakeFiles/fibersim_cg.dir/codegen_model.cpp.o.d"
+  "/root/repo/src/cg/compile_options.cpp" "src/cg/CMakeFiles/fibersim_cg.dir/compile_options.cpp.o" "gcc" "src/cg/CMakeFiles/fibersim_cg.dir/compile_options.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fibersim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/fibersim_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fibersim_cg.dir/codegen_model.cpp.o"
+  "CMakeFiles/fibersim_cg.dir/codegen_model.cpp.o.d"
+  "CMakeFiles/fibersim_cg.dir/compile_options.cpp.o"
+  "CMakeFiles/fibersim_cg.dir/compile_options.cpp.o.d"
+  "libfibersim_cg.a"
+  "libfibersim_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fibersim_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fibersim_common.dir/barchart.cpp.o"
+  "CMakeFiles/fibersim_common.dir/barchart.cpp.o.d"
+  "CMakeFiles/fibersim_common.dir/error.cpp.o"
+  "CMakeFiles/fibersim_common.dir/error.cpp.o.d"
+  "CMakeFiles/fibersim_common.dir/log.cpp.o"
+  "CMakeFiles/fibersim_common.dir/log.cpp.o.d"
+  "CMakeFiles/fibersim_common.dir/stats.cpp.o"
+  "CMakeFiles/fibersim_common.dir/stats.cpp.o.d"
+  "CMakeFiles/fibersim_common.dir/string_util.cpp.o"
+  "CMakeFiles/fibersim_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/fibersim_common.dir/table.cpp.o"
+  "CMakeFiles/fibersim_common.dir/table.cpp.o.d"
+  "libfibersim_common.a"
+  "libfibersim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fibersim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

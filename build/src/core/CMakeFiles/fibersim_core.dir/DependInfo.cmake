@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cli.cpp" "src/core/CMakeFiles/fibersim_core.dir/cli.cpp.o" "gcc" "src/core/CMakeFiles/fibersim_core.dir/cli.cpp.o.d"
+  "/root/repo/src/core/config_parse.cpp" "src/core/CMakeFiles/fibersim_core.dir/config_parse.cpp.o" "gcc" "src/core/CMakeFiles/fibersim_core.dir/config_parse.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/fibersim_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/fibersim_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/reports.cpp" "src/core/CMakeFiles/fibersim_core.dir/reports.cpp.o" "gcc" "src/core/CMakeFiles/fibersim_core.dir/reports.cpp.o.d"
+  "/root/repo/src/core/reports_ablation.cpp" "src/core/CMakeFiles/fibersim_core.dir/reports_ablation.cpp.o" "gcc" "src/core/CMakeFiles/fibersim_core.dir/reports_ablation.cpp.o.d"
+  "/root/repo/src/core/reports_compare.cpp" "src/core/CMakeFiles/fibersim_core.dir/reports_compare.cpp.o" "gcc" "src/core/CMakeFiles/fibersim_core.dir/reports_compare.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/core/CMakeFiles/fibersim_core.dir/runner.cpp.o" "gcc" "src/core/CMakeFiles/fibersim_core.dir/runner.cpp.o.d"
+  "/root/repo/src/core/sweep.cpp" "src/core/CMakeFiles/fibersim_core.dir/sweep.cpp.o" "gcc" "src/core/CMakeFiles/fibersim_core.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fibersim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/fibersim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/fibersim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/fibersim_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/cg/CMakeFiles/fibersim_cg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/fibersim_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/fibersim_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fibersim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/miniapps/CMakeFiles/fibersim_miniapps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

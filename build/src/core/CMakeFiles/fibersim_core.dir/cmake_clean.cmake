@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fibersim_core.dir/cli.cpp.o"
+  "CMakeFiles/fibersim_core.dir/cli.cpp.o.d"
+  "CMakeFiles/fibersim_core.dir/config_parse.cpp.o"
+  "CMakeFiles/fibersim_core.dir/config_parse.cpp.o.d"
+  "CMakeFiles/fibersim_core.dir/experiment.cpp.o"
+  "CMakeFiles/fibersim_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/fibersim_core.dir/reports.cpp.o"
+  "CMakeFiles/fibersim_core.dir/reports.cpp.o.d"
+  "CMakeFiles/fibersim_core.dir/reports_ablation.cpp.o"
+  "CMakeFiles/fibersim_core.dir/reports_ablation.cpp.o.d"
+  "CMakeFiles/fibersim_core.dir/reports_compare.cpp.o"
+  "CMakeFiles/fibersim_core.dir/reports_compare.cpp.o.d"
+  "CMakeFiles/fibersim_core.dir/runner.cpp.o"
+  "CMakeFiles/fibersim_core.dir/runner.cpp.o.d"
+  "CMakeFiles/fibersim_core.dir/sweep.cpp.o"
+  "CMakeFiles/fibersim_core.dir/sweep.cpp.o.d"
+  "libfibersim_core.a"
+  "libfibersim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fibersim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

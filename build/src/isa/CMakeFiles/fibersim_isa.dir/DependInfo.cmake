@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/vector_isa.cpp" "src/isa/CMakeFiles/fibersim_isa.dir/vector_isa.cpp.o" "gcc" "src/isa/CMakeFiles/fibersim_isa.dir/vector_isa.cpp.o.d"
+  "/root/repo/src/isa/work_estimate.cpp" "src/isa/CMakeFiles/fibersim_isa.dir/work_estimate.cpp.o" "gcc" "src/isa/CMakeFiles/fibersim_isa.dir/work_estimate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fibersim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

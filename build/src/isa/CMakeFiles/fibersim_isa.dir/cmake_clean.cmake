@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fibersim_isa.dir/vector_isa.cpp.o"
+  "CMakeFiles/fibersim_isa.dir/vector_isa.cpp.o.d"
+  "CMakeFiles/fibersim_isa.dir/work_estimate.cpp.o"
+  "CMakeFiles/fibersim_isa.dir/work_estimate.cpp.o.d"
+  "libfibersim_isa.a"
+  "libfibersim_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fibersim_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

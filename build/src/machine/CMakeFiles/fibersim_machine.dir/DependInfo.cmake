@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/comm_model.cpp" "src/machine/CMakeFiles/fibersim_machine.dir/comm_model.cpp.o" "gcc" "src/machine/CMakeFiles/fibersim_machine.dir/comm_model.cpp.o.d"
+  "/root/repo/src/machine/exec_model.cpp" "src/machine/CMakeFiles/fibersim_machine.dir/exec_model.cpp.o" "gcc" "src/machine/CMakeFiles/fibersim_machine.dir/exec_model.cpp.o.d"
+  "/root/repo/src/machine/memory_model.cpp" "src/machine/CMakeFiles/fibersim_machine.dir/memory_model.cpp.o" "gcc" "src/machine/CMakeFiles/fibersim_machine.dir/memory_model.cpp.o.d"
+  "/root/repo/src/machine/power_model.cpp" "src/machine/CMakeFiles/fibersim_machine.dir/power_model.cpp.o" "gcc" "src/machine/CMakeFiles/fibersim_machine.dir/power_model.cpp.o.d"
+  "/root/repo/src/machine/processor.cpp" "src/machine/CMakeFiles/fibersim_machine.dir/processor.cpp.o" "gcc" "src/machine/CMakeFiles/fibersim_machine.dir/processor.cpp.o.d"
+  "/root/repo/src/machine/roofline.cpp" "src/machine/CMakeFiles/fibersim_machine.dir/roofline.cpp.o" "gcc" "src/machine/CMakeFiles/fibersim_machine.dir/roofline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fibersim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/fibersim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/fibersim_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fibersim_machine.dir/comm_model.cpp.o"
+  "CMakeFiles/fibersim_machine.dir/comm_model.cpp.o.d"
+  "CMakeFiles/fibersim_machine.dir/exec_model.cpp.o"
+  "CMakeFiles/fibersim_machine.dir/exec_model.cpp.o.d"
+  "CMakeFiles/fibersim_machine.dir/memory_model.cpp.o"
+  "CMakeFiles/fibersim_machine.dir/memory_model.cpp.o.d"
+  "CMakeFiles/fibersim_machine.dir/power_model.cpp.o"
+  "CMakeFiles/fibersim_machine.dir/power_model.cpp.o.d"
+  "CMakeFiles/fibersim_machine.dir/processor.cpp.o"
+  "CMakeFiles/fibersim_machine.dir/processor.cpp.o.d"
+  "CMakeFiles/fibersim_machine.dir/roofline.cpp.o"
+  "CMakeFiles/fibersim_machine.dir/roofline.cpp.o.d"
+  "libfibersim_machine.a"
+  "libfibersim_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fibersim_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

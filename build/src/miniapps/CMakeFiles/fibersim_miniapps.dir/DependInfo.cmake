@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/miniapps/ccs_qcd.cpp" "src/miniapps/CMakeFiles/fibersim_miniapps.dir/ccs_qcd.cpp.o" "gcc" "src/miniapps/CMakeFiles/fibersim_miniapps.dir/ccs_qcd.cpp.o.d"
+  "/root/repo/src/miniapps/ffb.cpp" "src/miniapps/CMakeFiles/fibersim_miniapps.dir/ffb.cpp.o" "gcc" "src/miniapps/CMakeFiles/fibersim_miniapps.dir/ffb.cpp.o.d"
+  "/root/repo/src/miniapps/ffvc.cpp" "src/miniapps/CMakeFiles/fibersim_miniapps.dir/ffvc.cpp.o" "gcc" "src/miniapps/CMakeFiles/fibersim_miniapps.dir/ffvc.cpp.o.d"
+  "/root/repo/src/miniapps/miniapp.cpp" "src/miniapps/CMakeFiles/fibersim_miniapps.dir/miniapp.cpp.o" "gcc" "src/miniapps/CMakeFiles/fibersim_miniapps.dir/miniapp.cpp.o.d"
+  "/root/repo/src/miniapps/modylas.cpp" "src/miniapps/CMakeFiles/fibersim_miniapps.dir/modylas.cpp.o" "gcc" "src/miniapps/CMakeFiles/fibersim_miniapps.dir/modylas.cpp.o.d"
+  "/root/repo/src/miniapps/mvmc.cpp" "src/miniapps/CMakeFiles/fibersim_miniapps.dir/mvmc.cpp.o" "gcc" "src/miniapps/CMakeFiles/fibersim_miniapps.dir/mvmc.cpp.o.d"
+  "/root/repo/src/miniapps/ngsa.cpp" "src/miniapps/CMakeFiles/fibersim_miniapps.dir/ngsa.cpp.o" "gcc" "src/miniapps/CMakeFiles/fibersim_miniapps.dir/ngsa.cpp.o.d"
+  "/root/repo/src/miniapps/nicam.cpp" "src/miniapps/CMakeFiles/fibersim_miniapps.dir/nicam.cpp.o" "gcc" "src/miniapps/CMakeFiles/fibersim_miniapps.dir/nicam.cpp.o.d"
+  "/root/repo/src/miniapps/ntchem.cpp" "src/miniapps/CMakeFiles/fibersim_miniapps.dir/ntchem.cpp.o" "gcc" "src/miniapps/CMakeFiles/fibersim_miniapps.dir/ntchem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fibersim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/fibersim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/fibersim_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/fibersim_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fibersim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/fibersim_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/fibersim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/cg/CMakeFiles/fibersim_cg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fibersim_miniapps.dir/ccs_qcd.cpp.o"
+  "CMakeFiles/fibersim_miniapps.dir/ccs_qcd.cpp.o.d"
+  "CMakeFiles/fibersim_miniapps.dir/ffb.cpp.o"
+  "CMakeFiles/fibersim_miniapps.dir/ffb.cpp.o.d"
+  "CMakeFiles/fibersim_miniapps.dir/ffvc.cpp.o"
+  "CMakeFiles/fibersim_miniapps.dir/ffvc.cpp.o.d"
+  "CMakeFiles/fibersim_miniapps.dir/miniapp.cpp.o"
+  "CMakeFiles/fibersim_miniapps.dir/miniapp.cpp.o.d"
+  "CMakeFiles/fibersim_miniapps.dir/modylas.cpp.o"
+  "CMakeFiles/fibersim_miniapps.dir/modylas.cpp.o.d"
+  "CMakeFiles/fibersim_miniapps.dir/mvmc.cpp.o"
+  "CMakeFiles/fibersim_miniapps.dir/mvmc.cpp.o.d"
+  "CMakeFiles/fibersim_miniapps.dir/ngsa.cpp.o"
+  "CMakeFiles/fibersim_miniapps.dir/ngsa.cpp.o.d"
+  "CMakeFiles/fibersim_miniapps.dir/nicam.cpp.o"
+  "CMakeFiles/fibersim_miniapps.dir/nicam.cpp.o.d"
+  "CMakeFiles/fibersim_miniapps.dir/ntchem.cpp.o"
+  "CMakeFiles/fibersim_miniapps.dir/ntchem.cpp.o.d"
+  "libfibersim_miniapps.a"
+  "libfibersim_miniapps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fibersim_miniapps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

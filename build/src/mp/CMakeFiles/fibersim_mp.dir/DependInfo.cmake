@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mp/cart.cpp" "src/mp/CMakeFiles/fibersim_mp.dir/cart.cpp.o" "gcc" "src/mp/CMakeFiles/fibersim_mp.dir/cart.cpp.o.d"
+  "/root/repo/src/mp/comm.cpp" "src/mp/CMakeFiles/fibersim_mp.dir/comm.cpp.o" "gcc" "src/mp/CMakeFiles/fibersim_mp.dir/comm.cpp.o.d"
+  "/root/repo/src/mp/comm_log.cpp" "src/mp/CMakeFiles/fibersim_mp.dir/comm_log.cpp.o" "gcc" "src/mp/CMakeFiles/fibersim_mp.dir/comm_log.cpp.o.d"
+  "/root/repo/src/mp/job.cpp" "src/mp/CMakeFiles/fibersim_mp.dir/job.cpp.o" "gcc" "src/mp/CMakeFiles/fibersim_mp.dir/job.cpp.o.d"
+  "/root/repo/src/mp/mailbox.cpp" "src/mp/CMakeFiles/fibersim_mp.dir/mailbox.cpp.o" "gcc" "src/mp/CMakeFiles/fibersim_mp.dir/mailbox.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fibersim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fibersim_mp.dir/cart.cpp.o"
+  "CMakeFiles/fibersim_mp.dir/cart.cpp.o.d"
+  "CMakeFiles/fibersim_mp.dir/comm.cpp.o"
+  "CMakeFiles/fibersim_mp.dir/comm.cpp.o.d"
+  "CMakeFiles/fibersim_mp.dir/comm_log.cpp.o"
+  "CMakeFiles/fibersim_mp.dir/comm_log.cpp.o.d"
+  "CMakeFiles/fibersim_mp.dir/job.cpp.o"
+  "CMakeFiles/fibersim_mp.dir/job.cpp.o.d"
+  "CMakeFiles/fibersim_mp.dir/mailbox.cpp.o"
+  "CMakeFiles/fibersim_mp.dir/mailbox.cpp.o.d"
+  "libfibersim_mp.a"
+  "libfibersim_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fibersim_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

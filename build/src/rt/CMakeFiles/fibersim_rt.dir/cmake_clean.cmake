@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fibersim_rt.dir/thread_team.cpp.o"
+  "CMakeFiles/fibersim_rt.dir/thread_team.cpp.o.d"
+  "libfibersim_rt.a"
+  "libfibersim_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fibersim_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfibersim_rt.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fibersim_topo.dir/binding.cpp.o"
+  "CMakeFiles/fibersim_topo.dir/binding.cpp.o.d"
+  "CMakeFiles/fibersim_topo.dir/topology.cpp.o"
+  "CMakeFiles/fibersim_topo.dir/topology.cpp.o.d"
+  "libfibersim_topo.a"
+  "libfibersim_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fibersim_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

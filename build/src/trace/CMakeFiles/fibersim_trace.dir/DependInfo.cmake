@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/predict.cpp" "src/trace/CMakeFiles/fibersim_trace.dir/predict.cpp.o" "gcc" "src/trace/CMakeFiles/fibersim_trace.dir/predict.cpp.o.d"
+  "/root/repo/src/trace/recorder.cpp" "src/trace/CMakeFiles/fibersim_trace.dir/recorder.cpp.o" "gcc" "src/trace/CMakeFiles/fibersim_trace.dir/recorder.cpp.o.d"
+  "/root/repo/src/trace/serialize.cpp" "src/trace/CMakeFiles/fibersim_trace.dir/serialize.cpp.o" "gcc" "src/trace/CMakeFiles/fibersim_trace.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fibersim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/fibersim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/fibersim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/fibersim_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/cg/CMakeFiles/fibersim_cg.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/fibersim_mp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fibersim_trace.dir/predict.cpp.o"
+  "CMakeFiles/fibersim_trace.dir/predict.cpp.o.d"
+  "CMakeFiles/fibersim_trace.dir/recorder.cpp.o"
+  "CMakeFiles/fibersim_trace.dir/recorder.cpp.o.d"
+  "CMakeFiles/fibersim_trace.dir/serialize.cpp.o"
+  "CMakeFiles/fibersim_trace.dir/serialize.cpp.o.d"
+  "libfibersim_trace.a"
+  "libfibersim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fibersim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cg.dir/test_cg.cpp.o"
+  "CMakeFiles/test_cg.dir/test_cg.cpp.o.d"
+  "test_cg"
+  "test_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_halo_grid.dir/test_halo_grid.cpp.o"
+  "CMakeFiles/test_halo_grid.dir/test_halo_grid.cpp.o.d"
+  "test_halo_grid"
+  "test_halo_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_halo_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

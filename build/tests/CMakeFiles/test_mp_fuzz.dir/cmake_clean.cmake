@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mp_fuzz.dir/test_mp_fuzz.cpp.o"
+  "CMakeFiles/test_mp_fuzz.dir/test_mp_fuzz.cpp.o.d"
+  "test_mp_fuzz"
+  "test_mp_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mp_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fibersim.dir/fibersim.cpp.o"
+  "CMakeFiles/fibersim.dir/fibersim.cpp.o.d"
+  "fibersim"
+  "fibersim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fibersim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
