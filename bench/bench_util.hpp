@@ -1,7 +1,10 @@
 // Shared scaffolding for the table/figure reproduction binaries.
 //
 // Every bench accepts: [--dataset small|large] [--apps a,b,c]
-// [--iterations N] [--csv] and prints one experiment's table(s).
+// [--iterations N] [--jobs N] [--csv] and prints one experiment's table(s).
+// --jobs fans the sweep out over a core::SweepPool; the printed tables are
+// byte-identical for any job count (default 1 so that timing comparisons
+// against the serial engine stay trivial: time ./tab_mpi_omp --jobs 4).
 #pragma once
 
 #include <iostream>
@@ -43,6 +46,12 @@ inline Args parse_args(int argc, char** argv, core::Runner& runner,
       args.ctx.iterations = std::stoi(value());
     } else if (a == "--seed") {
       args.ctx.seed = std::stoull(value());
+    } else if (a == "--jobs") {
+      args.ctx.jobs = std::stoi(value());
+      if (args.ctx.jobs < 1) {
+        std::cerr << "--jobs must be >= 1\n";
+        std::exit(2);
+      }
     } else if (a == "--csv") {
       args.csv = true;
     } else {

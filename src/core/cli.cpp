@@ -11,6 +11,7 @@
 #include "core/reports.hpp"
 #include "core/runner.hpp"
 #include "core/sweep.hpp"
+#include "core/sweep_pool.hpp"
 
 namespace fibersim::core {
 
@@ -30,8 +31,10 @@ constexpr const char* kUsage =
     "                            prediction as JSON; --dump-trace <file>\n"
     "                            writes the recorded trace as JSON)\n"
     "  report <id> [--apps a,b] [--dataset small|large] [--iterations N]\n"
-    "                            regenerate one table/figure (see list);\n"
-    "                            id 'all' regenerates every one\n";
+    "         [--jobs N]         regenerate one table/figure (see list);\n"
+    "                            id 'all' regenerates every one. --jobs sets\n"
+    "                            the sweep worker count (default: all cores;\n"
+    "                            output is identical for any job count)\n";
 
 int cmd_list(std::ostream& out) {
   out << "miniapps:\n";
@@ -179,6 +182,7 @@ int cmd_report(const std::vector<std::string>& args, std::ostream& out,
   ReportContext ctx;
   ctx.runner = &runner;
   ctx.dataset = apps::Dataset::kLarge;
+  ctx.jobs = SweepPool::default_jobs();
   for (std::size_t i = 1; i < args.size(); i += 2) {
     if (i + 1 >= args.size()) {
       err << "missing value for " << args[i] << "\n";
@@ -192,6 +196,12 @@ int cmd_report(const std::vector<std::string>& args, std::ostream& out,
       ctx.iterations = std::stoi(args[i + 1]);
     } else if (args[i] == "--seed") {
       ctx.seed = std::stoull(args[i + 1]);
+    } else if (args[i] == "--jobs") {
+      ctx.jobs = std::stoi(args[i + 1]);
+      if (ctx.jobs < 1) {
+        err << "--jobs must be >= 1\n";
+        return 2;
+      }
     } else {
       err << "unknown flag: " << args[i] << "\n";
       return 2;

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/string_util.hpp"
 #include "core/sweep.hpp"
+#include "core/sweep_pool.hpp"
 
 namespace fibersim::core {
 
@@ -16,6 +17,13 @@ std::vector<std::string> ReportContext::apps_or_default() const {
 void ReportContext::validate() const {
   FS_REQUIRE(runner != nullptr, "ReportContext needs a runner");
   FS_REQUIRE(iterations >= 1, "ReportContext needs >= 1 iteration");
+  FS_REQUIRE(jobs >= 1, "ReportContext needs >= 1 job");
+}
+
+std::vector<ExperimentResult> run_experiments(
+    const ReportContext& ctx, const std::vector<ExperimentConfig>& configs) {
+  ctx.validate();
+  return SweepPool(ctx.jobs).run(*ctx.runner, configs);
 }
 
 namespace {
@@ -54,13 +62,23 @@ TextTable mpi_omp_table(const ReportContext& ctx) {
   for (const auto& [p, t] : combos) header.push_back(strfmt("%dx%d", p, t));
   TextTable table(std::move(header));
 
-  for (const std::string& app : ctx.apps_or_default()) {
-    std::vector<std::string> row{app};
+  const auto apps_list = ctx.apps_or_default();
+  std::vector<ExperimentConfig> configs;
+  for (const std::string& app : apps_list) {
     for (const auto& [p, t] : combos) {
       ExperimentConfig cfg = base_config(ctx, app);
       cfg.ranks = p;
       cfg.threads = t;
-      const ExperimentResult res = ctx.runner->run(cfg);
+      configs.push_back(std::move(cfg));
+    }
+  }
+  const auto results = run_experiments(ctx, configs);
+
+  std::size_t i = 0;
+  for (const std::string& app : apps_list) {
+    std::vector<std::string> row{app};
+    for (std::size_t c = 0; c < combos.size(); ++c, ++i) {
+      const ExperimentResult& res = results[i];
       row.push_back(fmt_ms(res.seconds()) + (res.verified ? "" : "!"));
     }
     table.add_row(std::move(row));
@@ -76,13 +94,23 @@ TextTable mpi_omp_relative_table(const ReportContext& ctx) {
   header.push_back("best");
   TextTable table(std::move(header));
 
-  for (const std::string& app : ctx.apps_or_default()) {
-    std::vector<double> times;
+  const auto apps_list = ctx.apps_or_default();
+  std::vector<ExperimentConfig> configs;
+  for (const std::string& app : apps_list) {
     for (const auto& [p, t] : combos) {
       ExperimentConfig cfg = base_config(ctx, app);
       cfg.ranks = p;
       cfg.threads = t;
-      times.push_back(ctx.runner->run(cfg).seconds());
+      configs.push_back(std::move(cfg));
+    }
+  }
+  const auto results = run_experiments(ctx, configs);
+
+  std::size_t i = 0;
+  for (const std::string& app : apps_list) {
+    std::vector<double> times;
+    for (std::size_t c = 0; c < combos.size(); ++c, ++i) {
+      times.push_back(results[i].seconds());
     }
     const double best = *std::min_element(times.begin(), times.end());
     const std::size_t best_idx = static_cast<std::size_t>(
@@ -112,15 +140,25 @@ TextTable thread_stride_table(const ReportContext& ctx) {
                                            : a64fx.shape.numa_per_node();
   const int threads =
       ctx.override_threads > 0 ? ctx.override_threads : a64fx.cores() / ranks;
-  for (const std::string& app : ctx.apps_or_default()) {
-    std::vector<double> times;
-    std::vector<std::string> row{app};
+  const auto apps_list = ctx.apps_or_default();
+  std::vector<ExperimentConfig> configs;
+  for (const std::string& app : apps_list) {
     for (const auto& policy : policies) {
       ExperimentConfig cfg = base_config(ctx, app);
       cfg.ranks = ranks;
       cfg.threads = threads;
       cfg.bind = policy;
-      const double t = ctx.runner->run(cfg).seconds();
+      configs.push_back(std::move(cfg));
+    }
+  }
+  const auto results = run_experiments(ctx, configs);
+
+  std::size_t i = 0;
+  for (const std::string& app : apps_list) {
+    std::vector<double> times;
+    std::vector<std::string> row{app};
+    for (std::size_t c = 0; c < policies.size(); ++c, ++i) {
+      const double t = results[i].seconds();
       times.push_back(t);
       row.push_back(fmt_ms(t));
     }
@@ -140,15 +178,25 @@ AllocReport proc_alloc_report(const ReportContext& ctx) {
   header.push_back("spread");
   AllocReport report{TextTable(std::move(header)), 0.0};
 
-  for (const std::string& app : ctx.apps_or_default()) {
-    std::vector<double> times;
-    std::vector<std::string> row{app};
+  const auto apps_list = ctx.apps_or_default();
+  std::vector<ExperimentConfig> configs;
+  for (const std::string& app : apps_list) {
     for (const auto policy : policies) {
       ExperimentConfig cfg = base_config(ctx, app);
       cfg.ranks = ctx.override_ranks > 0 ? ctx.override_ranks : 8;
       cfg.threads = ctx.override_threads > 0 ? ctx.override_threads : 6;
       cfg.alloc = policy;
-      const double t = ctx.runner->run(cfg).seconds();
+      configs.push_back(std::move(cfg));
+    }
+  }
+  const auto results = run_experiments(ctx, configs);
+
+  std::size_t i = 0;
+  for (const std::string& app : apps_list) {
+    std::vector<double> times;
+    std::vector<std::string> row{app};
+    for (std::size_t c = 0; c < policies.size(); ++c, ++i) {
+      const double t = results[i].seconds();
       times.push_back(t);
       row.push_back(fmt_ms(t));
     }

@@ -24,10 +24,19 @@ struct ReportContext {
   /// 0 keeps each report's default.
   int override_ranks = 0;
   int override_threads = 0;
+  /// Worker threads for the sweep fan-out (see core::SweepPool). 1 = serial;
+  /// any value produces byte-identical report output.
+  int jobs = 1;
 
   std::vector<std::string> apps_or_default() const;
   void validate() const;
 };
+
+/// Evaluate every config through ctx.runner, fanning out over ctx.jobs
+/// workers; results come back in input order regardless of the job count.
+/// Every sweep-shaped report below funnels its experiments through this.
+std::vector<ExperimentResult> run_experiments(
+    const ReportContext& ctx, const std::vector<ExperimentConfig>& configs);
 
 /// T1 — machine configuration table (no execution needed).
 TextTable machines_table();

@@ -9,6 +9,20 @@
 
 namespace fibersim::core {
 
+namespace {
+
+ExperimentConfig ablation_config(const ReportContext& ctx,
+                                 const std::string& app) {
+  ExperimentConfig cfg;
+  cfg.app = app;
+  cfg.dataset = ctx.dataset;
+  cfg.iterations = ctx.iterations;
+  cfg.seed = ctx.seed;
+  return cfg;
+}
+
+}  // namespace
+
 TextTable cmg_penalty_ablation(const ReportContext& ctx) {
   ctx.validate();
   // How robust is "short strides win" to the modelled inter-CMG bandwidth?
@@ -18,25 +32,33 @@ TextTable cmg_penalty_ablation(const ReportContext& ctx) {
   TextTable table(std::move(header));
 
   const machine::ProcessorConfig base = machine::a64fx();
-  for (const std::string& app : ctx.apps_or_default()) {
-    std::vector<std::string> row{app};
+  const auto apps_list = ctx.apps_or_default();
+  // Per (app, factor): compact then scatter.
+  std::vector<ExperimentConfig> configs;
+  for (const std::string& app : apps_list) {
     for (double f : factors) {
       machine::ProcessorConfig proc = base;
       proc.inter_numa_bw = base.inter_numa_bw * f;
-      auto run_with = [&](topo::ThreadBindPolicy bind) {
-        ExperimentConfig cfg;
-        cfg.app = app;
-        cfg.dataset = ctx.dataset;
-        cfg.iterations = ctx.iterations;
-        cfg.seed = ctx.seed;
+      for (const topo::ThreadBindPolicy& bind :
+           {topo::ThreadBindPolicy::compact(),
+            topo::ThreadBindPolicy::scatter()}) {
+        ExperimentConfig cfg = ablation_config(ctx, app);
         cfg.processor = proc;
         cfg.ranks = proc.shape.numa_per_node();
         cfg.threads = proc.cores() / cfg.ranks;
         cfg.bind = bind;
-        return ctx.runner->run(cfg).seconds();
-      };
-      const double compact = run_with(topo::ThreadBindPolicy::compact());
-      const double scatter = run_with(topo::ThreadBindPolicy::scatter());
+        configs.push_back(std::move(cfg));
+      }
+    }
+  }
+  const auto results = run_experiments(ctx, configs);
+
+  std::size_t i = 0;
+  for (const std::string& app : apps_list) {
+    std::vector<std::string> row{app};
+    for (std::size_t f = 0; f < factors.size(); ++f, i += 2) {
+      const double compact = results[i].seconds();
+      const double scatter = results[i + 1].seconds();
       row.push_back(strfmt("%.2f", scatter / compact));
     }
     table.add_row(std::move(row));
@@ -65,20 +87,27 @@ TextTable power_mode_table(const ReportContext& ctx) {
   ctx.validate();
   TextTable table({"app", "mode", "time ms", "watts", "joules", "GF/W"});
   const machine::ProcessorConfig base = machine::a64fx();
-  for (const std::string& app : ctx.apps_or_default()) {
-    for (const machine::PowerMode mode :
-         {machine::PowerMode::kNormal, machine::PowerMode::kBoost,
-          machine::PowerMode::kEco}) {
-      ExperimentConfig cfg;
-      cfg.app = app;
-      cfg.dataset = ctx.dataset;
-      cfg.iterations = ctx.iterations;
-      cfg.seed = ctx.seed;
+  const std::vector<machine::PowerMode> modes{machine::PowerMode::kNormal,
+                                              machine::PowerMode::kBoost,
+                                              machine::PowerMode::kEco};
+  const auto apps_list = ctx.apps_or_default();
+  std::vector<ExperimentConfig> configs;
+  for (const std::string& app : apps_list) {
+    for (const machine::PowerMode mode : modes) {
+      ExperimentConfig cfg = ablation_config(ctx, app);
       cfg.processor = machine::with_power_mode(base, mode);
       cfg.nominal_freq_hz = base.freq_hz;
       cfg.ranks = base.shape.numa_per_node();
       cfg.threads = base.cores() / cfg.ranks;
-      const ExperimentResult res = ctx.runner->run(cfg);
+      configs.push_back(std::move(cfg));
+    }
+  }
+  const auto results = run_experiments(ctx, configs);
+
+  std::size_t i = 0;
+  for (const std::string& app : apps_list) {
+    for (const machine::PowerMode mode : modes) {
+      const ExperimentResult& res = results[i++];
       table.add_row({app, machine::power_mode_name(mode),
                      strfmt("%.3f", res.seconds() * 1e3),
                      strfmt("%.1f", res.power.watts),
@@ -98,22 +127,28 @@ TextTable vector_length_table(const ReportContext& ctx) {
   TextTable table(std::move(header));
 
   const machine::ProcessorConfig base = machine::a64fx();
-  for (const std::string& app : ctx.apps_or_default()) {
-    std::vector<std::string> row{app};
-    std::string limiter = "?";
+  const auto apps_list = ctx.apps_or_default();
+  std::vector<ExperimentConfig> configs;
+  for (const std::string& app : apps_list) {
     for (int bits : widths) {
       machine::ProcessorConfig proc = base;
       proc.name = strfmt("A64FX-vl%d", bits);
       proc.vec.vector_bits = bits;
-      ExperimentConfig cfg;
-      cfg.app = app;
-      cfg.dataset = ctx.dataset;
-      cfg.iterations = ctx.iterations;
-      cfg.seed = ctx.seed;
+      ExperimentConfig cfg = ablation_config(ctx, app);
       cfg.processor = proc;
       cfg.ranks = proc.shape.numa_per_node();
       cfg.threads = proc.cores() / cfg.ranks;
-      const ExperimentResult res = ctx.runner->run(cfg);
+      configs.push_back(std::move(cfg));
+    }
+  }
+  const auto results = run_experiments(ctx, configs);
+
+  std::size_t i = 0;
+  for (const std::string& app : apps_list) {
+    std::vector<std::string> row{app};
+    std::string limiter = "?";
+    for (int bits : widths) {
+      const ExperimentResult& res = results[i++];
       row.push_back(strfmt("%.3f", res.seconds() * 1e3));
       if (bits == 512 && !res.prediction.phases.empty()) {
         // Limiter of the heaviest timed phase.
@@ -138,23 +173,27 @@ TextTable vector_length_table(const ReportContext& ctx) {
 TextTable loop_fission_table(const ReportContext& ctx) {
   ctx.validate();
   TextTable table({"app", "no fission ms", "fission ms", "speedup"});
-  for (const std::string& app : ctx.apps_or_default()) {
-    auto run_with = [&](bool fission) {
-      ExperimentConfig cfg;
-      cfg.app = app;
-      cfg.dataset = ctx.dataset;
-      cfg.iterations = ctx.iterations;
-      cfg.seed = ctx.seed;
+  const auto apps_list = ctx.apps_or_default();
+  std::vector<ExperimentConfig> configs;
+  for (const std::string& app : apps_list) {
+    for (const bool fission : {false, true}) {
+      ExperimentConfig cfg = ablation_config(ctx, app);
       cfg.ranks = cfg.processor.shape.numa_per_node();
       cfg.threads = cfg.processor.cores() / cfg.ranks;
       // Fission is studied on top of basic vectorisation, where the Fujitsu
       // compiler applies it (-Kloop_fission with the default pipeline).
       cfg.compile = cg::CompileOptions::as_is();
       cfg.compile.loop_fission = fission;
-      return ctx.runner->run(cfg).seconds();
-    };
-    const double off = run_with(false);
-    const double on = run_with(true);
+      configs.push_back(std::move(cfg));
+    }
+  }
+  const auto results = run_experiments(ctx, configs);
+
+  std::size_t i = 0;
+  for (const std::string& app : apps_list) {
+    const double off = results[i].seconds();
+    const double on = results[i + 1].seconds();
+    i += 2;
     table.add_row({app, strfmt("%.3f", off * 1e3), strfmt("%.3f", on * 1e3),
                    strfmt("%.2fx", off / on)});
   }
@@ -172,20 +211,26 @@ TextTable multinode_scaling_table(const ReportContext& ctx,
 
   const machine::ProcessorConfig proc = machine::a64fx();
   const int ranks_per_node = proc.shape.numa_per_node();
-  for (const std::string& app : ctx.apps_or_default()) {
+  const auto apps_list = ctx.apps_or_default();
+  std::vector<ExperimentConfig> configs;
+  for (const std::string& app : apps_list) {
+    for (int nodes : node_counts) {
+      ExperimentConfig cfg = ablation_config(ctx, app);
+      cfg.nodes = nodes;
+      cfg.ranks = ranks_per_node * nodes;
+      cfg.threads = proc.cores() / ranks_per_node;
+      configs.push_back(std::move(cfg));
+    }
+  }
+  const auto results = run_experiments(ctx, configs);
+
+  std::size_t i = 0;
+  for (const std::string& app : apps_list) {
     std::vector<std::string> row{app};
     double t1 = 0.0;
     double tn = 0.0;
     for (int nodes : node_counts) {
-      ExperimentConfig cfg;
-      cfg.app = app;
-      cfg.dataset = ctx.dataset;
-      cfg.iterations = ctx.iterations;
-      cfg.seed = ctx.seed;
-      cfg.nodes = nodes;
-      cfg.ranks = ranks_per_node * nodes;
-      cfg.threads = proc.cores() / ranks_per_node;
-      const double t = ctx.runner->run(cfg).seconds();
+      const double t = results[i++].seconds();
       if (nodes == node_counts.front()) t1 = t;
       tn = t;
       row.push_back(strfmt("%.3f", t * 1e3));
@@ -210,21 +255,27 @@ TextTable weak_scaling_table(const ReportContext& ctx,
 
   const machine::ProcessorConfig proc = machine::a64fx();
   const int ranks_per_node = proc.shape.numa_per_node();
-  for (const std::string& app : ctx.apps_or_default()) {
-    std::vector<std::string> row{app};
-    double t1 = 0.0;
-    double tn = 0.0;
+  const auto apps_list = ctx.apps_or_default();
+  std::vector<ExperimentConfig> configs;
+  for (const std::string& app : apps_list) {
     for (int nodes : node_counts) {
-      ExperimentConfig cfg;
-      cfg.app = app;
-      cfg.dataset = ctx.dataset;
-      cfg.iterations = ctx.iterations;
-      cfg.seed = ctx.seed;
+      ExperimentConfig cfg = ablation_config(ctx, app);
       cfg.nodes = nodes;
       cfg.ranks = ranks_per_node * nodes;
       cfg.threads = proc.cores() / ranks_per_node;
       cfg.weak_scale = nodes;  // grow the problem with the machine
-      const double t = ctx.runner->run(cfg).seconds();
+      configs.push_back(std::move(cfg));
+    }
+  }
+  const auto results = run_experiments(ctx, configs);
+
+  std::size_t i = 0;
+  for (const std::string& app : apps_list) {
+    std::vector<std::string> row{app};
+    double t1 = 0.0;
+    double tn = 0.0;
+    for (int nodes : node_counts) {
+      const double t = results[i++].seconds();
       if (nodes == node_counts.front()) t1 = t;
       tn = t;
       row.push_back(strfmt("%.3f", t * 1e3));

@@ -23,23 +23,44 @@ ExperimentConfig sweep_config(const ReportContext& ctx, const std::string& app) 
   return cfg;
 }
 
-/// Best (minimum) predicted time for an app on a processor over the
-/// representative MPI x OMP combinations.
-ExperimentResult best_result(const ReportContext& ctx, const std::string& app,
-                             const machine::ProcessorConfig& proc,
-                             const cg::CompileOptions& compile) {
-  ExperimentResult best;
-  double best_t = std::numeric_limits<double>::infinity();
-  for (const auto& [p, t] : representative_combos(proc)) {
-    ExperimentConfig cfg = sweep_config(ctx, app);
-    cfg.processor = proc;
-    cfg.compile = compile;
-    cfg.ranks = p;
-    cfg.threads = t;
-    ExperimentResult res = ctx.runner->run(cfg);
-    if (res.seconds() < best_t) {
-      best_t = res.seconds();
-      best = std::move(res);
+/// One best-configuration search: an (app, processor, compile) point whose
+/// representative MPI x OMP combinations are raced against each other.
+struct BestQuery {
+  std::string app;
+  machine::ProcessorConfig proc;
+  cg::CompileOptions compile;
+};
+
+/// Minimum-time result per query over the representative combinations.
+/// Every underlying experiment of every query goes through one pooled
+/// run_experiments call, so sweeps parallelise across apps, processors and
+/// combos at once; the reduction is serial and order-stable (first
+/// strictly-smaller time wins, exactly like the serial loop did).
+std::vector<ExperimentResult> best_results(const ReportContext& ctx,
+                                           const std::vector<BestQuery>& queries) {
+  std::vector<ExperimentConfig> configs;
+  std::vector<std::size_t> owner;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    for (const auto& [p, t] : representative_combos(queries[q].proc)) {
+      ExperimentConfig cfg = sweep_config(ctx, queries[q].app);
+      cfg.processor = queries[q].proc;
+      cfg.compile = queries[q].compile;
+      cfg.ranks = p;
+      cfg.threads = t;
+      configs.push_back(std::move(cfg));
+      owner.push_back(q);
+    }
+  }
+  auto results = run_experiments(ctx, configs);
+
+  std::vector<ExperimentResult> best(queries.size());
+  std::vector<double> best_t(queries.size(),
+                             std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const std::size_t q = owner[i];
+    if (results[i].seconds() < best_t[q]) {
+      best_t[q] = results[i].seconds();
+      best[q] = std::move(results[i]);
     }
   }
   return best;
@@ -57,16 +78,24 @@ TextTable compiler_tuning_table(const ReportContext& ctx) {
                    "A64FX +SIMD+swp ms", "Skylake as-is ms",
                    "as-is vs SKX", "tuned vs SKX"});
   const auto ladder = cg::tuning_ladder();
+  std::vector<BestQuery> queries;
   for (const std::string& app : apps_list) {
-    std::vector<double> a64fx_times;
     for (const cg::CompileOptions& opts : ladder) {
-      a64fx_times.push_back(
-          best_result(ctx, app, machine::a64fx(), opts).seconds());
+      queries.push_back({app, machine::a64fx(), opts});
     }
-    const double skx = best_result(ctx, app, machine::skylake8168_dual(),
-                                   cg::CompileOptions::as_is())
-                           .seconds();
-    table.add_row({app, strfmt("%.3f", a64fx_times[0] * 1e3),
+    queries.push_back(
+        {app, machine::skylake8168_dual(), cg::CompileOptions::as_is()});
+  }
+  const auto best = best_results(ctx, queries);
+
+  const std::size_t per_app = ladder.size() + 1;
+  for (std::size_t a = 0; a < apps_list.size(); ++a) {
+    std::vector<double> a64fx_times;
+    for (std::size_t l = 0; l < ladder.size(); ++l) {
+      a64fx_times.push_back(best[a * per_app + l].seconds());
+    }
+    const double skx = best[a * per_app + ladder.size()].seconds();
+    table.add_row({apps_list[a], strfmt("%.3f", a64fx_times[0] * 1e3),
                    strfmt("%.3f", a64fx_times[1] * 1e3),
                    strfmt("%.3f", a64fx_times[2] * 1e3),
                    strfmt("%.3f", skx * 1e3),
@@ -86,14 +115,21 @@ TextTable processor_compare_table(const ReportContext& ctx) {
   }
   TextTable table(std::move(header));
 
-  for (const std::string& app : ctx.apps_or_default()) {
-    std::vector<double> times;
+  const auto apps_list = ctx.apps_or_default();
+  std::vector<BestQuery> queries;
+  for (const std::string& app : apps_list) {
     for (const auto& proc : procs) {
-      times.push_back(best_result(ctx, app, proc,
-                                  cg::CompileOptions::simd_sched())
-                          .seconds());
+      queries.push_back({app, proc, cg::CompileOptions::simd_sched()});
     }
-    std::vector<std::string> row{app, apps::dataset_name(ctx.dataset)};
+  }
+  const auto best = best_results(ctx, queries);
+
+  for (std::size_t a = 0; a < apps_list.size(); ++a) {
+    std::vector<double> times;
+    for (std::size_t p = 0; p < procs.size(); ++p) {
+      times.push_back(best[a * procs.size() + p].seconds());
+    }
+    std::vector<std::string> row{apps_list[a], apps::dataset_name(ctx.dataset)};
     for (double t : times) row.push_back(strfmt("%.3f", t * 1e3));
     for (std::size_t i = 1; i < times.size(); ++i) {
       row.push_back(strfmt("%.2f", times[i] / times[0]));
@@ -106,17 +142,24 @@ TextTable processor_compare_table(const ReportContext& ctx) {
 std::string roofline_figure(const ReportContext& ctx) {
   ctx.validate();
   const machine::ProcessorConfig proc = machine::a64fx();
-  std::vector<machine::RooflinePoint> points;
-  for (const std::string& app : ctx.apps_or_default()) {
+  const auto apps_list = ctx.apps_or_default();
+  std::vector<ExperimentConfig> configs;
+  for (const std::string& app : apps_list) {
     ExperimentConfig cfg = sweep_config(ctx, app);
     cfg.ranks = proc.shape.numa_per_node();
     cfg.threads = proc.cores() / cfg.ranks;
-    const ExperimentResult res = ctx.runner->run(cfg);
+    configs.push_back(std::move(cfg));
+  }
+  const auto results = run_experiments(ctx, configs);
+
+  std::vector<machine::RooflinePoint> points;
+  for (std::size_t a = 0; a < apps_list.size(); ++a) {
+    const ExperimentResult& res = results[a];
     // Whole-job point: total flops over total bytes and achieved GFLOPS.
     isa::WorkEstimate agg;
     agg.flops = res.prediction.flops;
     agg.load_bytes = res.prediction.dram_bytes;
-    points.push_back(machine::make_point(proc, app, agg, res.gflops()));
+    points.push_back(machine::make_point(proc, apps_list[a], agg, res.gflops()));
   }
   return machine::render_ascii(proc, points);
 }
@@ -125,11 +168,17 @@ TextTable phase_breakdown_table(const ReportContext& ctx) {
   ctx.validate();
   TextTable table({"app", "phase", "compute ms", "memory ms", "barrier ms",
                    "comm ms", "total ms", "limited by"});
-  for (const std::string& app : ctx.apps_or_default()) {
-    const ExperimentResult best = best_result(
-        ctx, app, machine::a64fx(), cg::CompileOptions::simd_sched());
-    for (const trace::PhasePrediction& phase : best.prediction.phases) {
-      table.add_row({app, phase.name, strfmt("%.3f", phase.time.compute_s * 1e3),
+  const auto apps_list = ctx.apps_or_default();
+  std::vector<BestQuery> queries;
+  for (const std::string& app : apps_list) {
+    queries.push_back({app, machine::a64fx(), cg::CompileOptions::simd_sched()});
+  }
+  const auto best = best_results(ctx, queries);
+
+  for (std::size_t a = 0; a < apps_list.size(); ++a) {
+    for (const trace::PhasePrediction& phase : best[a].prediction.phases) {
+      table.add_row({apps_list[a], phase.name,
+                     strfmt("%.3f", phase.time.compute_s * 1e3),
                      strfmt("%.3f", phase.time.memory_s * 1e3),
                      strfmt("%.3f", phase.time.barrier_s * 1e3),
                      strfmt("%.3f", phase.comm_s * 1e3),

@@ -9,53 +9,67 @@
 
 namespace fibersim::core {
 
-const Runner::Execution& Runner::execute(const ExperimentConfig& config) {
+std::shared_ptr<const Runner::Execution> Runner::execute(
+    const ExperimentConfig& config) {
   const Key key{config.app,        static_cast<int>(config.dataset),
                 config.ranks,      config.threads,
                 config.iterations, config.weak_scale,
                 config.seed};
-  if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    std::shared_ptr<Entry>& slot = cache_[key];
+    if (!slot) slot = std::make_shared<Entry>();
+    entry = slot;
+  }
 
-  FS_LOG(kInfo) << "native run: " << config.app << "/"
-                << apps::dataset_name(config.dataset) << " " << config.ranks
-                << "x" << config.threads;
+  // Exactly one caller performs the native run; concurrent callers with the
+  // same key block here until it completes. If the run throws, the flag is
+  // left unset and the next caller retries.
+  std::call_once(entry->once, [&] {
+    FS_LOG(kInfo) << "native run: " << config.app << "/"
+                  << apps::dataset_name(config.dataset) << " " << config.ranks
+                  << "x" << config.threads;
 
-  Execution exec;
-  exec.job_trace.resize(static_cast<std::size_t>(config.ranks));
-  exec.verified = true;
+    Execution exec;
+    exec.job_trace.resize(static_cast<std::size_t>(config.ranks));
+    exec.verified = true;
 
-  std::mutex result_mutex;
-  mp::Job::run(config.ranks, [&](mp::Comm& comm) {
-    rt::ThreadTeam team(config.threads);
-    trace::Recorder recorder(&comm);
-    apps::RunContext ctx;
-    ctx.comm = &comm;
-    ctx.team = &team;
-    ctx.recorder = &recorder;
-    ctx.dataset = config.dataset;
-    ctx.seed = config.seed;
-    ctx.iterations = config.iterations;
-    ctx.weak_scale = config.weak_scale;
+    std::mutex result_mutex;
+    mp::Job::run(config.ranks, [&](mp::Comm& comm) {
+      rt::ThreadTeam team(config.threads);
+      trace::Recorder recorder(&comm);
+      apps::RunContext ctx;
+      ctx.comm = &comm;
+      ctx.team = &team;
+      ctx.recorder = &recorder;
+      ctx.dataset = config.dataset;
+      ctx.seed = config.seed;
+      ctx.iterations = config.iterations;
+      ctx.weak_scale = config.weak_scale;
 
-    const auto app = apps::create_miniapp(config.app);
-    const apps::RunResult result = app->run(ctx);
+      const auto app = apps::create_miniapp(config.app);
+      const apps::RunResult result = app->run(ctx);
 
-    exec.job_trace[static_cast<std::size_t>(comm.rank())] = recorder.phases();
-    std::lock_guard<std::mutex> lock(result_mutex);
-    exec.verified = exec.verified && result.verified;
-    if (comm.rank() == 0) {
-      exec.check_value = result.check_value;
-      exec.check_description = result.check_description;
-    }
+      exec.job_trace[static_cast<std::size_t>(comm.rank())] = recorder.phases();
+      std::lock_guard<std::mutex> lock(result_mutex);
+      exec.verified = exec.verified && result.verified;
+      if (comm.rank() == 0) {
+        exec.check_value = result.check_value;
+        exec.check_description = result.check_description;
+      }
+    });
+
+    entry->exec = std::move(exec);
+    native_runs_.fetch_add(1, std::memory_order_relaxed);
   });
 
-  ++native_runs_;
-  return cache_.emplace(key, std::move(exec)).first->second;
+  return {entry, &entry->exec};
 }
 
 ExperimentResult Runner::run(const ExperimentConfig& config) {
   config.validate();
-  const Execution& exec = execute(config);
+  const std::shared_ptr<const Execution> exec = execute(config);
 
   const topo::Topology topology(config.processor.shape, config.nodes);
   const topo::Binding binding = topo::Binding::make(
@@ -64,11 +78,11 @@ ExperimentResult Runner::run(const ExperimentConfig& config) {
   ExperimentResult result;
   result.config = config;
   result.prediction = trace::predict_job(config.processor, config.compile,
-                                         binding, exec.job_trace);
-  result.job_trace = exec.job_trace;
-  result.verified = exec.verified;
-  result.check_value = exec.check_value;
-  result.check_description = exec.check_description;
+                                         binding, exec->job_trace);
+  result.job_trace = exec->job_trace;
+  result.verified = exec->verified;
+  result.check_value = exec->check_value;
+  result.check_description = exec->check_description;
 
   machine::PhaseTime aggregate;
   aggregate.total_s = result.prediction.total_s;

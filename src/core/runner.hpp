@@ -5,9 +5,17 @@
 // iterations, seed) — the trace does not depend on placement, compiler
 // options, or target processor — and the cached trace is then re-evaluated
 // cheaply for every placement/compiler/processor variation a sweep asks for.
+//
+// Runner is thread-safe: run() may be called concurrently (the SweepPool
+// does exactly that). Concurrent calls with the same execution key coalesce
+// onto a single native run via a per-entry std::once_flag; every other
+// caller blocks until that run finishes and then reads the completed entry.
 #pragma once
 
+#include <atomic>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <tuple>
 
@@ -35,12 +43,14 @@ struct ExperimentResult {
 
 class Runner {
  public:
-  /// Run (or reuse the cached execution of) an experiment.
+  /// Run (or reuse the cached execution of) an experiment. Thread-safe.
   ExperimentResult run(const ExperimentConfig& config);
 
   /// Number of native executions performed so far (tests use this to assert
   /// the caching contract).
-  std::size_t native_runs() const { return native_runs_; }
+  std::size_t native_runs() const {
+    return native_runs_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Execution {
@@ -49,14 +59,24 @@ class Runner {
     double check_value = 0.0;
     std::string check_description;
   };
+  /// Cache slot: the once_flag serialises construction, after which the
+  /// execution is immutable and can be read without the cache lock.
+  struct Entry {
+    std::once_flag once;
+    Execution exec;
+  };
   using Key = std::tuple<std::string, int /*dataset*/, int /*ranks*/,
                          int /*threads*/, int /*iterations*/,
                          int /*weak_scale*/, std::uint64_t>;
 
-  const Execution& execute(const ExperimentConfig& config);
+  /// Returns a completed execution. The shared_ptr keeps the entry alive
+  /// independent of the cache map, so callers never hold a reference that
+  /// another thread could invalidate or observe mid-construction.
+  std::shared_ptr<const Execution> execute(const ExperimentConfig& config);
 
-  std::map<Key, Execution> cache_;
-  std::size_t native_runs_ = 0;
+  std::mutex cache_mutex_;
+  std::map<Key, std::shared_ptr<Entry>> cache_;
+  std::atomic<std::size_t> native_runs_{0};
 };
 
 }  // namespace fibersim::core

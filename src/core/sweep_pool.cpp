@@ -1,0 +1,64 @@
+#include "core/sweep_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace fibersim::core {
+
+SweepPool::SweepPool(int jobs) : jobs_(jobs > 0 ? jobs : default_jobs()) {
+  FS_REQUIRE(jobs_ <= 4096, "job count unreasonably large");
+}
+
+int SweepPool::default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::vector<ExperimentResult> SweepPool::run(
+    Runner& runner, const std::vector<ExperimentConfig>& configs) const {
+  const std::size_t n = configs.size();
+  std::vector<ExperimentResult> results(n);
+
+  if (jobs_ == 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) results[i] = runner.run(configs[i]);
+    return results;
+  }
+
+  // Fixed worker pool over an atomic work index. Slot i of `results` (and of
+  // `errors`) belongs exclusively to the worker that claimed index i, so no
+  // locking is needed; the join is the synchronisation point.
+  std::vector<std::exception_ptr> errors(n);
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        results[i] = runner.run(configs[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(jobs_), n);
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) threads.emplace_back(worker);
+  worker();
+  for (std::thread& t : threads) t.join();
+
+  // Rethrow deterministically: the failure of the lowest config index wins,
+  // independent of which worker hit it first.
+  for (const std::exception_ptr& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+  return results;
+}
+
+}  // namespace fibersim::core

@@ -1,6 +1,6 @@
 #include "mp/mailbox.hpp"
 
-#include <algorithm>
+#include <limits>
 
 #include "common/error.hpp"
 
@@ -9,22 +9,49 @@ namespace fibersim::mp {
 void Mailbox::push(Message message) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(message));
+    const std::pair<int, int> key{message.source, message.tag};
+    buckets_[key].push_back(Sequenced{next_seq_++, std::move(message)});
+    ++size_;
   }
   cv_.notify_all();
+}
+
+Mailbox::BucketMap::iterator Mailbox::find_bucket(int source, int tag) {
+  if (source != kAnySource && tag != kAnyTag) {
+    return buckets_.find({source, tag});
+  }
+
+  auto begin = buckets_.begin();
+  auto end = buckets_.end();
+  if (source != kAnySource) {
+    // All tags of one source are contiguous under the pair ordering.
+    begin = buckets_.lower_bound({source, std::numeric_limits<int>::min()});
+    end = buckets_.lower_bound({source + 1, std::numeric_limits<int>::min()});
+  }
+  auto best = buckets_.end();
+  for (auto it = begin; it != end; ++it) {
+    if (tag != kAnyTag && it->first.second != tag) continue;
+    // Bucket fronts are the oldest message per (source, tag); the lowest
+    // sequence number among them is the globally oldest match, which keeps
+    // wildcard receives in arrival order.
+    if (best == buckets_.end() ||
+        it->second.front().seq < best->second.front().seq) {
+      best = it;
+    }
+  }
+  return best;
 }
 
 Message Mailbox::pop(int source, int tag) {
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
     if (poisoned_) throw Error("mp job aborted: mailbox poisoned");
-    const auto it = std::find_if(queue_.begin(), queue_.end(),
-                                 [&](const Message& m) {
-                                   return matches(m, source, tag);
-                                 });
-    if (it != queue_.end()) {
-      Message out = std::move(*it);
-      queue_.erase(it);
+    const auto it = find_bucket(source, tag);
+    if (it != buckets_.end()) {
+      Message out = std::move(it->second.front().message);
+      it->second.pop_front();
+      if (it->second.empty()) buckets_.erase(it);
+      --size_;
       return out;
     }
     cv_.wait(lock);
@@ -33,9 +60,8 @@ Message Mailbox::pop(int source, int tag) {
 
 bool Mailbox::probe(int source, int tag) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return std::any_of(queue_.begin(), queue_.end(), [&](const Message& m) {
-    return matches(m, source, tag);
-  });
+  Mailbox* self = const_cast<Mailbox*>(this);
+  return self->find_bucket(source, tag) != self->buckets_.end();
 }
 
 void Mailbox::poison() {
@@ -48,7 +74,7 @@ void Mailbox::poison() {
 
 std::size_t Mailbox::pending() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+  return size_;
 }
 
 }  // namespace fibersim::mp

@@ -6,13 +6,21 @@
 // messages from the same source with the same tag are received in send order.
 // poison() aborts every pending and future receive, which Job uses to unwind
 // all ranks when one rank throws.
+//
+// Matching is indexed: messages are stored in per-(source, tag) FIFO buckets
+// keyed for O(log buckets) exact-match receives — the common case on the
+// sweep hot path, where many concurrent jobs contend on their mailboxes —
+// with a sequence-number fallback for kAnySource / kAnyTag wildcards that
+// preserves global arrival order exactly like the old linear scan did.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 namespace fibersim::mp {
@@ -46,14 +54,23 @@ class Mailbox {
   std::size_t pending() const;
 
  private:
-  bool matches(const Message& m, int source, int tag) const {
-    return (source == kAnySource || m.source == source) &&
-           (tag == kAnyTag || m.tag == tag);
-  }
+  struct Sequenced {
+    std::uint64_t seq = 0;
+    Message message;
+  };
+  using BucketMap = std::map<std::pair<int, int>, std::deque<Sequenced>>;
+
+  /// Bucket holding the oldest (lowest-seq) message matching (source, tag),
+  /// or end(). Exact keys look up directly; wildcards scan bucket fronts —
+  /// bounded by the number of distinct in-flight (source, tag) pairs, not by
+  /// the number of queued messages. Caller holds mutex_.
+  BucketMap::iterator find_bucket(int source, int tag);
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<Message> queue_;
+  BucketMap buckets_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t size_ = 0;
   bool poisoned_ = false;
 };
 

@@ -1,6 +1,7 @@
 #include "rt/thread_team.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/error.hpp"
 
@@ -61,6 +62,18 @@ void ThreadTeam::run_region(int tid) {
 
 void ThreadTeam::parallel(const std::function<void(int)>& region) {
   FS_REQUIRE(static_cast<bool>(region), "parallel region must be callable");
+  if (in_parallel_.exchange(true, std::memory_order_acq_rel)) {
+    // A region body re-entered parallel() on its own team. Before this
+    // guard that silently clobbered region_/epoch_/running_ and deadlocked;
+    // fail loudly instead (the nested call's exception is captured by
+    // run_region and rethrown on the caller after the join).
+    throw Error("nested parallel region on the same ThreadTeam");
+  }
+  struct Reset {
+    std::atomic<bool>& flag;
+    ~Reset() { flag.store(false, std::memory_order_release); }
+  } reset{in_parallel_};
+
   regions_.fetch_add(1, std::memory_order_relaxed);
   if (size_ == 1) {
     region(0);  // no protocol needed, run inline
@@ -91,6 +104,11 @@ void ThreadTeam::parallel_for(std::int64_t begin, std::int64_t end,
                               Schedule schedule, std::int64_t chunk,
                               const ChunkBody& body) {
   FS_REQUIRE(begin <= end, "parallel_for range is inverted");
+  // end - begin must be representable, or every chunk computation below
+  // would start from a wrapped (UB) range.
+  FS_REQUIRE(begin >= 0 ||
+                 end <= std::numeric_limits<std::int64_t>::max() + begin,
+             "parallel_for range exceeds int64 width");
   const std::int64_t range = end - begin;
   if (range == 0) return;
 
@@ -107,30 +125,45 @@ void ThreadTeam::parallel_for(std::int64_t begin, std::int64_t end,
         if (my_size > 0) body(my_begin, my_begin + my_size, tid);
       });
     } else {
-      // Round-robin chunks of the given size.
-      parallel([&, chunk](int tid) {
-        for (std::int64_t c = begin + tid * chunk; c < end;
-             c += chunk * size_) {
-          body(c, std::min(end, c + chunk), tid);
+      // Round-robin chunks of the given size, iterated by chunk *index*:
+      // ci * chunk < range for every dispatched ci, so neither the block
+      // start nor the stride advance can wrap std::int64_t the way the old
+      // `begin + tid * chunk` / `c += chunk * size_` induction could on
+      // ranges near the top of the type.
+      const std::int64_t nchunks = range / chunk + (range % chunk != 0 ? 1 : 0);
+      parallel([&, chunk, nchunks](int tid) {
+        for (std::int64_t ci = tid; ci < nchunks;) {
+          const std::int64_t lo = begin + ci * chunk;
+          const std::int64_t hi = chunk > end - lo ? end : lo + chunk;
+          body(lo, hi, tid);
+          if (ci > nchunks - size_) break;  // ci += size_ would overshoot
+          ci += size_;
         }
       });
     }
     return;
   }
 
-  // Dynamic / guided share a work counter.
-  std::atomic<std::int64_t> next{begin};
   const std::int64_t min_chunk =
       chunk > 0 ? chunk : std::max<std::int64_t>(1, range / (size_ * 8));
   if (schedule == Schedule::kDynamic) {
+    // Claim chunk indices, not raw offsets: the shared counter tops out at
+    // nchunks + one overshoot per thread, so it cannot wrap however large
+    // the range is.
+    const std::int64_t nchunks =
+        range / min_chunk + (range % min_chunk != 0 ? 1 : 0);
+    std::atomic<std::int64_t> next_chunk{0};
     parallel([&](int tid) {
       while (true) {
-        const std::int64_t c = next.fetch_add(min_chunk);
-        if (c >= end) break;
-        body(c, std::min(end, c + min_chunk), tid);
+        const std::int64_t ci = next_chunk.fetch_add(1);
+        if (ci >= nchunks) break;
+        const std::int64_t lo = begin + ci * min_chunk;
+        const std::int64_t hi = min_chunk > end - lo ? end : lo + min_chunk;
+        body(lo, hi, tid);
       }
     });
   } else {  // kGuided: shrinking chunks, floored at min_chunk.
+    std::atomic<std::int64_t> next{begin};
     std::mutex grab;
     parallel([&](int tid) {
       while (true) {
@@ -175,11 +208,27 @@ void ThreadTeam::barrier() {
   const int sense = barrier_sense_.load(std::memory_order_acquire);
   if (barrier_count_.fetch_add(1, std::memory_order_acq_rel) == size_ - 1) {
     barrier_count_.store(0, std::memory_order_relaxed);
-    barrier_sense_.store(1 - sense, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(barrier_mutex_);
+      barrier_sense_.store(1 - sense, std::memory_order_release);
+    }
+    barrier_cv_.notify_all();
   } else {
-    while (barrier_sense_.load(std::memory_order_acquire) == sense) {
+    // Spin briefly (cheap when the team fits in the host's cores), then
+    // block. Unbounded yield-spinning degrades quadratically once teams are
+    // oversubscribed — exactly the situation parallel sweeps create.
+    static const int kSpins = []() {
+      const unsigned hw = std::thread::hardware_concurrency();
+      return hw > 1 ? 256 : 1;
+    }();
+    for (int spin = 0; spin < kSpins; ++spin) {
+      if (barrier_sense_.load(std::memory_order_acquire) != sense) return;
       std::this_thread::yield();
     }
+    std::unique_lock<std::mutex> lock(barrier_mutex_);
+    barrier_cv_.wait(lock, [&] {
+      return barrier_sense_.load(std::memory_order_acquire) != sense;
+    });
   }
 }
 

@@ -41,7 +41,10 @@ class ThreadTeam {
 
   /// Run `region(thread_id)` on every thread of the team; returns when all
   /// threads finish. Exceptions thrown inside a region are captured and the
-  /// first one is rethrown on the caller after the join.
+  /// first one is rethrown on the caller after the join. Re-entering
+  /// parallel() (or parallel_for / parallel_reduce_sum) from inside a region
+  /// of the same team throws fibersim::Error — nested fork-join on one team
+  /// would corrupt the run protocol and deadlock.
   void parallel(const std::function<void(int)>& region);
 
   /// Work-shared loop over [begin, end). `chunk` <= 0 picks a default
@@ -84,9 +87,15 @@ class ThreadTeam {
   bool shutdown_ = false;
   std::function<void(int)> region_;
 
-  // In-region barrier (sense reversing).
+  // In-region barrier (sense reversing; brief spin, then condvar block —
+  // see barrier() for why unbounded spinning is ruinous when oversubscribed).
   std::atomic<int> barrier_count_{0};
   std::atomic<int> barrier_sense_{0};
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+
+  // Nested-parallel detection (see parallel()).
+  std::atomic<bool> in_parallel_{false};
 
   // Exception transport.
   std::mutex error_mutex_;

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <numeric>
 #include <set>
 #include <vector>
@@ -177,6 +178,94 @@ TEST(Schedule, Names) {
   EXPECT_STREQ(schedule_name(Schedule::kStatic), "static");
   EXPECT_STREQ(schedule_name(Schedule::kDynamic), "dynamic");
   EXPECT_STREQ(schedule_name(Schedule::kGuided), "guided");
+}
+
+// ----- nested-parallel detection -----
+
+TEST(Team, NestedParallelThrowsInsteadOfDeadlocking) {
+  ThreadTeam team(4);
+  EXPECT_THROW(team.parallel([&](int) {
+                 team.parallel([](int) {});
+               }),
+               Error);
+  // The protocol state must survive the rejected nesting.
+  std::atomic<int> hits{0};
+  team.parallel([&](int) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 4);
+}
+
+TEST(Team, NestedParallelForThrows) {
+  ThreadTeam team(3);
+  EXPECT_THROW(team.parallel([&](int) {
+                 team.parallel_for(0, 10,
+                                   [](std::int64_t, std::int64_t, int) {});
+               }),
+               Error);
+}
+
+TEST(Team, NestedParallelThrowsOnSizeOneTeamToo) {
+  // A team of 1 would not deadlock, but allowing nesting only there would
+  // make programs break the moment the team grows; the contract is uniform.
+  ThreadTeam team(1);
+  EXPECT_THROW(team.parallel([&](int) { team.parallel([](int) {}); }), Error);
+  int ok = 0;
+  team.parallel([&](int) { ++ok; });
+  EXPECT_EQ(ok, 1);
+}
+
+TEST(Team, SequentialRegionsAreNotNesting) {
+  ThreadTeam team(2);
+  for (int i = 0; i < 3; ++i) team.parallel([](int) {});
+  team.parallel_for(0, 8, [](std::int64_t, std::int64_t, int) {});
+  EXPECT_EQ(team.regions_executed(), 4u);
+}
+
+// ----- induction-variable overflow guards -----
+
+TEST(ParallelFor, ChunkedStaticNearInt64MaxDoesNotWrap) {
+  constexpr std::int64_t kEnd = std::numeric_limits<std::int64_t>::max();
+  constexpr std::int64_t kBegin = kEnd - 100;
+  ThreadTeam team(4);
+  std::vector<std::atomic<int>> hits(100);
+  // The old round-robin induction (`c += chunk * size_`) wrapped past the
+  // int64 maximum here and re-dispatched negative ranges forever.
+  team.parallel_for(kBegin, kEnd, Schedule::kStatic, 7,
+                    [&](std::int64_t lo, std::int64_t hi, int) {
+                      ASSERT_GE(lo, kBegin);
+                      ASSERT_LE(hi, kEnd);
+                      for (std::int64_t i = lo; i < hi; ++i) {
+                        hits[static_cast<std::size_t>(i - kBegin)]++;
+                      }
+                    });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, DynamicNearInt64MaxDoesNotWrap) {
+  constexpr std::int64_t kEnd = std::numeric_limits<std::int64_t>::max();
+  constexpr std::int64_t kBegin = kEnd - 50;
+  ThreadTeam team(3);
+  std::vector<std::atomic<int>> hits(50);
+  team.parallel_for(kBegin, kEnd, Schedule::kDynamic, 3,
+                    [&](std::int64_t lo, std::int64_t hi, int) {
+                      for (std::int64_t i = lo; i < hi; ++i) {
+                        hits[static_cast<std::size_t>(i - kBegin)]++;
+                      }
+                    });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, RejectsRangeWiderThanInt64) {
+  ThreadTeam team(2);
+  EXPECT_THROW(
+      team.parallel_for(std::numeric_limits<std::int64_t>::min(),
+                        std::numeric_limits<std::int64_t>::max(),
+                        Schedule::kStatic, 1,
+                        [](std::int64_t, std::int64_t, int) {}),
+      Error);
 }
 
 }  // namespace
