@@ -1,0 +1,37 @@
+#include "cg/codegen_cache.hpp"
+
+namespace fibersim::cg {
+
+std::shared_ptr<CodegenCache::Bucket> CodegenCache::bucket_for(const Key& key) {
+  {
+    std::shared_lock<std::shared_mutex> lock(map_mutex_);
+    const auto it = buckets_.find(key);
+    if (it != buckets_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(map_mutex_);
+  std::shared_ptr<Bucket>& slot = buckets_[key];
+  if (!slot) slot = std::make_shared<Bucket>();
+  return slot;
+}
+
+isa::WorkEstimate CodegenCache::apply(const CompileOptions& opts,
+                                      const isa::WorkEstimate& work,
+                                      std::uint64_t work_h) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  const std::shared_ptr<Bucket> bucket =
+      bucket_for(Key{opts.fingerprint(), work_h});
+
+  std::lock_guard<std::mutex> lock(bucket->mutex);
+  for (const Entry& entry : bucket->entries) {
+    if (isa::exactly_equal(entry.input, work)) return entry.output;
+  }
+  // Miss: transform under the bucket lock so a concurrent caller with the
+  // same value blocks here and then hits — evals_ counts unique values.
+  Entry entry{work, cg::apply(opts, work)};
+  const isa::WorkEstimate out = entry.output;
+  bucket->entries.push_back(std::move(entry));
+  evals_.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace fibersim::cg

@@ -40,6 +40,15 @@ void CompileOptions::validate() const {
   FS_REQUIRE(unroll >= 1 && unroll <= 64, "unroll factor out of range");
 }
 
+std::uint64_t CompileOptions::fingerprint() const {
+  validate();
+  // unroll <= 64 fits in 7 bits; the whole option set fits in 11.
+  return static_cast<std::uint64_t>(vectorize) |
+         (software_pipelining ? 1ull << 2 : 0) |
+         (static_cast<std::uint64_t>(unroll) << 3) |
+         (loop_fission ? 1ull << 10 : 0);
+}
+
 std::vector<CompileOptions> tuning_ladder() {
   return {CompileOptions::as_is(), CompileOptions::simd_enhanced(),
           CompileOptions::simd_sched()};

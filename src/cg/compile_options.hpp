@@ -8,6 +8,7 @@
 // the ablation study.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,13 @@ struct CompileOptions {
 
   std::string name() const;
   void validate() const;
+
+  /// Exact (collision-free) value fingerprint: every field bit-packed into
+  /// one word. Keys the codegen memo cache — equal fingerprints imply equal
+  /// options, so no verification compare is needed on lookup.
+  std::uint64_t fingerprint() const;
+
+  friend bool operator==(const CompileOptions&, const CompileOptions&) = default;
 };
 
 /// The preset sequence used by the T3 table (ordered: as-is, +SIMD, +sched).

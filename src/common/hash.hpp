@@ -1,0 +1,60 @@
+// Deterministic content hashing (FNV-1a, 64-bit).
+//
+// Used by the canonical-trace / prediction-memoization layer to key caches on
+// the *value* of model inputs: doubles are hashed by their bit pattern, so
+// the hash agrees exactly with bitwise equality (the equality the memo layer
+// verifies on every lookup — a hash collision can cost a bucket scan, never
+// a wrong result). Strings are length-prefixed so concatenations cannot
+// alias. The function is a pure value computation: stable across runs,
+// threads and hosts of the same endianness, and never seeded by time or
+// address.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace fibersim {
+
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffset = 14695981039346656037ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  constexpr explicit Fnv1a(std::uint64_t seed = kOffset) : state_(seed) {}
+
+  constexpr Fnv1a& byte(unsigned char b) {
+    state_ = (state_ ^ b) * kPrime;
+    return *this;
+  }
+
+  constexpr Fnv1a& u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<unsigned char>(v >> (8 * i)));
+    return *this;
+  }
+
+  constexpr Fnv1a& i64(std::int64_t v) {
+    return u64(static_cast<std::uint64_t>(v));
+  }
+
+  constexpr Fnv1a& i32(int v) { return i64(v); }
+
+  constexpr Fnv1a& b(bool v) { return byte(v ? 1 : 0); }
+
+  /// Bit-pattern hash: +0.0 and -0.0 hash differently, matching the bitwise
+  /// equality the memo layer uses (never semantic double comparison).
+  Fnv1a& f64(double v) { return u64(std::bit_cast<std::uint64_t>(v)); }
+
+  constexpr Fnv1a& str(std::string_view s) {
+    u64(s.size());
+    for (char c : s) byte(static_cast<unsigned char>(c));
+    return *this;
+  }
+
+  constexpr std::uint64_t value() const { return state_; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace fibersim

@@ -60,6 +60,11 @@ std::shared_ptr<const Runner::Execution> Runner::execute(
       }
     });
 
+    // Canonicalize at admission: validates the SPMD agreement contract once
+    // and compacts rank duplicates, so predictions never re-check or re-scan
+    // the raw ranks x phases trace.
+    exec.canonical = trace::CanonicalTrace::build(exec.job_trace);
+
     entry->exec = std::move(exec);
     native_runs_.fetch_add(1, std::memory_order_relaxed);
   });
@@ -77,8 +82,9 @@ ExperimentResult Runner::run(const ExperimentConfig& config) {
 
   ExperimentResult result;
   result.config = config;
-  result.prediction = trace::predict_job(config.processor, config.compile,
-                                         binding, exec->job_trace);
+  result.prediction = trace::predict_job(
+      config.processor, config.compile, binding, exec->canonical,
+      trace::PredictMemo{&codegen_cache_, &eval_cache_});
   result.job_trace = exec->job_trace;
   result.verified = exec->verified;
   result.check_value = exec->check_value;

@@ -52,9 +52,22 @@ class Runner {
     return native_runs_.load(std::memory_order_relaxed);
   }
 
+  /// Memoization counters, deterministic for a given run() call sequence
+  /// regardless of thread interleaving (see CodegenCache/EvalCache).
+  std::size_t codegen_evals() const { return codegen_cache_.evals(); }
+  std::size_t codegen_lookups() const { return codegen_cache_.lookups(); }
+  std::size_t codegen_hits() const { return codegen_cache_.hits(); }
+  std::size_t exec_evals() const { return eval_cache_.evals(); }
+  std::size_t exec_lookups() const { return eval_cache_.lookups(); }
+  std::size_t exec_hits() const { return eval_cache_.hits(); }
+
  private:
   struct Execution {
     trace::JobTrace job_trace;
+    /// Canonicalized at cache admission: rank/phase agreement validated once,
+    /// ranks grouped into value-identical equivalence classes. Every
+    /// prediction against this execution reads the canonical form.
+    trace::CanonicalTrace canonical;
     bool verified = false;
     double check_value = 0.0;
     std::string check_description;
@@ -77,6 +90,10 @@ class Runner {
   std::mutex cache_mutex_;
   std::map<Key, std::shared_ptr<Entry>> cache_;
   std::atomic<std::size_t> native_runs_{0};
+
+  // Shared memo layers for the canonical prediction path (thread-safe).
+  cg::CodegenCache codegen_cache_;
+  machine::EvalCache eval_cache_;
 };
 
 }  // namespace fibersim::core

@@ -23,6 +23,8 @@ struct VectorIsa {
 
   /// SIMD lanes for an element size in bytes (e.g. 8 for double).
   int lanes(int element_bytes) const { return vector_bits / 8 / element_bytes; }
+
+  friend bool operator==(const VectorIsa&, const VectorIsa&) = default;
 };
 
 /// Arm SVE at 512-bit as implemented by the A64FX.

@@ -8,6 +8,7 @@
 // therefore the contract between the three layers.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 namespace fibersim::isa {
@@ -63,5 +64,17 @@ struct WorkEstimate {
 
   std::string summary() const;
 };
+
+/// Bitwise value equality over every field (the equality the prediction memo
+/// layer caches under: two estimates are interchangeable iff the model sees
+/// the exact same bits). Distinguishes +0.0 from -0.0, consistent with
+/// work_hash.
+bool exactly_equal(const WorkEstimate& a, const WorkEstimate& b);
+
+/// Deterministic content hash of every field, agreeing with exactly_equal:
+/// exactly_equal(a, b) implies work_hash(a) == work_hash(b). Collisions are
+/// resolved by the caches via exact comparison, never trusted.
+std::uint64_t work_hash(const WorkEstimate& w,
+                        std::uint64_t seed = 14695981039346656037ull);
 
 }  // namespace fibersim::isa

@@ -1,0 +1,56 @@
+#include "machine/eval_cache.hpp"
+
+#include <algorithm>
+
+namespace fibersim::machine {
+
+std::uint64_t EvalCache::processor_token(const ProcessorConfig& cfg) {
+  {
+    std::shared_lock<std::shared_mutex> lock(proc_mutex_);
+    for (std::size_t i = 0; i < processors_.size(); ++i) {
+      if (processors_[i] == cfg) return i;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(proc_mutex_);
+  for (std::size_t i = 0; i < processors_.size(); ++i) {
+    if (processors_[i] == cfg) return i;
+  }
+  processors_.push_back(cfg);
+  return processors_.size() - 1;
+}
+
+std::size_t EvalCache::processors() const {
+  std::shared_lock<std::shared_mutex> lock(proc_mutex_);
+  return processors_.size();
+}
+
+std::shared_ptr<EvalCache::Bucket> EvalCache::bucket_for(const Key& key) {
+  {
+    std::shared_lock<std::shared_mutex> lock(map_mutex_);
+    const auto it = buckets_.find(key);
+    if (it != buckets_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(map_mutex_);
+  std::shared_ptr<Bucket>& slot = buckets_[key];
+  if (!slot) slot = std::make_shared<Bucket>();
+  return slot;
+}
+
+WorkEval EvalCache::work_eval(const ExecModel& exec, std::uint64_t token,
+                              const isa::WorkEstimate& work,
+                              std::uint64_t work_h) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  const std::shared_ptr<Bucket> bucket = bucket_for(Key{token, work_h});
+
+  std::lock_guard<std::mutex> lock(bucket->mutex);
+  for (const Entry& entry : bucket->entries) {
+    if (isa::exactly_equal(entry.input, work)) return entry.output;
+  }
+  Entry entry{work, exec.evaluate_work(work)};
+  const WorkEval out = entry.output;
+  bucket->entries.push_back(std::move(entry));
+  evals_.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace fibersim::machine

@@ -109,7 +109,66 @@ double ExecModel::barrier_seconds(int size, topo::Distance span) const {
   return rounds * hop_ns * 1e-9;
 }
 
+WorkEval ExecModel::evaluate_work(const isa::WorkEstimate& w) const {
+  w.validate();
+  WorkEval out;
+  out.flops = w.flops;
+
+  const TrafficSplit split = classify_locality(w.working_set_bytes, cfg_);
+  const double traffic = w.load_bytes + w.store_bytes;
+  double l1_bytes = traffic * split.l1_fraction;
+  double l2_bytes = traffic * split.l2_fraction;
+  double dram = traffic * split.mem_fraction;
+  if (w.dram_traffic_bytes >= 0.0) {
+    // The kernel knows its streaming volume; honour it and re-split the
+    // cache-served remainder in the classifier's L1:L2 proportion.
+    dram = std::min(w.dram_traffic_bytes, traffic);
+    const double cached = traffic - dram;
+    const double denom = split.l1_fraction + split.l2_fraction;
+    const double l1_share = denom > 0.0 ? split.l1_fraction / denom : 1.0;
+    l1_bytes = cached * l1_share;
+    l2_bytes = cached * (1.0 - l1_share);
+  }
+
+  // Shared-array traffic goes to the rank's home domain; private traffic is
+  // local to the thread's own domain (parallel first touch).
+  out.home_bytes = dram * w.shared_access_fraction;
+  out.local_bytes = dram - out.home_bytes;
+  out.dram_bytes = dram;
+
+  // In-core time: cache transfers run on the load/store ports and overlap
+  // with FP issue, so the thread is paced by the slower of the two (cache
+  // bandwidth is per-core, so it belongs to the thread, not to a shared
+  // channel).
+  const double cache_s =
+      cache_transfer_seconds(l1_bytes, cfg_.l1, cfg_.freq_hz) +
+      cache_transfer_seconds(l2_bytes, cfg_.l2, cfg_.freq_hz);
+  out.compute_s = std::max(compute_cycles(w) / cfg_.freq_hz, cache_s);
+  out.chain_s = chain_cycles(w) / cfg_.freq_hz;
+  return out;
+}
+
 PhaseTime ExecModel::evaluate_phase(const std::vector<ThreadWork>& threads) const {
+  // The naive path is the reference semantics: evaluate every thread's work
+  // individually, in order, then accumulate. The canonical prediction path
+  // reaches evaluate_phase_refs with shared (memoized) WorkEvals instead;
+  // because evaluate_work is a pure function and the accumulation below
+  // replays the same operations in the same order, both paths produce
+  // bit-identical PhaseTimes.
+  std::vector<WorkEval> evals;
+  evals.reserve(threads.size());
+  std::vector<ThreadRef> refs;
+  refs.reserve(threads.size());
+  for (const ThreadWork& t : threads) {
+    evals.push_back(evaluate_work(t.work));
+    refs.push_back(ThreadRef{&evals.back(), t.numa, t.home_numa,
+                             barrier_seconds(t.team_size, t.team_span)});
+  }
+  return evaluate_phase_refs(refs);
+}
+
+PhaseTime ExecModel::evaluate_phase_refs(
+    const std::vector<ThreadRef>& threads) const {
   FS_REQUIRE(!threads.empty(), "phase needs at least one thread");
   PhaseTime out;
 
@@ -122,52 +181,21 @@ PhaseTime ExecModel::evaluate_phase(const std::vector<ThreadWork>& threads) cons
   double worst_chain_s = 0.0;
   double worst_barrier_s = 0.0;
 
-  for (const ThreadWork& t : threads) {
-    const isa::WorkEstimate& w = t.work;
-    w.validate();
-    out.flops += w.flops;
+  for (const ThreadRef& t : threads) {
+    const WorkEval& e = *t.eval;
+    out.flops += e.flops;
 
-    const TrafficSplit split = classify_locality(w.working_set_bytes, cfg_);
-    const double traffic = w.load_bytes + w.store_bytes;
-    double l1_bytes = traffic * split.l1_fraction;
-    double l2_bytes = traffic * split.l2_fraction;
-    double dram = traffic * split.mem_fraction;
-    if (w.dram_traffic_bytes >= 0.0) {
-      // The kernel knows its streaming volume; honour it and re-split the
-      // cache-served remainder in the classifier's L1:L2 proportion.
-      dram = std::min(w.dram_traffic_bytes, traffic);
-      const double cached = traffic - dram;
-      const double denom = split.l1_fraction + split.l2_fraction;
-      const double l1_share = denom > 0.0 ? split.l1_fraction / denom : 1.0;
-      l1_bytes = cached * l1_share;
-      l2_bytes = cached * (1.0 - l1_share);
-    }
-
-    // Shared-array traffic goes to the rank's home domain; private traffic is
-    // local to the thread's own domain (parallel first touch).
-    const double to_home = dram * w.shared_access_fraction;
-    const double local = dram - to_home;
-    dram_bytes_by_domain[t.numa] += local;
-    dram_bytes_by_domain[t.home_numa] += to_home;
+    dram_bytes_by_domain[t.numa] += e.local_bytes;
+    dram_bytes_by_domain[t.home_numa] += e.home_bytes;
     if (t.home_numa != t.numa) {
-      remote_in_by_domain[t.home_numa] += to_home;
-      out.remote_bytes += to_home;
+      remote_in_by_domain[t.home_numa] += e.home_bytes;
+      out.remote_bytes += e.home_bytes;
     }
-    out.dram_bytes += dram;
+    out.dram_bytes += e.dram_bytes;
 
-    // In-core time: cache transfers run on the load/store ports and overlap
-    // with FP issue, so the thread is paced by the slower of the two (cache
-    // bandwidth is per-core, so it belongs to the thread, not to a shared
-    // channel).
-    const double cache_s =
-        cache_transfer_seconds(l1_bytes, cfg_.l1, cfg_.freq_hz) +
-        cache_transfer_seconds(l2_bytes, cfg_.l2, cfg_.freq_hz);
-    const double compute_s =
-        std::max(compute_cycles(w) / cfg_.freq_hz, cache_s);
-    worst_compute_s = std::max(worst_compute_s, compute_s);
-    worst_chain_s = std::max(worst_chain_s, chain_cycles(w) / cfg_.freq_hz);
-    worst_barrier_s =
-        std::max(worst_barrier_s, barrier_seconds(t.team_size, t.team_span));
+    worst_compute_s = std::max(worst_compute_s, e.compute_s);
+    worst_chain_s = std::max(worst_chain_s, e.chain_s);
+    worst_barrier_s = std::max(worst_barrier_s, t.barrier_s);
   }
 
   // Memory time: the most loaded channel paces the phase.

@@ -55,6 +55,33 @@ struct PhaseTime {
   double gflops() const { return total_s > 0.0 ? flops / total_s * 1e-9 : 0.0; }
 };
 
+/// The placement-independent part of one thread's phase evaluation: a pure
+/// function of (processor, work), computed by ExecModel::evaluate_work and
+/// memoizable across sweep points (machine::EvalCache). Everything a thread
+/// contributes to a phase beyond these numbers is placement bookkeeping
+/// (which NUMA domain each byte is charged to), which evaluate_phase_refs
+/// replays per thread exactly as the naive path does — so a phase assembled
+/// from cached WorkEvals is bit-identical to one evaluated from scratch.
+struct WorkEval {
+  double flops = 0.0;
+  double dram_bytes = 0.0;   ///< total DRAM traffic of the thread
+  double local_bytes = 0.0;  ///< DRAM traffic homed in the thread's domain
+  double home_bytes = 0.0;   ///< DRAM traffic homed in the rank's home domain
+  double compute_s = 0.0;    ///< in-core time (throughput/chain/cache bound)
+  double chain_s = 0.0;      ///< dependency-chain bound alone
+};
+
+/// One thread of a phase, referencing its (shared) work evaluation. The
+/// canonical prediction path materializes these instead of ranks x threads
+/// full ThreadWork records: per-thread state shrinks to placement plus a
+/// pointer into the per-equivalence-class evaluations.
+struct ThreadRef {
+  const WorkEval* eval = nullptr;
+  int numa = 0;
+  int home_numa = 0;
+  double barrier_s = 0.0;  ///< barrier_seconds(team_size, team_span)
+};
+
 class ExecModel {
  public:
   explicit ExecModel(ProcessorConfig cfg);
@@ -71,8 +98,18 @@ class ExecModel {
   /// Barrier cost for a team of `size` threads spanning `span`.
   double barrier_seconds(int size, topo::Distance span) const;
 
+  /// The placement-independent evaluation of one thread's work (validates,
+  /// splits traffic across the cache hierarchy, bounds in-core time).
+  WorkEval evaluate_work(const isa::WorkEstimate& work) const;
+
   /// Evaluate a whole bulk-synchronous phase across every thread of the job.
   PhaseTime evaluate_phase(const std::vector<ThreadWork>& threads) const;
+
+  /// The same evaluation from pre-computed work evaluations; `threads` must
+  /// be in the naive order (rank-major, thread-minor) for bit-identical
+  /// accumulation. evaluate_phase() is exactly this after an evaluate_work
+  /// per thread.
+  PhaseTime evaluate_phase_refs(const std::vector<ThreadRef>& threads) const;
 
  private:
   ProcessorConfig cfg_;

@@ -25,6 +25,8 @@ struct CacheLevel {
   double capacity_bytes = 0.0;  ///< capacity available to one core (L2: slice/share)
   double bytes_per_cycle = 0.0; ///< sustained per-core bandwidth
   double latency_cycles = 0.0;
+
+  friend bool operator==(const CacheLevel&, const CacheLevel&) = default;
 };
 
 struct ProcessorConfig {
@@ -85,6 +87,13 @@ struct ProcessorConfig {
   double balance() const { return peak_flops_node() / node_mem_bw(); }
 
   void validate() const;
+
+  /// Exact value equality over every field — the identity the prediction
+  /// memo layer registers processors under (machine::EvalCache), so two
+  /// configs share cached evaluations iff the model would see identical
+  /// parameters.
+  friend bool operator==(const ProcessorConfig&,
+                         const ProcessorConfig&) = default;
 };
 
 /// Power/clock operating modes exposed by the A64FX (and modelled uniformly

@@ -20,6 +20,8 @@ struct NodeShape {
 
   int numa_per_node() const { return sockets * numa_per_socket; }
   int cores_per_node() const { return numa_per_node() * cores_per_numa; }
+
+  friend bool operator==(const NodeShape&, const NodeShape&) = default;
 };
 
 /// Identifies one core in the whole machine.

@@ -1,0 +1,134 @@
+#include "trace/canonical.hpp"
+
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "isa/work_estimate.hpp"
+
+namespace fibersim::trace {
+
+namespace {
+
+bool comm_equal(const mp::CommLog& a, const mp::CommLog& b) {
+  if (a.sends.size() != b.sends.size() ||
+      a.collectives.size() != b.collectives.size()) {
+    return false;
+  }
+  for (auto ia = a.sends.begin(), ib = b.sends.begin(); ia != a.sends.end();
+       ++ia, ++ib) {
+    if (ia->first != ib->first || ia->second.messages != ib->second.messages ||
+        ia->second.bytes != ib->second.bytes) {
+      return false;
+    }
+  }
+  for (auto ia = a.collectives.begin(), ib = b.collectives.begin();
+       ia != a.collectives.end(); ++ia, ++ib) {
+    if (ia->first != ib->first || ia->second.calls != ib->second.calls ||
+        ia->second.bytes != ib->second.bytes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void hash_comm(Fnv1a& h, const mp::CommLog& comm) {
+  h.u64(comm.sends.size());
+  for (const auto& [dst, traffic] : comm.sends) {
+    h.i32(dst).u64(traffic.messages).u64(traffic.bytes);
+  }
+  h.u64(comm.collectives.size());
+  for (const auto& [kind, traffic] : comm.collectives) {
+    h.i32(static_cast<int>(kind)).u64(traffic.calls).u64(traffic.bytes);
+  }
+}
+
+}  // namespace
+
+bool records_equal(const PhaseRecord& a, const PhaseRecord& b) {
+  return a.name == b.name && a.parallel == b.parallel && a.timed == b.timed &&
+         a.entries == b.entries && isa::exactly_equal(a.work, b.work) &&
+         comm_equal(a.comm, b.comm);
+}
+
+std::uint64_t record_hash(const PhaseRecord& rec) {
+  Fnv1a h;
+  h.str(rec.name).b(rec.parallel).b(rec.timed).u64(rec.entries);
+  h.u64(isa::work_hash(rec.work));
+  hash_comm(h, rec.comm);
+  return h.value();
+}
+
+CanonicalTrace CanonicalTrace::build(const JobTrace& trace) {
+  FS_REQUIRE(!trace.empty(), "empty trace");
+  const std::size_t n_phases = trace.front().size();
+  for (const RankTrace& rt : trace) {
+    FS_REQUIRE(rt.size() == n_phases,
+               "ranks recorded different phase sequences");
+  }
+
+  CanonicalTrace out;
+  out.ranks_ = static_cast<int>(trace.size());
+  out.phases_.reserve(n_phases);
+
+  for (std::size_t p = 0; p < n_phases; ++p) {
+    const PhaseRecord& front = trace.front()[p];
+    Phase phase;
+    phase.name = front.name;
+    phase.parallel = front.parallel;
+    phase.timed = front.timed;
+    phase.entries = front.entries;
+    phase.class_of.resize(trace.size());
+
+    // Group ranks by record hash, confirming with full value comparison so a
+    // hash collision can only split sharing, never merge distinct records.
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_hash;
+    for (int rank = 0; rank < out.ranks_; ++rank) {
+      const PhaseRecord& rec = trace[static_cast<std::size_t>(rank)][p];
+      FS_REQUIRE(rec.name == phase.name,
+                 "ranks disagree on phase order: " + rec.name + " vs " +
+                     phase.name);
+      const std::uint64_t h = record_hash(rec);
+      std::vector<std::size_t>& bucket = by_hash[h];
+      std::size_t found = phase.classes.size();
+      for (std::size_t idx : bucket) {
+        if (records_equal(phase.classes[idx].record, rec)) {
+          found = idx;
+          break;
+        }
+      }
+      if (found == phase.classes.size()) {
+        Class cls;
+        cls.record = rec;
+        cls.work_hash = isa::work_hash(rec.work);
+        phase.classes.push_back(std::move(cls));
+        bucket.push_back(found);
+      }
+      phase.classes[found].ranks.push_back(rank);
+      phase.class_of[static_cast<std::size_t>(rank)] =
+          static_cast<int>(found);
+    }
+    out.phases_.push_back(std::move(phase));
+  }
+
+  Fnv1a fp;
+  fp.i32(out.ranks_).u64(out.phases_.size());
+  for (const Phase& phase : out.phases_) {
+    fp.str(phase.name).b(phase.parallel).b(phase.timed).u64(phase.entries);
+    fp.u64(phase.classes.size());
+    for (const Class& cls : phase.classes) {
+      fp.u64(record_hash(cls.record)).u64(cls.ranks.size());
+      for (int rank : cls.ranks) fp.i32(rank);
+    }
+  }
+  out.fingerprint_ = fp.value();
+  return out;
+}
+
+std::size_t CanonicalTrace::class_count() const {
+  std::size_t n = 0;
+  for (const Phase& phase : phases_) n += phase.classes.size();
+  return n;
+}
+
+}  // namespace fibersim::trace

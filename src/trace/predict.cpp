@@ -1,6 +1,7 @@
 #include "trace/predict.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "cg/codegen_model.hpp"
 #include "common/error.hpp"
@@ -10,30 +11,69 @@ namespace fibersim::trace {
 
 namespace {
 
-/// Communication seconds of one rank in one phase.
-double rank_comm_seconds(const machine::CommCostModel& model,
-                         const topo::Binding& binding, int rank,
-                         const mp::CommLog& comm) {
+/// Point-to-point communication seconds of one rank in one phase.
+double p2p_seconds(const machine::CommCostModel& model,
+                   const topo::Binding& binding, int rank,
+                   const mp::CommLog& comm) {
   double seconds = 0.0;
   for (const auto& [dst, traffic] : comm.sends) {
     const topo::Distance d = binding.rank_distance(rank, dst);
     seconds += static_cast<double>(traffic.messages) * model.latency_seconds(d) +
                static_cast<double>(traffic.bytes) / model.bandwidth(d);
   }
-  const topo::Distance span = binding.job_span();
+  return seconds;
+}
+
+/// One cost term per collective kind (per_call x calls, in map order).
+/// Collective cost depends only on the log and the job-wide geometry, so a
+/// whole equivalence class shares one term vector.
+std::vector<double> collective_terms(const machine::CommCostModel& model,
+                                     int ranks, topo::Distance span,
+                                     const mp::CommLog& comm) {
+  std::vector<double> terms;
+  terms.reserve(comm.collectives.size());
   for (const auto& [kind, traffic] : comm.collectives) {
     if (traffic.calls == 0) continue;
     const double bytes_per_call =
         static_cast<double>(traffic.bytes) / static_cast<double>(traffic.calls);
     double per_call = 0.0;
     if (kind == mp::CollectiveKind::kAlltoall) {
-      per_call = model.alltoall_seconds(binding.ranks(), bytes_per_call, span);
+      per_call = model.alltoall_seconds(ranks, bytes_per_call, span);
     } else {
-      per_call = model.collective_seconds(binding.ranks(), bytes_per_call, span);
+      per_call = model.collective_seconds(ranks, bytes_per_call, span);
     }
-    seconds += per_call * static_cast<double>(traffic.calls);
+    terms.push_back(per_call * static_cast<double>(traffic.calls));
+  }
+  return terms;
+}
+
+/// Communication seconds of one rank in one phase (naive path).
+double rank_comm_seconds(const machine::CommCostModel& model,
+                         const topo::Binding& binding, int rank,
+                         const mp::CommLog& comm) {
+  double seconds = p2p_seconds(model, binding, rank, comm);
+  const topo::Distance span = binding.job_span();
+  for (const double term : collective_terms(model, binding.ranks(), span, comm)) {
+    seconds += term;
   }
   return seconds;
+}
+
+/// Fold one evaluated phase into the job aggregates (identical for the naive
+/// and canonical paths).
+void accumulate_phase(JobPrediction& out, PhasePrediction&& phase) {
+  if (phase.timed) {
+    out.compute_s += phase.time.compute_s;
+    out.memory_s += phase.time.memory_s;
+    out.barrier_s += phase.time.barrier_s;
+    out.comm_s += phase.comm_s;
+    out.total_s += phase.total_s;
+    out.flops += phase.time.flops;
+    out.dram_bytes += phase.time.dram_bytes;
+  } else {
+    out.setup_s += phase.total_s;
+  }
+  out.phases.push_back(std::move(phase));
 }
 
 }  // namespace
@@ -121,18 +161,124 @@ JobPrediction predict_job(const machine::ProcessorConfig& cfg,
     phase.comm_s = worst_comm_s;
     phase.total_s = phase.time.total_s + phase.comm_s;
 
-    if (phase.timed) {
-      out.compute_s += phase.time.compute_s;
-      out.memory_s += phase.time.memory_s;
-      out.barrier_s += phase.time.barrier_s;
-      out.comm_s += phase.comm_s;
-      out.total_s += phase.total_s;
-      out.flops += phase.time.flops;
-      out.dram_bytes += phase.time.dram_bytes;
-    } else {
-      out.setup_s += phase.total_s;
+    accumulate_phase(out, std::move(phase));
+  }
+  return out;
+}
+
+JobPrediction predict_job(const machine::ProcessorConfig& cfg,
+                          const cg::CompileOptions& opts,
+                          const topo::Binding& binding,
+                          const CanonicalTrace& trace,
+                          const PredictMemo& memo) {
+  FS_REQUIRE(trace.ranks() == binding.ranks(),
+             "trace rank count does not match the binding");
+
+  const machine::ExecModel exec(cfg);
+  const machine::CommCostModel comm_model(cfg);
+  const int ranks = binding.ranks();
+  const int threads = binding.threads_per_rank();
+  const std::uint64_t proc_token =
+      memo.exec ? memo.exec->processor_token(cfg) : 0;
+
+  // Placement tables: computed once per sweep point and reused by every
+  // phase (the naive path re-derives them per thread entry per phase).
+  const std::size_t nt = static_cast<std::size_t>(ranks) *
+                         static_cast<std::size_t>(threads);
+  std::vector<int> numa_of(nt);
+  std::vector<int> home_of(ranks);
+  std::vector<double> team_barrier(ranks);
+  topo::Distance widest = topo::Distance::kSameNuma;
+  for (int rank = 0; rank < ranks; ++rank) {
+    for (int t = 0; t < threads; ++t) {
+      numa_of[static_cast<std::size_t>(rank) * threads + t] =
+          binding.thread_numa(rank, t);
     }
-    out.phases.push_back(std::move(phase));
+    home_of[static_cast<std::size_t>(rank)] = binding.home_numa(rank);
+    const topo::Distance span = binding.team_span(rank);
+    team_barrier[static_cast<std::size_t>(rank)] =
+        exec.barrier_seconds(threads, span);
+    widest = std::max(widest, span);
+  }
+  const topo::Distance job_span = binding.job_span();
+
+  JobPrediction out;
+  out.phases.reserve(trace.phase_count());
+  std::vector<machine::ThreadRef> refs;
+  refs.reserve(nt);
+
+  struct ClassEval {
+    machine::WorkEval eval;
+    std::vector<double> coll_terms;
+  };
+  std::vector<ClassEval> class_evals;
+
+  for (const CanonicalTrace::Phase& ph : trace.phases()) {
+    const bool fan_out = ph.parallel && threads > 1;
+
+    // Stage 1 — per equivalence class, not per rank: codegen transform,
+    // thread-share scaling, exec-model work evaluation, collective costs.
+    class_evals.clear();
+    class_evals.reserve(ph.classes.size());
+    for (const CanonicalTrace::Class& cls : ph.classes) {
+      const isa::WorkEstimate generated =
+          memo.codegen ? memo.codegen->apply(opts, cls.record.work, cls.work_hash)
+                       : cg::apply(opts, cls.record.work);
+      const isa::WorkEstimate per_thread =
+          fan_out ? generated.scaled(1.0 / static_cast<double>(threads))
+                  : generated;
+      ClassEval ce;
+      ce.eval = memo.exec
+                    ? memo.exec->work_eval(exec, proc_token, per_thread,
+                                           isa::work_hash(per_thread))
+                    : exec.evaluate_work(per_thread);
+      ce.coll_terms =
+          collective_terms(comm_model, ranks, job_span, cls.record.comm);
+      class_evals.push_back(std::move(ce));
+    }
+
+    // Stage 2 — cheap placement replay in the naive rank-major order, so the
+    // accumulation sequence (and therefore every output bit) matches the
+    // naive path exactly.
+    refs.clear();
+    double worst_comm_s = 0.0;
+    for (int rank = 0; rank < ranks; ++rank) {
+      const std::size_t ci =
+          static_cast<std::size_t>(ph.class_of[static_cast<std::size_t>(rank)]);
+      const ClassEval& ce = class_evals[ci];
+      if (fan_out) {
+        for (int t = 0; t < threads; ++t) {
+          refs.push_back(machine::ThreadRef{
+              &ce.eval, numa_of[static_cast<std::size_t>(rank) * threads + t],
+              home_of[static_cast<std::size_t>(rank)],
+              team_barrier[static_cast<std::size_t>(rank)]});
+        }
+      } else {
+        refs.push_back(machine::ThreadRef{
+            &ce.eval, numa_of[static_cast<std::size_t>(rank) * threads],
+            home_of[static_cast<std::size_t>(rank)], 0.0});
+      }
+      double comm_s = p2p_seconds(comm_model, binding, rank,
+                                  ph.classes[ci].record.comm);
+      for (const double term : ce.coll_terms) comm_s += term;
+      worst_comm_s = std::max(worst_comm_s, comm_s);
+    }
+
+    PhasePrediction phase;
+    phase.name = ph.name;
+    phase.timed = ph.timed;
+    phase.time = exec.evaluate_phase_refs(refs);
+    // Per-entry team barriers: one fork-join per phase entry.
+    if (ph.parallel && threads > 1 && ph.entries > 1) {
+      phase.time.barrier_s += static_cast<double>(ph.entries - 1) *
+                              exec.barrier_seconds(threads, widest);
+      phase.time.total_s += static_cast<double>(ph.entries - 1) *
+                            exec.barrier_seconds(threads, widest);
+    }
+    phase.comm_s = worst_comm_s;
+    phase.total_s = phase.time.total_s + phase.comm_s;
+
+    accumulate_phase(out, std::move(phase));
   }
   return out;
 }

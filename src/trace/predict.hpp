@@ -9,18 +9,16 @@
 #include <string>
 #include <vector>
 
+#include "cg/codegen_cache.hpp"
 #include "cg/compile_options.hpp"
+#include "machine/eval_cache.hpp"
 #include "machine/exec_model.hpp"
 #include "machine/processor.hpp"
 #include "topo/binding.hpp"
+#include "trace/canonical.hpp"
 #include "trace/recorder.hpp"
 
 namespace fibersim::trace {
-
-/// One rank's recorded trace.
-using RankTrace = std::vector<PhaseRecord>;
-/// The whole job: per-rank traces, index == rank.
-using JobTrace = std::vector<RankTrace>;
 
 struct PhasePrediction {
   std::string name;
@@ -53,8 +51,33 @@ struct JobPrediction {
 /// work is distributed over the rank's threads (evenly for parallel phases,
 /// on the master for serial ones), placed according to `binding`, transformed
 /// by `opts`, and evaluated on `cfg`.
+///
+/// This is the naive reference path: it validates the agreement contract and
+/// evaluates codegen + exec model per rank x thread on every call. Sweeps
+/// should canonicalize once and use the CanonicalTrace overload below.
 JobPrediction predict_job(const machine::ProcessorConfig& cfg,
                           const cg::CompileOptions& opts,
                           const topo::Binding& binding, const JobTrace& trace);
+
+/// Optional shared memo caches for the canonical prediction path. Both
+/// pointers may be null (that stage then evaluates directly, still only once
+/// per equivalence class). The caches are thread-safe; one pair is typically
+/// owned by a core::Runner and shared by every sweep point.
+struct PredictMemo {
+  cg::CodegenCache* codegen = nullptr;
+  machine::EvalCache* exec = nullptr;
+};
+
+/// Predict from a canonicalized trace: bit-identical to the naive overload
+/// on the trace the CanonicalTrace was built from, but the per-phase cost is
+/// O(equivalence classes) codegen/exec-model evaluations (shared further
+/// across calls through `memo`) plus O(ranks x threads) cheap placement
+/// accumulation — the string-compare validation of the naive path happened
+/// once, at CanonicalTrace::build.
+JobPrediction predict_job(const machine::ProcessorConfig& cfg,
+                          const cg::CompileOptions& opts,
+                          const topo::Binding& binding,
+                          const CanonicalTrace& trace,
+                          const PredictMemo& memo = {});
 
 }  // namespace fibersim::trace

@@ -31,6 +31,11 @@ struct PhaseRecord {
   std::uint64_t entries = 0;
 };
 
+/// One rank's recorded trace.
+using RankTrace = std::vector<PhaseRecord>;
+/// The whole job: per-rank traces, index == rank.
+using JobTrace = std::vector<RankTrace>;
+
 class Recorder {
  public:
   /// `comm` may be null for single-rank runs without message passing.
