@@ -5,22 +5,32 @@
 // --jobs fans the sweep out over a core::SweepPool; the printed tables are
 // byte-identical for any job count (default 1 so that timing comparisons
 // against the serial engine stay trivial: time ./tab_mpi_omp --jobs 4).
+//
+// Resilience knobs (see core::SweepControl): [--fault-plan spec]
+// [--retries N] [--watchdog S] [--journal path] [--keep-going]
+// [--fail-fast]. FIBERSIM_FAULT_PLAN in the environment also installs a
+// fault plan; the flag overrides it.
 #pragma once
 
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/barchart.hpp"
 #include "common/string_util.hpp"
 #include "common/table.hpp"
+#include "core/journal.hpp"
 #include "core/reports.hpp"
+#include "fault/fault.hpp"
 
 namespace fibersim::bench {
 
 struct Args {
   core::ReportContext ctx;
   bool csv = false;
+  /// Owns the --journal file handle; ctx.journal points at it.
+  std::shared_ptr<core::SweepJournal> journal;
 };
 
 inline Args parse_args(int argc, char** argv, core::Runner& runner,
@@ -28,6 +38,7 @@ inline Args parse_args(int argc, char** argv, core::Runner& runner,
   Args args;
   args.ctx.runner = &runner;
   args.ctx.dataset = default_dataset;
+  fault::install_from_env();
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto value = [&]() -> std::string {
@@ -54,6 +65,19 @@ inline Args parse_args(int argc, char** argv, core::Runner& runner,
       }
     } else if (a == "--csv") {
       args.csv = true;
+    } else if (a == "--fault-plan") {
+      fault::install(fault::Plan::parse(value()));
+    } else if (a == "--retries") {
+      args.ctx.max_retries = std::stoi(value());
+    } else if (a == "--watchdog") {
+      args.ctx.watchdog_s = std::stod(value());
+    } else if (a == "--journal") {
+      args.journal = std::make_shared<core::SweepJournal>(value());
+      args.ctx.journal = args.journal.get();
+    } else if (a == "--keep-going") {
+      args.ctx.keep_going = true;
+    } else if (a == "--fail-fast") {
+      args.ctx.keep_going = false;
     } else {
       std::cerr << "unknown argument: " << a << "\n";
       std::exit(2);

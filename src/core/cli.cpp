@@ -2,16 +2,19 @@
 
 #include <fstream>
 #include <map>
+#include <memory>
 #include <ostream>
 
 #include "common/error.hpp"
 #include "trace/serialize.hpp"
 #include "common/string_util.hpp"
 #include "core/config_parse.hpp"
+#include "core/journal.hpp"
 #include "core/reports.hpp"
 #include "core/runner.hpp"
 #include "core/sweep.hpp"
 #include "core/sweep_pool.hpp"
+#include "fault/fault.hpp"
 
 namespace fibersim::core {
 
@@ -34,7 +37,15 @@ constexpr const char* kUsage =
     "         [--jobs N]         regenerate one table/figure (see list);\n"
     "                            id 'all' regenerates every one. --jobs sets\n"
     "                            the sweep worker count (default: all cores;\n"
-    "                            output is identical for any job count)\n";
+    "                            output is identical for any job count)\n"
+    "    resilience: [--fault-plan spec] install a deterministic fault plan\n"
+    "                (also read from env FIBERSIM_FAULT_PLAN)\n"
+    "                [--retries N] retry failed sweep tasks up to N times\n"
+    "                [--watchdog S] doom mailbox waits blocked > S seconds\n"
+    "                [--journal path] JSONL journal: skip completed configs\n"
+    "                on resume, record fresh completions\n"
+    "                [--keep-going] render failed slots as FAILED(class)\n"
+    "                [--fail-fast] abort on the first failed slot (default)\n";
 
 int cmd_list(std::ostream& out) {
   out << "miniapps:\n";
@@ -183,29 +194,60 @@ int cmd_report(const std::vector<std::string>& args, std::ostream& out,
   ctx.runner = &runner;
   ctx.dataset = apps::Dataset::kLarge;
   ctx.jobs = SweepPool::default_jobs();
-  for (std::size_t i = 1; i < args.size(); i += 2) {
+  std::unique_ptr<SweepJournal> journal;  // owns the --journal file handle
+  for (std::size_t i = 1; i < args.size();) {
+    const std::string& key = args[i];
+    if (key == "--keep-going") {
+      ctx.keep_going = true;
+      ++i;
+      continue;
+    }
+    if (key == "--fail-fast") {
+      ctx.keep_going = false;
+      ++i;
+      continue;
+    }
     if (i + 1 >= args.size()) {
-      err << "missing value for " << args[i] << "\n";
+      err << "missing value for " << key << "\n";
       return 2;
     }
-    if (args[i] == "--apps") {
-      ctx.app_names = split(args[i + 1], ',');
-    } else if (args[i] == "--dataset") {
-      ctx.dataset = parse_dataset(args[i + 1]);
-    } else if (args[i] == "--iterations") {
-      ctx.iterations = std::stoi(args[i + 1]);
-    } else if (args[i] == "--seed") {
-      ctx.seed = std::stoull(args[i + 1]);
-    } else if (args[i] == "--jobs") {
-      ctx.jobs = std::stoi(args[i + 1]);
+    const std::string& value = args[i + 1];
+    if (key == "--apps") {
+      ctx.app_names = split(value, ',');
+    } else if (key == "--dataset") {
+      ctx.dataset = parse_dataset(value);
+    } else if (key == "--iterations") {
+      ctx.iterations = std::stoi(value);
+    } else if (key == "--seed") {
+      ctx.seed = std::stoull(value);
+    } else if (key == "--jobs") {
+      ctx.jobs = std::stoi(value);
       if (ctx.jobs < 1) {
         err << "--jobs must be >= 1\n";
         return 2;
       }
+    } else if (key == "--fault-plan") {
+      fault::install(fault::Plan::parse(value));
+    } else if (key == "--retries") {
+      ctx.max_retries = std::stoi(value);
+      if (ctx.max_retries < 0) {
+        err << "--retries must be >= 0\n";
+        return 2;
+      }
+    } else if (key == "--watchdog") {
+      ctx.watchdog_s = std::stod(value);
+      if (ctx.watchdog_s < 0.0) {
+        err << "--watchdog must be >= 0\n";
+        return 2;
+      }
+    } else if (key == "--journal") {
+      journal = std::make_unique<SweepJournal>(value);
+      ctx.journal = journal.get();
     } else {
-      err << "unknown flag: " << args[i] << "\n";
+      err << "unknown flag: " << key << "\n";
       return 2;
     }
+    i += 2;
   }
 
   if (id == "all") {
@@ -279,6 +321,9 @@ int cli_main(const std::vector<std::string>& args, std::ostream& out,
   const std::string command = args[1];
   const std::vector<std::string> rest(args.begin() + 2, args.end());
   try {
+    // Environment fault plan (FIBERSIM_FAULT_PLAN) applies to every command;
+    // an explicit --fault-plan flag overrides it.
+    fault::install_from_env();
     if (command == "list") return cmd_list(out);
     if (command == "describe") return cmd_describe(rest, out, err);
     if (command == "run") return cmd_run(rest, out, err);

@@ -18,17 +18,44 @@ void ReportContext::validate() const {
   FS_REQUIRE(runner != nullptr, "ReportContext needs a runner");
   FS_REQUIRE(iterations >= 1, "ReportContext needs >= 1 iteration");
   FS_REQUIRE(jobs >= 1, "ReportContext needs >= 1 job");
+  FS_REQUIRE(max_retries >= 0, "ReportContext needs >= 0 retries");
+}
+
+SweepControl ReportContext::sweep_control() const {
+  SweepControl control;
+  control.max_retries = max_retries;
+  control.backoff_s = backoff_s;
+  control.watchdog_s = watchdog_s;
+  control.keep_going = keep_going;
+  control.journal = journal;
+  return control;
+}
+
+SweepOutcome run_experiments_resilient(
+    const ReportContext& ctx, const std::vector<ExperimentConfig>& configs) {
+  ctx.validate();
+  return SweepPool(ctx.jobs).run_resilient(*ctx.runner, configs,
+                                           ctx.sweep_control());
 }
 
 std::vector<ExperimentResult> run_experiments(
     const ReportContext& ctx, const std::vector<ExperimentConfig>& configs) {
-  ctx.validate();
-  return SweepPool(ctx.jobs).run(*ctx.runner, configs);
+  SweepOutcome outcome = run_experiments_resilient(ctx, configs);
+  // Callers of this overload index results unconditionally, so a partial
+  // sweep must not leak through even when the context says keep_going.
+  if (!outcome.ok()) std::rethrow_exception(outcome.failures.front().error);
+  return std::move(outcome.results);
 }
 
 namespace {
 
 std::string fmt_ms(double seconds) { return strfmt("%.3f", seconds * 1e3); }
+
+/// Degraded-cell rendering: a slot whose task failed (after retries) shows
+/// its failure class, deterministically — never a half-baked number.
+std::string failed_cell(const TaskFailure& failure) {
+  return strfmt("FAILED(%s)", failure.reason.c_str());
+}
 
 ExperimentConfig base_config(const ReportContext& ctx, const std::string& app) {
   ExperimentConfig cfg;
@@ -72,13 +99,17 @@ TextTable mpi_omp_table(const ReportContext& ctx) {
       configs.push_back(std::move(cfg));
     }
   }
-  const auto results = run_experiments(ctx, configs);
+  const SweepOutcome run = run_experiments_resilient(ctx, configs);
 
   std::size_t i = 0;
   for (const std::string& app : apps_list) {
     std::vector<std::string> row{app};
     for (std::size_t c = 0; c < combos.size(); ++c, ++i) {
-      const ExperimentResult& res = results[i];
+      if (const TaskFailure* failure = run.failure(i)) {
+        row.push_back(failed_cell(*failure));
+        continue;
+      }
+      const ExperimentResult& res = run.results[i];
       row.push_back(fmt_ms(res.seconds()) + (res.verified ? "" : "!"));
     }
     table.add_row(std::move(row));
@@ -104,21 +135,33 @@ TextTable mpi_omp_relative_table(const ReportContext& ctx) {
       configs.push_back(std::move(cfg));
     }
   }
-  const auto results = run_experiments(ctx, configs);
+  const SweepOutcome run = run_experiments_resilient(ctx, configs);
 
   std::size_t i = 0;
   for (const std::string& app : apps_list) {
-    std::vector<double> times;
+    const std::size_t row_base = i;
+    double best = 0.0;
+    std::size_t best_idx = combos.size();  // past-the-end = no point completed
     for (std::size_t c = 0; c < combos.size(); ++c, ++i) {
-      times.push_back(results[i].seconds());
+      if (!run.completed(i)) continue;
+      const double t = run.results[i].seconds();
+      if (best_idx == combos.size() || t < best) {
+        best = t;
+        best_idx = c;
+      }
     }
-    const double best = *std::min_element(times.begin(), times.end());
-    const std::size_t best_idx = static_cast<std::size_t>(
-        std::min_element(times.begin(), times.end()) - times.begin());
     std::vector<std::string> row{app};
-    for (double t : times) row.push_back(strfmt("%.2f", t / best));
-    row.push_back(strfmt("%dx%d", combos[best_idx].first,
-                         combos[best_idx].second));
+    for (std::size_t c = 0; c < combos.size(); ++c) {
+      if (const TaskFailure* failure = run.failure(row_base + c)) {
+        row.push_back(failed_cell(*failure));
+      } else {
+        row.push_back(strfmt("%.2f", run.results[row_base + c].seconds() / best));
+      }
+    }
+    row.push_back(best_idx < combos.size()
+                      ? strfmt("%dx%d", combos[best_idx].first,
+                               combos[best_idx].second)
+                      : std::string("-"));
     table.add_row(std::move(row));
   }
   return table;
@@ -151,19 +194,27 @@ TextTable thread_stride_table(const ReportContext& ctx) {
       configs.push_back(std::move(cfg));
     }
   }
-  const auto results = run_experiments(ctx, configs);
+  const SweepOutcome run = run_experiments_resilient(ctx, configs);
 
   std::size_t i = 0;
   for (const std::string& app : apps_list) {
-    std::vector<double> times;
+    std::vector<double> times;  // completed slots only
     std::vector<std::string> row{app};
     for (std::size_t c = 0; c < policies.size(); ++c, ++i) {
-      const double t = results[i].seconds();
+      if (const TaskFailure* failure = run.failure(i)) {
+        row.push_back(failed_cell(*failure));
+        continue;
+      }
+      const double t = run.results[i].seconds();
       times.push_back(t);
       row.push_back(fmt_ms(t));
     }
-    const auto [lo, hi] = std::minmax_element(times.begin(), times.end());
-    row.push_back(strfmt("%.2f", *hi / *lo));
+    if (times.empty()) {
+      row.push_back("-");
+    } else {
+      const auto [lo, hi] = std::minmax_element(times.begin(), times.end());
+      row.push_back(strfmt("%.2f", *hi / *lo));
+    }
     table.add_row(std::move(row));
   }
   return table;
@@ -189,21 +240,29 @@ AllocReport proc_alloc_report(const ReportContext& ctx) {
       configs.push_back(std::move(cfg));
     }
   }
-  const auto results = run_experiments(ctx, configs);
+  const SweepOutcome run = run_experiments_resilient(ctx, configs);
 
   std::size_t i = 0;
   for (const std::string& app : apps_list) {
-    std::vector<double> times;
+    std::vector<double> times;  // completed slots only
     std::vector<std::string> row{app};
     for (std::size_t c = 0; c < policies.size(); ++c, ++i) {
-      const double t = results[i].seconds();
+      if (const TaskFailure* failure = run.failure(i)) {
+        row.push_back(failed_cell(*failure));
+        continue;
+      }
+      const double t = run.results[i].seconds();
       times.push_back(t);
       row.push_back(fmt_ms(t));
     }
-    const auto [lo, hi] = std::minmax_element(times.begin(), times.end());
-    const double spread = (*hi - *lo) / *lo;
-    report.max_spread = std::max(report.max_spread, spread);
-    row.push_back(strfmt("%.1f%%", spread * 100.0));
+    if (times.empty()) {
+      row.push_back("-");
+    } else {
+      const auto [lo, hi] = std::minmax_element(times.begin(), times.end());
+      const double spread = (*hi - *lo) / *lo;
+      report.max_spread = std::max(report.max_spread, spread);
+      row.push_back(strfmt("%.1f%%", spread * 100.0));
+    }
     report.table.add_row(std::move(row));
   }
   return report;

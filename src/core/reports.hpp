@@ -10,6 +10,7 @@
 
 #include "common/table.hpp"
 #include "core/runner.hpp"
+#include "core/sweep_pool.hpp"
 
 namespace fibersim::core {
 
@@ -28,14 +29,33 @@ struct ReportContext {
   /// any value produces byte-identical report output.
   int jobs = 1;
 
+  // Resilience knobs (see SweepControl). With keep_going, the sweep-grid
+  // reports (T2/F1/F2/F3) render slots whose task failed after retries as
+  // FAILED(<class>) instead of aborting; best-of reports still require
+  // every point and rethrow the first failure.
+  int max_retries = 0;
+  double backoff_s = 0.01;
+  double watchdog_s = 0.0;
+  bool keep_going = false;
+  /// Optional kill+resume journal shared by every sweep of this context.
+  SweepJournal* journal = nullptr;
+
   std::vector<std::string> apps_or_default() const;
   void validate() const;
+  SweepControl sweep_control() const;
 };
 
 /// Evaluate every config through ctx.runner, fanning out over ctx.jobs
 /// workers; results come back in input order regardless of the job count.
-/// Every sweep-shaped report below funnels its experiments through this.
+/// Throws the lowest-index failure (after retries) even under keep_going —
+/// callers that can degrade use run_experiments_resilient instead.
 std::vector<ExperimentResult> run_experiments(
+    const ReportContext& ctx, const std::vector<ExperimentConfig>& configs);
+
+/// As run_experiments, but under ctx.keep_going failed slots are returned in
+/// SweepOutcome::failures instead of thrown, so reports can render partial
+/// sweeps.
+SweepOutcome run_experiments_resilient(
     const ReportContext& ctx, const std::vector<ExperimentConfig>& configs);
 
 /// T1 — machine configuration table (no execution needed).

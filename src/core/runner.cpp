@@ -3,11 +3,96 @@
 #include <mutex>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "common/log.hpp"
+#include "common/string_util.hpp"
+#include "fault/fault.hpp"
 #include "mp/job.hpp"
 #include "rt/thread_team.hpp"
 
 namespace fibersim::core {
+
+namespace {
+std::uint64_t execution_key_hash(const ExperimentConfig& config) {
+  return Fnv1a()
+      .str(config.app)
+      .i32(static_cast<int>(config.dataset))
+      .i32(config.ranks)
+      .i32(config.threads)
+      .i32(config.iterations)
+      .i32(config.weak_scale)
+      .u64(config.seed)
+      .value();
+}
+}  // namespace
+
+Runner::Execution Runner::run_native(const ExperimentConfig& config,
+                                     int attempt) {
+  FS_LOG(kInfo) << "native run: " << config.app << "/"
+                << apps::dataset_name(config.dataset) << " " << config.ranks
+                << "x" << config.threads
+                << (attempt > 0 ? strfmt(" (attempt %d)", attempt) : "");
+
+  // Fault context for this attempt (cheap no-op construction when no plan
+  // is installed: one relaxed atomic load).
+  fault::Session session;
+  const fault::Session* faults = nullptr;
+  if (fault::enabled()) {
+    session = fault::Session(fault::active(), execution_key_hash(config),
+                             attempt);
+    if (session.plan() != nullptr) {
+      faults = &session;
+      if (session.should_fail_native_run()) {
+        throw Error(strfmt("%s: native run failure (attempt %d of %s)",
+                           fault::kInjectedMarker, attempt,
+                           config.label().c_str()));
+      }
+    }
+  }
+
+  Execution exec;
+  exec.job_trace.resize(static_cast<std::size_t>(config.ranks));
+  exec.verified = true;
+
+  std::mutex result_mutex;
+  mp::Job::run(
+      config.ranks,
+      [&](mp::Comm& comm) {
+        rt::ThreadTeam team(config.threads);
+        if (faults != nullptr) {
+          team.set_faults(faults,
+                          static_cast<std::uint64_t>(comm.rank()));
+        }
+        trace::Recorder recorder(&comm);
+        apps::RunContext ctx;
+        ctx.comm = &comm;
+        ctx.team = &team;
+        ctx.recorder = &recorder;
+        ctx.dataset = config.dataset;
+        ctx.seed = config.seed;
+        ctx.iterations = config.iterations;
+        ctx.weak_scale = config.weak_scale;
+
+        const auto app = apps::create_miniapp(config.app);
+        const apps::RunResult result = app->run(ctx);
+
+        exec.job_trace[static_cast<std::size_t>(comm.rank())] =
+            recorder.phases();
+        std::lock_guard<std::mutex> lock(result_mutex);
+        exec.verified = exec.verified && result.verified;
+        if (comm.rank() == 0) {
+          exec.check_value = result.check_value;
+          exec.check_description = result.check_description;
+        }
+      },
+      faults);
+
+  // Canonicalize at admission: validates the SPMD agreement contract once
+  // and compacts rank duplicates, so predictions never re-check or re-scan
+  // the raw ranks x phases trace.
+  exec.canonical = trace::CanonicalTrace::build(exec.job_trace);
+  return exec;
+}
 
 std::shared_ptr<const Runner::Execution> Runner::execute(
     const ExperimentConfig& config) {
@@ -23,57 +108,57 @@ std::shared_ptr<const Runner::Execution> Runner::execute(
     entry = slot;
   }
 
-  // Exactly one caller performs the native run; concurrent callers with the
-  // same key block here until it completes. If the run throws, the flag is
-  // left unset and the next caller retries.
-  std::call_once(entry->once, [&] {
-    FS_LOG(kInfo) << "native run: " << config.app << "/"
-                  << apps::dataset_name(config.dataset) << " " << config.ranks
-                  << "x" << config.threads;
-
-    Execution exec;
-    exec.job_trace.resize(static_cast<std::size_t>(config.ranks));
-    exec.verified = true;
-
-    std::mutex result_mutex;
-    mp::Job::run(config.ranks, [&](mp::Comm& comm) {
-      rt::ThreadTeam team(config.threads);
-      trace::Recorder recorder(&comm);
-      apps::RunContext ctx;
-      ctx.comm = &comm;
-      ctx.team = &team;
-      ctx.recorder = &recorder;
-      ctx.dataset = config.dataset;
-      ctx.seed = config.seed;
-      ctx.iterations = config.iterations;
-      ctx.weak_scale = config.weak_scale;
-
-      const auto app = apps::create_miniapp(config.app);
-      const apps::RunResult result = app->run(ctx);
-
-      exec.job_trace[static_cast<std::size_t>(comm.rank())] = recorder.phases();
-      std::lock_guard<std::mutex> lock(result_mutex);
-      exec.verified = exec.verified && result.verified;
-      if (comm.rank() == 0) {
-        exec.check_value = result.check_value;
-        exec.check_description = result.check_description;
-      }
-    });
-
-    // Canonicalize at admission: validates the SPMD agreement contract once
-    // and compacts rank duplicates, so predictions never re-check or re-scan
-    // the raw ranks x phases trace.
-    exec.canonical = trace::CanonicalTrace::build(exec.job_trace);
-
-    entry->exec = std::move(exec);
-    native_runs_.fetch_add(1, std::memory_order_relaxed);
-  });
-
-  return {entry, &entry->exec};
+  // Claim-or-wait loop. Exactly one caller runs natively at a time per key;
+  // everyone else blocks. A throwing run releases the claim with the entry
+  // still pending, so the first thread to wake (or arrive) retries — the
+  // entry is never wedged by a failure.
+  std::unique_lock<std::mutex> lock(entry->mutex);
+  while (true) {
+    if (entry->done) return {entry, &entry->exec};
+    if (entry->running) {
+      entry->cv.wait(lock);
+      continue;
+    }
+    entry->running = true;
+    const int attempt = entry->attempts++;
+    lock.unlock();
+    try {
+      Execution exec = run_native(config, attempt);
+      lock.lock();
+      entry->exec = std::move(exec);
+      entry->done = true;
+      entry->running = false;
+      native_runs_.fetch_add(1, std::memory_order_relaxed);
+      lock.unlock();
+      entry->cv.notify_all();
+      return {entry, &entry->exec};
+    } catch (...) {
+      lock.lock();
+      entry->running = false;
+      lock.unlock();
+      entry->cv.notify_all();
+      throw;
+    }
+  }
 }
 
-ExperimentResult Runner::run(const ExperimentConfig& config) {
+ExperimentResult Runner::run(const ExperimentConfig& config, int attempt) {
   config.validate();
+
+  // Deterministic prediction-failure injection: fires for the first
+  // plan.predict_fail attempts of any task, before the native run so a
+  // keep-going sweep that exhausts retries has not burned an execution slot.
+  if (fault::enabled()) {
+    const std::shared_ptr<const fault::Plan> plan = fault::active();
+    if (plan != nullptr && attempt < plan->predict_fail) {
+      fault::Log::record(strfmt("predict.fail config=%s attempt=%d",
+                                config.label().c_str(), attempt));
+      throw Error(strfmt("%s: prediction failure (attempt %d of %s)",
+                         fault::kInjectedMarker, attempt,
+                         config.label().c_str()));
+    }
+  }
+
   const std::shared_ptr<const Execution> exec = execute(config);
 
   const topo::Topology topology(config.processor.shape, config.nodes);

@@ -8,11 +8,19 @@
 //
 // Runner is thread-safe: run() may be called concurrently (the SweepPool
 // does exactly that). Concurrent calls with the same execution key coalesce
-// onto a single native run via a per-entry std::once_flag; every other
-// caller blocks until that run finishes and then reads the completed entry.
+// onto a single native run via a per-entry state machine; every other caller
+// blocks until that run finishes and then reads the completed entry. A
+// native run that *throws* releases the entry instead of wedging it — the
+// next caller (racing waiters included) claims the slot and retries, and the
+// per-entry attempt counter feeds the fault-injection salt so each retry
+// draws an independent fault pattern. (The previous std::once_flag design
+// could not express this: a throwing active call leaves waiters' behaviour
+// at the mercy of the libstdc++ once implementation, and there is no way to
+// observe the attempt number.)
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -44,7 +52,10 @@ struct ExperimentResult {
 class Runner {
  public:
   /// Run (or reuse the cached execution of) an experiment. Thread-safe.
-  ExperimentResult run(const ExperimentConfig& config);
+  /// `attempt` is the caller's retry attempt for this config (the SweepPool
+  /// passes its per-task attempt); it only matters under an active fault
+  /// plan, where it drives deterministic prediction-failure injection.
+  ExperimentResult run(const ExperimentConfig& config, int attempt = 0);
 
   /// Number of native executions performed so far (tests use this to assert
   /// the caching contract).
@@ -72,10 +83,17 @@ class Runner {
     double check_value = 0.0;
     std::string check_description;
   };
-  /// Cache slot: the once_flag serialises construction, after which the
-  /// execution is immutable and can be read without the cache lock.
+  /// Cache slot. One caller at a time runs natively (`running`); waiters
+  /// block on `cv`. Once `done`, the execution is immutable and readable
+  /// without any lock. A failed run flips `running` back off with `done`
+  /// still false, so whoever wakes first retries; `attempts` counts started
+  /// native runs (it salts fault injection and is observable in tests).
   struct Entry {
-    std::once_flag once;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool running = false;
+    bool done = false;
+    int attempts = 0;
     Execution exec;
   };
   using Key = std::tuple<std::string, int /*dataset*/, int /*ranks*/,
@@ -86,6 +104,9 @@ class Runner {
   /// independent of the cache map, so callers never hold a reference that
   /// another thread could invalidate or observe mid-construction.
   std::shared_ptr<const Execution> execute(const ExperimentConfig& config);
+
+  /// One native run attempt (no caching); throws on failure.
+  Execution run_native(const ExperimentConfig& config, int attempt);
 
   std::mutex cache_mutex_;
   std::map<Key, std::shared_ptr<Entry>> cache_;

@@ -1,9 +1,13 @@
 #include "mp/comm.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "fault/fault.hpp"
 #include "mp/job.hpp"
 
 namespace fibersim::mp {
@@ -14,6 +18,50 @@ namespace {
 // of the same kind from cross-matching.
 constexpr int kCollectiveTagBase = 1 << 24;
 constexpr int kCollectiveSeqSlots = 4096;
+
+/// The one push point every send path (user p2p and collective internals)
+/// funnels through, so an attached fault plan sees every message exactly
+/// once, numbered in per-(src, dst) program order.
+void deliver(detail::JobState& state, int dst, Message m) {
+  Mailbox& mbox = *state.mailboxes[static_cast<std::size_t>(dst)];
+  if (state.faults == nullptr) {
+    mbox.push(std::move(m));
+    return;
+  }
+  const std::size_t pair = static_cast<std::size_t>(m.source) *
+                               static_cast<std::size_t>(state.ranks) +
+                           static_cast<std::size_t>(dst);
+  const std::uint64_t seq = state.send_seq[pair]++;
+  switch (state.faults->on_send(m.source, dst, m.tag, seq)) {
+    case fault::SendAction::kDrop:
+      return;
+    case fault::SendAction::kDuplicate:
+      mbox.push(m);
+      mbox.push(std::move(m));
+      return;
+    case fault::SendAction::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(state.faults->delay_s()));
+      mbox.push(std::move(m));
+      return;
+    case fault::SendAction::kDeliver:
+      mbox.push(std::move(m));
+      return;
+  }
+}
+
+/// Rank-death hook: counts this rank's communication ops (single writer, so
+/// the count is scheduling-independent) and throws an injected death if the
+/// plan selects this (rank, op) site.
+void fault_op(detail::JobState& state, int rank) {
+  if (state.faults == nullptr) return;
+  const std::uint64_t op = state.op_seq[static_cast<std::size_t>(rank)]++;
+  if (state.faults->should_kill_rank(rank, op)) {
+    throw Error(strfmt("%s: rank %d death at communication op %llu",
+                       fault::kInjectedMarker, rank,
+                       static_cast<unsigned long long>(op)));
+  }
+}
 }  // namespace
 
 Mailbox& Comm::mailbox_of(int r) const {
@@ -25,18 +73,21 @@ void Comm::send_bytes(int dst, int tag, const void* data, std::size_t bytes) {
   FS_REQUIRE(tag >= 0 && tag < kCollectiveTagBase,
              "user tags must be in [0, 2^24)");
   FS_REQUIRE(bytes == 0 || data != nullptr, "null payload with nonzero size");
+  FS_REQUIRE(dst >= 0 && dst < size_, "peer rank out of range");
+  fault_op(*state_, rank_);
   Message m;
   m.source = rank_;
   m.tag = tag;
   m.payload.resize(bytes);
   if (bytes > 0) std::memcpy(m.payload.data(), data, bytes);
-  mailbox_of(dst).push(std::move(m));
+  deliver(*state_, dst, std::move(m));
   log_.record_send(dst, bytes);
 }
 
 void Comm::recv_bytes(int src, int tag, void* data, std::size_t bytes) {
   FS_REQUIRE(src == kAnySource || (src >= 0 && src < size_),
              "source rank out of range");
+  fault_op(*state_, rank_);
   Message m = mailbox_of(rank_).pop(src, tag);
   FS_REQUIRE(m.payload.size() == bytes,
              "recv size does not match the sent payload");
@@ -63,7 +114,7 @@ void raw_send(detail::JobState& state, int self, int dst, int tag,
   m.tag = tag;
   m.payload.resize(bytes);
   if (bytes > 0) std::memcpy(m.payload.data(), data, bytes);
-  state.mailboxes[static_cast<std::size_t>(dst)]->push(std::move(m));
+  deliver(state, dst, std::move(m));
 }
 
 void raw_recv(detail::JobState& state, int self, int src, int tag, void* data,
@@ -75,6 +126,7 @@ void raw_recv(detail::JobState& state, int self, int src, int tag, void* data,
 }  // namespace
 
 void Comm::barrier() {
+  fault_op(*state_, rank_);
   log_.record_collective(CollectiveKind::kBarrier, 0);
   // Dissemination barrier: log2(size) rounds.
   static constexpr int kRoundStride = 32;  // max rounds per barrier
@@ -95,6 +147,7 @@ void Comm::barrier() {
 void Comm::bcast_bytes(void* data, std::size_t bytes, int root) {
   FS_REQUIRE(root >= 0 && root < size_, "bcast root out of range");
   FS_REQUIRE(bytes == 0 || data != nullptr, "null payload with nonzero size");
+  fault_op(*state_, rank_);
   log_.record_collective(CollectiveKind::kBcast, bytes);
   const int seq =
       static_cast<int>(log_.collectives[CollectiveKind::kBcast].calls %
@@ -123,6 +176,7 @@ void Comm::bcast_bytes(void* data, std::size_t bytes, int root) {
 
 template <typename Op>
 void Comm::allreduce_op(std::span<double> data, Op op, CollectiveKind kind) {
+  fault_op(*state_, rank_);
   log_.record_collective(kind, data.size_bytes());
   const int seq = static_cast<int>(log_.collectives[kind].calls %
                                    (kCollectiveSeqSlots / 2));
@@ -171,6 +225,7 @@ void Comm::allreduce_op(std::span<double> data, Op op, CollectiveKind kind) {
 
 void Comm::reduce_sum(std::span<double> data, int root) {
   FS_REQUIRE(root >= 0 && root < size_, "reduce root out of range");
+  fault_op(*state_, rank_);
   log_.record_collective(CollectiveKind::kReduce, data.size_bytes());
   const int seq =
       static_cast<int>(log_.collectives[CollectiveKind::kReduce].calls %
@@ -231,6 +286,7 @@ std::uint64_t Comm::allreduce_sum_u64(std::uint64_t value) {
 void Comm::gather_bytes(const void* send, std::size_t bytes, void* recv,
                         int root) {
   FS_REQUIRE(root >= 0 && root < size_, "gather root out of range");
+  fault_op(*state_, rank_);
   log_.record_collective(CollectiveKind::kGather, bytes);
   const int seq =
       static_cast<int>(log_.collectives[CollectiveKind::kGather].calls %
@@ -251,6 +307,7 @@ void Comm::gather_bytes(const void* send, std::size_t bytes, void* recv,
 }
 
 void Comm::allgather_bytes(const void* send, std::size_t bytes, void* recv) {
+  fault_op(*state_, rank_);
   log_.record_collective(CollectiveKind::kAllgather, bytes);
   const int seq =
       static_cast<int>(log_.collectives[CollectiveKind::kAllgather].calls %
@@ -273,6 +330,7 @@ void Comm::allgather_bytes(const void* send, std::size_t bytes, void* recv) {
 }
 
 void Comm::alltoall_bytes(const void* send, std::size_t bytes, void* recv) {
+  fault_op(*state_, rank_);
   log_.record_collective(CollectiveKind::kAlltoall, bytes);
   const int seq =
       static_cast<int>(log_.collectives[CollectiveKind::kAlltoall].calls %
@@ -299,6 +357,7 @@ void Comm::reduce_scatter_sum(std::span<const double> send,
   const std::size_t block = recv.size();
   FS_REQUIRE(send.size() == block * static_cast<std::size_t>(size_),
              "reduce_scatter send buffer must hold size() blocks");
+  fault_op(*state_, rank_);
   log_.record_collective(CollectiveKind::kReduceScatter, send.size_bytes());
   const int seq = static_cast<int>(
       log_.collectives[CollectiveKind::kReduceScatter].calls %
@@ -337,6 +396,7 @@ void Comm::reduce_scatter_sum(std::span<const double> send,
 }
 
 double Comm::scan_sum(double value) {
+  fault_op(*state_, rank_);
   log_.record_collective(CollectiveKind::kScan, sizeof(double));
   const int seq = static_cast<int>(
       log_.collectives[CollectiveKind::kScan].calls % kCollectiveSeqSlots);

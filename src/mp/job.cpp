@@ -1,27 +1,60 @@
 #include "mp/job.hpp"
 
+#include <atomic>
 #include <exception>
 #include <mutex>
 #include <thread>
 
 #include "common/error.hpp"
+#include "fault/fault.hpp"
 
 namespace fibersim::mp {
 
-std::vector<CommLog> Job::run_logged(int ranks, const RankFn& fn) {
+namespace {
+
+fault::ErrorClass classify_error(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return fault::classify(e.what());
+  } catch (...) {
+    return fault::ErrorClass::kOther;
+  }
+}
+
+std::atomic<int> g_next_job_id{0};
+
+}  // namespace
+
+std::vector<CommLog> Job::run_logged(int ranks, const RankFn& fn,
+                                     const fault::Session* faults) {
   FS_REQUIRE(ranks >= 1, "job needs at least one rank");
   FS_REQUIRE(ranks <= 4096, "rank count unreasonably large");
   FS_REQUIRE(static_cast<bool>(fn), "rank function must be callable");
 
   detail::JobState state;
+  state.ranks = ranks;
+  state.job_id = g_next_job_id.fetch_add(1, std::memory_order_relaxed);
   state.mailboxes.reserve(static_cast<std::size_t>(ranks));
   for (int r = 0; r < ranks; ++r) {
     state.mailboxes.push_back(std::make_unique<Mailbox>());
+    state.mailboxes.back()->set_identity(state.job_id, r);
+  }
+  if (faults != nullptr && faults->armed() && faults->plan()->any_mp()) {
+    state.faults = faults;
+    state.send_seq.assign(
+        static_cast<std::size_t>(ranks) * static_cast<std::size_t>(ranks), 0);
+    state.op_seq.assign(static_cast<std::size_t>(ranks), 0);
+    const double timeout_s = faults->recv_timeout_s();
+    if (timeout_s > 0.0) {
+      for (auto& mbox : state.mailboxes) mbox->set_recv_timeout(timeout_s);
+    }
   }
 
   std::vector<CommLog> logs(static_cast<std::size_t>(ranks));
   std::mutex error_mutex;
-  std::exception_ptr first_error;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(ranks));
+  std::atomic<bool> failed{false};
 
   auto body = [&](int rank) {
     Comm comm(state, rank, ranks);
@@ -30,8 +63,9 @@ std::vector<CommLog> Job::run_logged(int ranks, const RankFn& fn) {
     } catch (...) {
       {
         std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        errors[static_cast<std::size_t>(rank)] = std::current_exception();
       }
+      failed.store(true, std::memory_order_release);
       // Unblock every rank waiting in recv.
       for (auto& mbox : state.mailboxes) mbox->poison();
     }
@@ -44,10 +78,36 @@ std::vector<CommLog> Job::run_logged(int ranks, const RankFn& fn) {
   body(0);
   for (std::thread& t : threads) t.join();
 
-  if (first_error) std::rethrow_exception(first_error);
+  if (failed.load(std::memory_order_acquire)) {
+    // Deterministic pick: best (lowest) ErrorClass, ties to the lowest rank.
+    // Which *set* of ranks failed can vary run to run (poison cascades race),
+    // but the root-cause classes are stable, so the winner's class is too.
+    std::exception_ptr best;
+    fault::ErrorClass best_class = fault::ErrorClass::kPoison;
+    for (const std::exception_ptr& error : errors) {
+      if (!error) continue;
+      const fault::ErrorClass c = classify_error(error);
+      if (!best || c < best_class) {
+        best = error;
+        best_class = c;
+      }
+    }
+    FS_ASSERT(best, "failed job recorded no rank error");
+    std::rethrow_exception(best);
+  }
   return logs;
 }
 
-void Job::run(int ranks, const RankFn& fn) { (void)run_logged(ranks, fn); }
+std::vector<CommLog> Job::run_logged(int ranks, const RankFn& fn) {
+  return run_logged(ranks, fn, nullptr);
+}
+
+void Job::run(int ranks, const RankFn& fn) {
+  (void)run_logged(ranks, fn, nullptr);
+}
+
+void Job::run(int ranks, const RankFn& fn, const fault::Session* faults) {
+  (void)run_logged(ranks, fn, faults);
+}
 
 }  // namespace fibersim::mp

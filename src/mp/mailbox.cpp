@@ -1,10 +1,28 @@
 #include "mp/mailbox.hpp"
 
+#include <chrono>
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "fault/fault.hpp"
 
 namespace fibersim::mp {
+
+namespace {
+// How often a blocked pop re-checks its doom flag / timeout while a watchdog
+// or fault plan is active. Purely a liveness knob — never affects results.
+constexpr auto kWaitBeat = std::chrono::milliseconds(25);
+
+/// Removes a WaitRegistry entry on every exit path out of pop().
+struct WaitGuard {
+  std::uint64_t id = 0;
+  bool active = false;
+  ~WaitGuard() {
+    if (active) fault::WaitRegistry::instance().remove(id);
+  }
+};
+}  // namespace
 
 void Mailbox::push(Message message) {
   {
@@ -44,6 +62,8 @@ Mailbox::BucketMap::iterator Mailbox::find_bucket(int source, int tag) {
 
 Message Mailbox::pop(int source, int tag) {
   std::unique_lock<std::mutex> lock(mutex_);
+  WaitGuard guard;
+  std::chrono::steady_clock::time_point wait_start{};
   while (true) {
     if (poisoned_) throw Error("mp job aborted: mailbox poisoned");
     const auto it = find_bucket(source, tag);
@@ -54,7 +74,45 @@ Message Mailbox::pop(int source, int tag) {
       --size_;
       return out;
     }
-    cv_.wait(lock);
+
+    // Nothing matching yet. The plain path (no watchdog, no fault timeout)
+    // blocks exactly as it always has: one untimed wait per arrival.
+    auto& registry = fault::WaitRegistry::instance();
+    const bool watched = registry.watching();
+    const double timeout_s = recv_timeout_s_;
+    if (!watched && timeout_s <= 0.0) {
+      cv_.wait(lock);
+      continue;
+    }
+
+    if (wait_start == std::chrono::steady_clock::time_point{}) {
+      wait_start = std::chrono::steady_clock::now();
+    }
+    if (watched && !guard.active) {
+      guard.id = registry.add(job_, rank_, source, tag);
+      guard.active = true;
+    }
+    cv_.wait_for(lock, kWaitBeat);
+    if (guard.active) {
+      std::string reason;
+      if (registry.doomed(guard.id, &reason)) {
+        throw Error(strfmt("%s: job %d rank %d recv(src=%d, tag=%d): %s",
+                           fault::kWatchdogMarker, job_, rank_, source, tag,
+                           reason.c_str()));
+      }
+    }
+    if (timeout_s > 0.0) {
+      const double waited =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wait_start)
+              .count();
+      if (waited >= timeout_s) {
+        throw Error(strfmt(
+            "%s: job %d rank %d blocked in recv(src=%d, tag=%d) for %.1fs "
+            "(%zu unmatched messages pending)",
+            fault::kTimeoutMarker, job_, rank_, source, tag, waited, size_));
+      }
+    }
   }
 }
 
@@ -75,6 +133,17 @@ void Mailbox::poison() {
 std::size_t Mailbox::pending() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return size_;
+}
+
+void Mailbox::set_identity(int job, int rank) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  job_ = job;
+  rank_ = rank;
+}
+
+void Mailbox::set_recv_timeout(double timeout_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  recv_timeout_s_ = timeout_s;
 }
 
 }  // namespace fibersim::mp

@@ -12,6 +12,13 @@
 // sweep hot path, where many concurrent jobs contend on their mailboxes —
 // with a sequence-number fallback for kAnySource / kAnyTag wildcards that
 // preserves global arrival order exactly like the old linear scan did.
+//
+// Resilience hooks: a mailbox carries its (job, rank) identity so a blocked
+// pop can register with fault::WaitRegistry while a sweep watchdog is active
+// (and unwind when the watchdog dooms it), and an optional receive timeout —
+// set by Job when a fault plan can drop messages — turns an otherwise
+// permanent hang into a diagnostic error naming the blocked (rank, source,
+// tag). With no watchdog and no timeout, pop waits exactly as before.
 #pragma once
 
 #include <condition_variable>
@@ -53,6 +60,15 @@ class Mailbox {
   /// Queued message count (diagnostics/tests).
   std::size_t pending() const;
 
+  /// Label this mailbox for watchdog diagnostics (set by Job before any
+  /// rank runs; defaults keep pop silent in the registry).
+  void set_identity(int job, int rank);
+
+  /// Make blocked pops give up after `timeout_s` with a diagnostic error
+  /// instead of waiting forever (0 restores indefinite waits). Set by Job
+  /// when an active fault plan can drop messages.
+  void set_recv_timeout(double timeout_s);
+
  private:
   struct Sequenced {
     std::uint64_t seq = 0;
@@ -72,6 +88,9 @@ class Mailbox {
   std::uint64_t next_seq_ = 0;
   std::size_t size_ = 0;
   bool poisoned_ = false;
+  int job_ = -1;
+  int rank_ = -1;
+  double recv_timeout_s_ = 0.0;
 };
 
 }  // namespace fibersim::mp

@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "fault/fault.hpp"
 
 namespace fibersim::rt {
 
@@ -51,8 +53,31 @@ void ThreadTeam::worker_loop(int tid) {
   }
 }
 
+void ThreadTeam::set_faults(const fault::Session* faults,
+                            std::uint64_t stream) {
+  FS_REQUIRE(!in_parallel_.load(std::memory_order_acquire),
+             "cannot attach faults while a region is running");
+  faults_ = faults;
+  fault_stream_ = stream;
+}
+
+void ThreadTeam::maybe_throw_worker(int tid) {
+  if (faults_ == nullptr) return;
+  // regions_ was already bumped for the active region, so it identifies the
+  // region uniquely (regions never overlap on one team — nested parallel
+  // throws before dispatch).
+  const std::uint64_t region = regions_.load(std::memory_order_relaxed);
+  if (faults_->should_throw_worker(fault_stream_, tid, region)) {
+    throw Error(strfmt("%s: worker %d throw in region %llu of stream %llu",
+                       fault::kInjectedMarker, tid,
+                       static_cast<unsigned long long>(region),
+                       static_cast<unsigned long long>(fault_stream_)));
+  }
+}
+
 void ThreadTeam::run_region(int tid) {
   try {
+    maybe_throw_worker(tid);
     region_(tid);
   } catch (...) {
     std::lock_guard<std::mutex> lock(error_mutex_);
@@ -76,6 +101,7 @@ void ThreadTeam::parallel(const std::function<void(int)>& region) {
 
   regions_.fetch_add(1, std::memory_order_relaxed);
   if (size_ == 1) {
+    maybe_throw_worker(0);
     region(0);  // no protocol needed, run inline
     return;
   }

@@ -20,6 +20,10 @@
 #include <thread>
 #include <vector>
 
+namespace fibersim::fault {
+class Session;
+}
+
 namespace fibersim::rt {
 
 enum class Schedule { kStatic, kDynamic, kGuided };
@@ -71,9 +75,18 @@ class ThreadTeam {
   /// count drives the predicted barrier overhead).
   std::uint64_t regions_executed() const { return regions_.load(); }
 
+  /// Attach a fault context: workers of this team may throw at region entry
+  /// per the plan, at site (stream, tid, region index) — `stream` is the
+  /// team's owner identity (typically its rank), so decisions stay
+  /// deterministic across concurrent teams. Null detaches. Must not be
+  /// called while a region is running.
+  void set_faults(const fault::Session* faults, std::uint64_t stream);
+
  private:
   void worker_loop(int tid);
   void run_region(int tid);
+  /// Fault hook at region entry (one null check when no faults attached).
+  void maybe_throw_worker(int tid);
 
   int size_;
   std::vector<std::thread> workers_;
@@ -102,6 +115,10 @@ class ThreadTeam {
   std::exception_ptr first_error_;
 
   std::atomic<std::uint64_t> regions_{0};
+
+  // Fault injection (null when inactive).
+  const fault::Session* faults_ = nullptr;
+  std::uint64_t fault_stream_ = 0;
 };
 
 }  // namespace fibersim::rt

@@ -1,11 +1,17 @@
 // Randomised (seeded, deterministic) differential tests of the collectives:
 // every result is checked against an independently computed serial
-// reference, across random payload sizes, rank counts and value patterns.
+// reference, across random payload sizes, rank counts and value patterns —
+// plus fault-plan-driven chaos runs asserting unwind-without-deadlock.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
+#include "fault/fault.hpp"
+#include "miniapps/halo_grid.hpp"
+#include "mp/cart.hpp"
 #include "mp/job.hpp"
 
 namespace fibersim::mp {
@@ -133,6 +139,83 @@ TEST_P(CollectiveFuzz, AlltoallTransposesBlocks) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CollectiveFuzz,
                          ::testing::Range<std::uint64_t>(1, 13));
+
+// ----- fault-plan-driven chaos runs ---------------------------------------
+//
+// Each run wires a fault::Session into a 4-rank job exercising p2p rings,
+// collectives and a 2x2 cart halo exchange. The contract under injected
+// drop/delay/dup/rank-death is narrow on purpose: the job either completes
+// or unwinds with an Error — it must never deadlock (the plan's recv
+// timeout is the ultimate backstop for dropped messages) — and the runtime
+// must stay fully usable afterwards.
+
+/// One mixed workload over every communication shape the miniapps use.
+void chaos_workload(Comm& comm, std::uint64_t seed) {
+  const int ranks = comm.size();
+  const int next = (comm.rank() + 1) % ranks;
+  const int prev = (comm.rank() + ranks - 1) % ranks;
+  for (int round = 0; round < 3; ++round) {
+    comm.send_value(next, round, element(seed, comm.rank(), 0));
+    (void)comm.recv_value<double>(prev, round);
+    (void)comm.allreduce_sum(1.0);
+    comm.barrier();
+  }
+  const CartGrid grid({2, 2}, true);
+  const apps::HaloGrid<2> hg(grid, comm.rank(), {6, 6}, 1);
+  std::vector<double> field(static_cast<std::size_t>(hg.field_size(1)), 1.0);
+  for (int i = 0; i < 3; ++i) {
+    hg.exchange(comm, std::span<double>(field), 1);
+  }
+  std::vector<double> block(4, element(seed, comm.rank(), 1));
+  std::vector<double> gathered(block.size() * static_cast<std::size_t>(ranks));
+  comm.allgather_bytes(block.data(), block.size() * sizeof(double),
+                       gathered.data());
+}
+
+class FaultFuzz
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(FaultFuzz, InjectedFaultsUnwindWithoutDeadlock) {
+  const auto [seed, kind] = GetParam();
+  fault::Plan plan;
+  plan.seed = seed;
+  plan.mp_timeout_ms = 150.0;  // deadlock backstop for dropped messages
+  switch (kind) {
+    case 0: plan.mp_drop = 0.05; break;
+    case 1: plan.mp_delay = 0.3; plan.mp_delay_ms = 0.5; break;
+    case 2: plan.mp_dup = 0.1; break;
+    case 3: plan.mp_rank_death = 0.01; break;
+    default: FAIL();
+  }
+  const fault::Session session(std::make_shared<fault::Plan>(plan), seed, 0);
+  try {
+    Job::run(4, [seed](Comm& comm) { chaos_workload(comm, seed); }, &session);
+  } catch (const Error&) {
+    // Unwound cleanly — acceptable under injected faults.
+  }
+  // The runtime must be intact: a fresh fault-free job works normally.
+  Job::run(4, [](Comm& comm) {
+    ASSERT_DOUBLE_EQ(comm.allreduce_sum(1.0), 4.0);
+  });
+}
+
+TEST_P(FaultFuzz, DisarmedSessionPerturbsNothing) {
+  const auto [seed, kind] = GetParam();
+  fault::Plan plan;
+  plan.seed = seed;
+  plan.transient = 1;  // armed only for attempt 0
+  plan.mp_drop = 1.0;
+  plan.mp_rank_death = 1.0;
+  (void)kind;
+  const fault::Session retry(std::make_shared<fault::Plan>(plan), seed, 1);
+  ASSERT_FALSE(retry.armed());
+  Job::run(4, [seed](Comm& comm) { chaos_workload(comm, seed); }, &retry);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PlansAndSeeds, FaultFuzz,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 7),
+                       ::testing::Values(0, 1, 2, 3)));
 
 }  // namespace
 }  // namespace fibersim::mp

@@ -1,24 +1,32 @@
 #!/usr/bin/env sh
 # CI gate: tier-1 verify (full build + full test suite), then the
-# concurrency-labelled tests rebuilt under ThreadSanitizer.
+# concurrency/fault-labelled tests rebuilt under ThreadSanitizer and the
+# failure/fault-injection suites under AddressSanitizer.
 #
 # Usage: tools/ci.sh            (from the repo root)
 #   BUILD_DIR=...  override the tier-1 build dir   (default: build)
 #   TSAN_DIR=...   override the TSan build dir     (default: build-tsan)
+#   ASAN_DIR=...   override the ASan build dir     (default: build-asan)
 set -eu
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 TSAN_DIR="${TSAN_DIR:-build-tsan}"
+ASAN_DIR="${ASAN_DIR:-build-asan}"
 
 echo "== tier-1: build + full test suite =="
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 
-echo "== sanitize: concurrency suites under TSan =="
+echo "== sanitize: concurrency + fault suites under TSan =="
 cmake -B "$TSAN_DIR" -S . -DFIBERSIM_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j
 ctest --test-dir "$TSAN_DIR" -L sanitize --output-on-failure
+
+echo "== fault: failure/fault-injection suites under ASan =="
+cmake -B "$ASAN_DIR" -S . -DFIBERSIM_SANITIZE=address
+cmake --build "$ASAN_DIR" -j
+ctest --test-dir "$ASAN_DIR" -L fault --output-on-failure
 
 echo "== ci: all green =="
