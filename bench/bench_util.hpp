@@ -10,6 +10,10 @@
 // [--retries N] [--watchdog S] [--journal path] [--keep-going]
 // [--fail-fast]. FIBERSIM_FAULT_PLAN in the environment also installs a
 // fault plan; the flag overrides it.
+//
+// [--trace-cache dir] attaches the persistent trace store (warm runs replay
+// native executions from disk); FIBERSIM_TRACE_CACHE is the env equivalent,
+// with the flag taking precedence.
 #pragma once
 
 #include <iostream>
@@ -23,6 +27,7 @@
 #include "core/journal.hpp"
 #include "core/reports.hpp"
 #include "fault/fault.hpp"
+#include "trace/trace_store.hpp"
 
 namespace fibersim::bench {
 
@@ -39,6 +44,7 @@ inline Args parse_args(int argc, char** argv, core::Runner& runner,
   args.ctx.runner = &runner;
   args.ctx.dataset = default_dataset;
   fault::install_from_env();
+  std::string trace_cache_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto value = [&]() -> std::string {
@@ -78,10 +84,19 @@ inline Args parse_args(int argc, char** argv, core::Runner& runner,
       args.ctx.keep_going = true;
     } else if (a == "--fail-fast") {
       args.ctx.keep_going = false;
+    } else if (a == "--trace-cache") {
+      trace_cache_dir = value();
     } else {
       std::cerr << "unknown argument: " << a << "\n";
       std::exit(2);
     }
+  }
+  if (!trace_cache_dir.empty()) {
+    runner.set_trace_store(
+        std::make_shared<trace::TraceStore>(trace_cache_dir));
+  } else if (std::shared_ptr<trace::TraceStore> store =
+                 trace::TraceStore::from_env()) {
+    runner.set_trace_store(std::move(store));
   }
   return args;
 }

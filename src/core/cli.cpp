@@ -15,6 +15,7 @@
 #include "core/sweep.hpp"
 #include "core/sweep_pool.hpp"
 #include "fault/fault.hpp"
+#include "trace/trace_store.hpp"
 
 namespace fibersim::core {
 
@@ -32,12 +33,19 @@ constexpr const char* kUsage =
     "                            (--config <file> loads key=value settings\n"
     "                            first, flags override; --json emits the\n"
     "                            prediction as JSON; --dump-trace <file>\n"
-    "                            writes the recorded trace as JSON)\n"
+    "                            writes the recorded trace as JSON;\n"
+    "                            --trace-cache <dir> reuses native runs from\n"
+    "                            a persistent trace store, also read from\n"
+    "                            env FIBERSIM_TRACE_CACHE)\n"
     "  report <id> [--apps a,b] [--dataset small|large] [--iterations N]\n"
     "         [--jobs N]         regenerate one table/figure (see list);\n"
     "                            id 'all' regenerates every one. --jobs sets\n"
     "                            the sweep worker count (default: all cores;\n"
     "                            output is identical for any job count)\n"
+    "         [--trace-cache D]  persistent trace store: cold runs publish\n"
+    "                            to D, warm runs replay with zero native\n"
+    "                            executions and byte-identical output (env\n"
+    "                            FIBERSIM_TRACE_CACHE also enables it)\n"
     "    resilience: [--fault-plan spec] install a deterministic fault plan\n"
     "                (also read from env FIBERSIM_FAULT_PLAN)\n"
     "                [--retries N] retry failed sweep tasks up to N times\n"
@@ -70,6 +78,17 @@ int cmd_describe(const std::vector<std::string>& args, std::ostream& out,
   const auto app = apps::create_miniapp(args[0]);
   out << app->name() << ": " << app->description() << "\n";
   return 0;
+}
+
+/// Attach the persistent trace store selected by --trace-cache, or — when
+/// the flag is absent — by FIBERSIM_TRACE_CACHE, to the runner.
+void attach_trace_store(Runner& runner, const std::string& dir) {
+  if (!dir.empty()) {
+    runner.set_trace_store(std::make_shared<trace::TraceStore>(dir));
+  } else if (std::shared_ptr<trace::TraceStore> store =
+                 trace::TraceStore::from_env()) {
+    runner.set_trace_store(std::move(store));
+  }
 }
 
 /// Applies --key value pairs onto a config; returns unconsumed error or "".
@@ -117,6 +136,7 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out,
   ExperimentConfig cfg;
   bool json = false;
   std::string dump_trace_path;
+  std::string trace_cache_dir;
   // Pull out the output-control flags, leave the rest for apply_flags.
   std::vector<std::string> config_args;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -128,6 +148,12 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out,
         return 2;
       }
       dump_trace_path = args[++i];
+    } else if (args[i] == "--trace-cache") {
+      if (i + 1 >= args.size()) {
+        err << "missing value for --trace-cache\n";
+        return 2;
+      }
+      trace_cache_dir = args[++i];
     } else {
       config_args.push_back(args[i]);
     }
@@ -138,6 +164,7 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out,
     return 2;
   }
   Runner runner;
+  attach_trace_store(runner, trace_cache_dir);
   const ExperimentResult res = runner.run(cfg);
 
   if (!dump_trace_path.empty()) {
@@ -190,6 +217,7 @@ int cmd_report(const std::vector<std::string>& args, std::ostream& out,
   }
   std::string id = to_lower(args[0]);
   Runner runner;
+  std::string trace_cache_dir;
   ReportContext ctx;
   ctx.runner = &runner;
   ctx.dataset = apps::Dataset::kLarge;
@@ -243,12 +271,15 @@ int cmd_report(const std::vector<std::string>& args, std::ostream& out,
     } else if (key == "--journal") {
       journal = std::make_unique<SweepJournal>(value);
       ctx.journal = journal.get();
+    } else if (key == "--trace-cache") {
+      trace_cache_dir = value;
     } else {
       err << "unknown flag: " << key << "\n";
       return 2;
     }
     i += 2;
   }
+  attach_trace_store(runner, trace_cache_dir);
 
   if (id == "all") {
     // Regenerate every report in index order (each with a fresh runner;

@@ -6,6 +6,12 @@
 // options, or target processor — and the cached trace is then re-evaluated
 // cheaply for every placement/compiler/processor variation a sweep asks for.
 //
+// The execution cache has two tiers: tier 1 is this Runner's in-memory map;
+// tier 2 (optional, set_trace_store) is a persistent trace::TraceStore
+// shared across processes — a warm process replays every native run from
+// disk (native_runs() == 0, one disk_hit per key) with byte-identical
+// results, because the store round-trips traces bit-exactly.
+//
 // Runner is thread-safe: run() may be called concurrently (the SweepPool
 // does exactly that). Concurrent calls with the same execution key coalesce
 // onto a single native run via a per-entry state machine; every other caller
@@ -30,6 +36,7 @@
 #include "core/experiment.hpp"
 #include "machine/power_model.hpp"
 #include "trace/predict.hpp"
+#include "trace/trace_store.hpp"
 
 namespace fibersim::core {
 
@@ -61,6 +68,27 @@ class Runner {
   /// the caching contract).
   std::size_t native_runs() const {
     return native_runs_.load(std::memory_order_relaxed);
+  }
+
+  /// Attach the persistent tier-2 trace store (see trace::TraceStore): cold
+  /// native runs publish to it, later runs — this process or any other —
+  /// load instead of re-executing. Call before the first run(); the store
+  /// may be shared between Runners and processes. While a fault plan is
+  /// installed the store is bypassed entirely (never load a clean trace into
+  /// a faulty world, never publish a faulted trace into a clean one).
+  void set_trace_store(std::shared_ptr<trace::TraceStore> store);
+  const std::shared_ptr<trace::TraceStore>& trace_store() const {
+    return store_;
+  }
+
+  /// Executions served from / published to the persistent store by this
+  /// Runner (beside native_runs(): a warm sweep has native_runs() == 0 and
+  /// one disk_hit per unique key).
+  std::size_t disk_hits() const {
+    return disk_hits_.load(std::memory_order_relaxed);
+  }
+  std::size_t disk_writes() const {
+    return disk_writes_.load(std::memory_order_relaxed);
   }
 
   /// Memoization counters, deterministic for a given run() call sequence
@@ -110,7 +138,12 @@ class Runner {
 
   std::mutex cache_mutex_;
   std::map<Key, std::shared_ptr<Entry>> cache_;
+  /// Tier-2 persistent store; written before the first run(), read under
+  /// cache_mutex_ thereafter. May be null (tier 1 only).
+  std::shared_ptr<trace::TraceStore> store_;
   std::atomic<std::size_t> native_runs_{0};
+  std::atomic<std::size_t> disk_hits_{0};
+  std::atomic<std::size_t> disk_writes_{0};
 
   // Shared memo layers for the canonical prediction path (thread-safe).
   cg::CodegenCache codegen_cache_;

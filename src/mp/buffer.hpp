@@ -1,0 +1,51 @@
+// Buffer — an immutable, refcounted byte payload for the message runtime.
+//
+// A message payload is written exactly once, at the send site, and never
+// mutated afterwards — so fan-out patterns (binomial bcast, the broadcast
+// half of allreduce, ring-allgather forwarding, fault-injected duplication)
+// can hand the *same* allocation to every destination instead of re-copying
+// it per hop. Copying a Buffer bumps a refcount; the bytes are freed when the
+// last holder drops them. The backing store is default-initialised (no
+// zero-fill before the memcpy that a std::vector resize would pay).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+
+namespace fibersim::mp {
+
+class Buffer {
+ public:
+  /// Empty payload (size 0, no allocation).
+  Buffer() = default;
+
+  /// One allocation + one memcpy; the only place payload bytes are written.
+  static Buffer copy_of(const void* data, std::size_t bytes) {
+    Buffer buf;
+    buf.size_ = bytes;
+    if (bytes > 0) {
+      std::shared_ptr<std::byte[]> block(new std::byte[bytes]);
+      std::memcpy(block.get(), data, bytes);
+      buf.data_ = std::move(block);
+    }
+    return buf;
+  }
+
+  const std::byte* data() const { return data_.get(); }
+  std::size_t size() const { return size_; }
+
+  /// Copy the payload into caller memory (receive side).
+  void copy_to(void* out) const {
+    if (size_ > 0) std::memcpy(out, data_.get(), size_);
+  }
+
+  /// Holders of the backing allocation (tests assert fan-out sharing).
+  long use_count() const { return data_.use_count(); }
+
+ private:
+  std::shared_ptr<const std::byte[]> data_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace fibersim::mp

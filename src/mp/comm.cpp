@@ -78,8 +78,7 @@ void Comm::send_bytes(int dst, int tag, const void* data, std::size_t bytes) {
   Message m;
   m.source = rank_;
   m.tag = tag;
-  m.payload.resize(bytes);
-  if (bytes > 0) std::memcpy(m.payload.data(), data, bytes);
+  m.payload = Buffer::copy_of(data, bytes);
   deliver(*state_, dst, std::move(m));
   log_.record_send(dst, bytes);
 }
@@ -91,7 +90,7 @@ void Comm::recv_bytes(int src, int tag, void* data, std::size_t bytes) {
   Message m = mailbox_of(rank_).pop(src, tag);
   FS_REQUIRE(m.payload.size() == bytes,
              "recv size does not match the sent payload");
-  if (bytes > 0) std::memcpy(data, m.payload.data(), bytes);
+  m.payload.copy_to(data);
 }
 
 void Comm::sendrecv_bytes(int dst, int send_tag, const void* send_data,
@@ -107,21 +106,34 @@ bool Comm::probe(int src, int tag) const {
 
 // ----- internal unlogged p2p used by collective algorithms -----
 namespace {
-void raw_send(detail::JobState& state, int self, int dst, int tag,
-              const void* data, std::size_t bytes) {
+/// Deliver an already-built payload without copying it; fan-out callers pass
+/// the same Buffer to every destination (one allocation for the whole tree).
+void raw_send_buf(detail::JobState& state, int self, int dst, int tag,
+                  Buffer payload) {
   Message m;
   m.source = self;
   m.tag = tag;
-  m.payload.resize(bytes);
-  if (bytes > 0) std::memcpy(m.payload.data(), data, bytes);
+  m.payload = std::move(payload);
   deliver(state, dst, std::move(m));
+}
+
+void raw_send(detail::JobState& state, int self, int dst, int tag,
+              const void* data, std::size_t bytes) {
+  raw_send_buf(state, self, dst, tag, Buffer::copy_of(data, bytes));
+}
+
+/// Receive the raw message so the caller can both read the payload and
+/// forward the shared Buffer onward.
+Message raw_recv_msg(detail::JobState& state, int self, int src, int tag,
+                     std::size_t bytes) {
+  Message m = state.mailboxes[static_cast<std::size_t>(self)]->pop(src, tag);
+  FS_REQUIRE(m.payload.size() == bytes, "collective payload size mismatch");
+  return m;
 }
 
 void raw_recv(detail::JobState& state, int self, int src, int tag, void* data,
               std::size_t bytes) {
-  Message m = state.mailboxes[static_cast<std::size_t>(self)]->pop(src, tag);
-  FS_REQUIRE(m.payload.size() == bytes, "collective payload size mismatch");
-  if (bytes > 0) std::memcpy(data, m.payload.data(), bytes);
+  raw_recv_msg(state, self, src, tag, bytes).payload.copy_to(data);
 }
 }  // namespace
 
@@ -154,21 +166,26 @@ void Comm::bcast_bytes(void* data, std::size_t bytes, int root) {
                        kCollectiveSeqSlots);
   const int tag = kCollectiveTagBase + seq;
   const int relrank = (rank_ - root + size_) % size_;
-  // Binomial tree: receive from parent, forward to children.
+  // Binomial tree: receive from parent, forward the received Buffer to all
+  // children — the whole tree shares the root's single allocation.
+  Buffer payload;
   int mask = 1;
   while (mask < size_) {
     if (relrank & mask) {
       const int src = (relrank - mask + root) % size_;
-      raw_recv(*state_, rank_, src, tag, data, bytes);
+      Message m = raw_recv_msg(*state_, rank_, src, tag, bytes);
+      m.payload.copy_to(data);
+      payload = std::move(m.payload);
       break;
     }
     mask <<= 1;
   }
+  if (relrank == 0 && size_ > 1) payload = Buffer::copy_of(data, bytes);
   mask >>= 1;
   while (mask > 0) {
     if (relrank + mask < size_) {
       const int dst = (relrank + mask + root) % size_;
-      raw_send(*state_, rank_, dst, tag, data, bytes);
+      raw_send_buf(*state_, rank_, dst, tag, payload);
     }
     mask >>= 1;
   }
@@ -203,21 +220,28 @@ void Comm::allreduce_op(std::span<double> data, Op op, CollectiveKind kind) {
     mask <<= 1;
   }
   // ...then broadcast the result (re-using the binomial pattern, tag+1).
+  // The reduced vector is immutable from here on, so the fan-out shares one
+  // Buffer exactly like bcast_bytes does.
   const int btag = tag + 1;
+  Buffer result;
   mask = 1;
   while (mask < size_) {
     if (rank_ & mask) {
       const int src = rank_ - mask;
-      raw_recv(*state_, rank_, src, btag, data.data(), data.size_bytes());
+      Message m = raw_recv_msg(*state_, rank_, src, btag, data.size_bytes());
+      m.payload.copy_to(data.data());
+      result = std::move(m.payload);
       break;
     }
     mask <<= 1;
   }
+  if (rank_ == 0 && size_ > 1) {
+    result = Buffer::copy_of(data.data(), data.size_bytes());
+  }
   mask >>= 1;
   while (mask > 0) {
     if (rank_ + mask < size_) {
-      raw_send(*state_, rank_, rank_ + mask, btag, data.data(),
-               data.size_bytes());
+      raw_send_buf(*state_, rank_, rank_ + mask, btag, result);
     }
     mask >>= 1;
   }
@@ -314,18 +338,20 @@ void Comm::allgather_bytes(const void* send, std::size_t bytes, void* recv) {
                        kCollectiveSeqSlots);
   const int tag = kCollectiveTagBase + 2000000 + seq;
   // Ring allgather: size-1 rounds, each forwarding the block received last.
+  // Each block is packed into a Buffer once by its owner; every later hop
+  // forwards the received Buffer, so a block crosses the ring with one
+  // allocation total instead of one per hop.
   auto* out = static_cast<std::byte*>(recv);
   std::memcpy(out + static_cast<std::size_t>(rank_) * bytes, send, bytes);
   const int next = (rank_ + 1) % size_;
   const int prev = (rank_ - 1 + size_) % size_;
-  int have = rank_;  // block most recently added to our buffer
+  Buffer circulating = Buffer::copy_of(send, bytes);
   for (int round = 0; round < size_ - 1; ++round) {
-    raw_send(*state_, rank_, next, tag + 0,
-             out + static_cast<std::size_t>(have) * bytes, bytes);
-    const int incoming = (have - 1 + size_) % size_;
-    raw_recv(*state_, rank_, prev, tag + 0,
-             out + static_cast<std::size_t>(incoming) * bytes, bytes);
-    have = incoming;
+    raw_send_buf(*state_, rank_, next, tag + 0, std::move(circulating));
+    Message m = raw_recv_msg(*state_, rank_, prev, tag + 0, bytes);
+    const int incoming = (rank_ - 1 - round + 2 * size_) % size_;
+    m.payload.copy_to(out + static_cast<std::size_t>(incoming) * bytes);
+    circulating = std::move(m.payload);
   }
 }
 

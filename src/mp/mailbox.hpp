@@ -1,8 +1,10 @@
 // Mailbox — the per-rank receive queue of the in-process message runtime.
 //
-// Senders copy their payload into the destination mailbox (buffered,
-// non-blocking send — the MPI "eager" protocol); receivers block until a
-// message matching (source, tag) is present. MPI ordering semantics hold:
+// Senders deposit a refcounted immutable payload (mp::Buffer) into the
+// destination mailbox (buffered, non-blocking send — the MPI "eager"
+// protocol); receivers block until a message matching (source, tag) is
+// present. Delivery never copies payload bytes: the one allocation + memcpy
+// happens at the send site, and fan-out paths share that allocation. MPI ordering semantics hold:
 // messages from the same source with the same tag are received in send order.
 // poison() aborts every pending and future receive, which Job uses to unwind
 // all ranks when one rank throws.
@@ -28,7 +30,8 @@
 #include <map>
 #include <mutex>
 #include <utility>
-#include <vector>
+
+#include "mp/buffer.hpp"
 
 namespace fibersim::mp {
 
@@ -38,7 +41,7 @@ inline constexpr int kAnyTag = -1;
 struct Message {
   int source = 0;
   int tag = 0;
-  std::vector<std::byte> payload;
+  Buffer payload;
 };
 
 class Mailbox {

@@ -131,4 +131,17 @@ std::size_t CanonicalTrace::class_count() const {
   return n;
 }
 
+JobTrace CanonicalTrace::expand() const {
+  JobTrace trace(static_cast<std::size_t>(ranks_));
+  for (RankTrace& rt : trace) rt.reserve(phases_.size());
+  for (const Phase& phase : phases_) {
+    for (int rank = 0; rank < ranks_; ++rank) {
+      const int cls = phase.class_of[static_cast<std::size_t>(rank)];
+      trace[static_cast<std::size_t>(rank)].push_back(
+          phase.classes[static_cast<std::size_t>(cls)].record);
+    }
+  }
+  return trace;
+}
+
 }  // namespace fibersim::trace

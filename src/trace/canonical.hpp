@@ -76,6 +76,12 @@ class CanonicalTrace {
   /// Content hash of the whole canonical trace (phases, classes, members).
   std::uint64_t fingerprint() const { return fingerprint_; }
 
+  /// Reconstruct the raw per-rank trace this canonical form was built from.
+  /// Exact inverse of build(): class membership demands bitwise-identical
+  /// records, so expand(build(t)) == t bit for bit. The persistent trace
+  /// store serialises the compact canonical form and re-expands on load.
+  JobTrace expand() const;
+
  private:
   int ranks_ = 0;
   std::vector<Phase> phases_;

@@ -6,19 +6,21 @@ namespace fibersim::trace {
 
 int Recorder::find_or_create(const std::string& name, bool parallel,
                              bool timed) {
-  for (std::size_t i = 0; i < phases_.size(); ++i) {
-    if (phases_[i].name == name) {
-      FS_REQUIRE(phases_[i].parallel == parallel && phases_[i].timed == timed,
-                 "phase re-entered with different flags: " + name);
-      return static_cast<int>(i);
-    }
+  const auto it = index_.find(name);
+  if (it != index_.end()) {
+    const PhaseRecord& rec = phases_[static_cast<std::size_t>(it->second)];
+    FS_REQUIRE(rec.parallel == parallel && rec.timed == timed,
+               "phase re-entered with different flags: " + name);
+    return it->second;
   }
   PhaseRecord rec;
   rec.name = name;
   rec.parallel = parallel;
   rec.timed = timed;
   phases_.push_back(std::move(rec));
-  return static_cast<int>(phases_.size() - 1);
+  const int id = static_cast<int>(phases_.size() - 1);
+  index_.emplace(name, id);
+  return id;
 }
 
 void Recorder::begin_phase(const std::string& name, bool parallel, bool timed) {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "isa/work_estimate.hpp"
@@ -72,6 +73,10 @@ class Recorder {
 
   const mp::Comm* comm_;
   std::vector<PhaseRecord> phases_;
+  /// Interned phase names: one hash lookup per begin_phase instead of a
+  /// linear string-compare scan over every recorded phase (an iterative
+  /// solver re-enters the same few phases thousands of times).
+  std::unordered_map<std::string, int> index_;
   int open_ = -1;
   mp::CommLog comm_at_begin_;
 };

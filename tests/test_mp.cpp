@@ -317,8 +317,7 @@ Message make(int source, int tag, int value) {
   Message m;
   m.source = source;
   m.tag = tag;
-  m.payload.resize(sizeof(int));
-  std::memcpy(m.payload.data(), &value, sizeof(int));
+  m.payload = Buffer::copy_of(&value, sizeof(int));
   return m;
 }
 

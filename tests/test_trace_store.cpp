@@ -1,0 +1,459 @@
+// Tests for the persistent trace store (tier 2 of the execution cache).
+//
+// The store's contract is: a warm load is bit-identical to the native run it
+// replaces, and *anything* wrong with a stored file — truncation, bit flips,
+// version or endianness mismatch, a foreign key, a torn write — silently
+// falls back to a native run. Concurrent publishers (threads or processes)
+// never produce a torn file or divergent results, and a fault-injected run
+// never publishes.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "core/runner.hpp"
+#include "fault/fault.hpp"
+#include "trace/canonical.hpp"
+#include "trace/serialize.hpp"
+#include "trace/trace_store.hpp"
+
+namespace fibersim {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Unique scratch directory, removed on destruction.
+struct TempDir {
+  explicit TempDir(const std::string& tag) {
+    static std::atomic<int> counter{0};
+    path = fs::temp_directory_path() /
+           ("fibersim-test-" + tag + "-" +
+            std::to_string(static_cast<long>(::getpid())) + "-" +
+            std::to_string(counter.fetch_add(1)));
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  fs::path path;
+  std::string str() const { return path.string(); }
+};
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+core::ExperimentConfig make_config(const std::string& app,
+                                   apps::Dataset dataset, int ranks = 2,
+                                   int threads = 2) {
+  core::ExperimentConfig cfg;
+  cfg.app = app;
+  cfg.dataset = dataset;
+  cfg.ranks = ranks;
+  cfg.threads = threads;
+  cfg.iterations = 1;
+  return cfg;
+}
+
+trace::StoreKey key_of(const core::ExperimentConfig& cfg) {
+  trace::StoreKey key;
+  key.app = cfg.app;
+  key.dataset = static_cast<int>(cfg.dataset);
+  key.ranks = cfg.ranks;
+  key.threads = cfg.threads;
+  key.iterations = cfg.iterations;
+  key.weak_scale = cfg.weak_scale;
+  key.seed = cfg.seed;
+  return key;
+}
+
+/// Bitwise equality of two raw traces (rank by rank, phase by phase).
+void expect_traces_identical(const trace::JobTrace& a,
+                             const trace::JobTrace& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t rank = 0; rank < a.size(); ++rank) {
+    ASSERT_EQ(a[rank].size(), b[rank].size());
+    for (std::size_t p = 0; p < a[rank].size(); ++p) {
+      EXPECT_TRUE(trace::records_equal(a[rank][p], b[rank][p]))
+          << "rank " << rank << " phase " << p;
+    }
+  }
+}
+
+void expect_results_identical(const core::ExperimentResult& a,
+                              const core::ExperimentResult& b) {
+  EXPECT_EQ(trace::to_json(a.prediction), trace::to_json(b.prediction));
+  EXPECT_EQ(trace::to_json(a.job_trace), trace::to_json(b.job_trace));
+  expect_traces_identical(a.job_trace, b.job_trace);
+  EXPECT_EQ(a.verified, b.verified);
+  EXPECT_TRUE(same_bits(a.check_value, b.check_value));
+  EXPECT_EQ(a.check_description, b.check_description);
+}
+
+bool has_temp_files(const fs::path& dir) {
+  for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+    if (e.path().filename().string().rfind(".tmp-", 0) == 0) return true;
+  }
+  return false;
+}
+
+std::size_t trace_file_count(const fs::path& dir) {
+  std::size_t n = 0;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+    if (e.path().filename().string().rfind("trace-", 0) == 0) ++n;
+  }
+  return n;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// ----- codec round trip ----------------------------------------------------
+
+TEST(TraceStoreCodec, RoundTripBitIdenticalForEveryMiniappAndDataset) {
+  for (const std::string& app : apps::registry_names()) {
+    for (const apps::Dataset dataset :
+         {apps::Dataset::kSmall, apps::Dataset::kLarge}) {
+      SCOPED_TRACE(app + "/" + apps::dataset_name(dataset));
+      const core::ExperimentConfig cfg = make_config(app, dataset);
+      core::Runner runner;
+      const core::ExperimentResult ref = runner.run(cfg);
+
+      trace::StoredExecution original;
+      original.canonical = trace::CanonicalTrace::build(ref.job_trace);
+      original.verified = ref.verified;
+      original.check_value = ref.check_value;
+      original.check_description = ref.check_description;
+
+      // expand() must be the exact inverse of build().
+      expect_traces_identical(original.canonical.expand(), ref.job_trace);
+
+      const trace::StoreKey key = key_of(cfg);
+      const std::string blob = trace::encode_stored(key, original);
+      const std::optional<trace::StoredExecution> decoded =
+          trace::decode_stored(key, blob);
+      ASSERT_TRUE(decoded.has_value());
+      expect_traces_identical(decoded->job_trace, ref.job_trace);
+      EXPECT_EQ(decoded->canonical.fingerprint(),
+                original.canonical.fingerprint());
+      EXPECT_EQ(decoded->verified, ref.verified);
+      EXPECT_TRUE(same_bits(decoded->check_value, ref.check_value));
+      EXPECT_EQ(decoded->check_description, ref.check_description);
+
+      // Encoding is deterministic: decode-re-encode is byte-identical.
+      EXPECT_EQ(trace::encode_stored(key, *decoded), blob);
+    }
+  }
+}
+
+TEST(TraceStoreCodec, EveryTruncationIsRejected) {
+  const core::ExperimentConfig cfg =
+      make_config("ffb", apps::Dataset::kSmall);
+  core::Runner runner;
+  const core::ExperimentResult ref = runner.run(cfg);
+  trace::StoredExecution exec;
+  exec.canonical = trace::CanonicalTrace::build(ref.job_trace);
+  const trace::StoreKey key = key_of(cfg);
+  const std::string blob = trace::encode_stored(key, exec);
+
+  ASSERT_GT(blob.size(), 16u);
+  for (std::size_t len = 0; len < blob.size(); len += 7) {
+    EXPECT_FALSE(trace::decode_stored(key, blob.substr(0, len)).has_value())
+        << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(TraceStoreCodec, BitFlipsAndWrongKeysAreRejected) {
+  const core::ExperimentConfig cfg =
+      make_config("ffvc", apps::Dataset::kSmall);
+  core::Runner runner;
+  const core::ExperimentResult ref = runner.run(cfg);
+  trace::StoredExecution exec;
+  exec.canonical = trace::CanonicalTrace::build(ref.job_trace);
+  const trace::StoreKey key = key_of(cfg);
+  const std::string blob = trace::encode_stored(key, exec);
+
+  // A single flipped bit anywhere must be caught by the trailing file hash
+  // (or, for the final 8 bytes, by the hash comparison itself).
+  for (const std::size_t at :
+       {std::size_t{0}, std::size_t{9}, blob.size() / 2, blob.size() - 1}) {
+    std::string bad = blob;
+    bad[at] = static_cast<char>(bad[at] ^ 0x10);
+    EXPECT_FALSE(trace::decode_stored(key, bad).has_value())
+        << "flip at " << at;
+  }
+
+  // The same bytes presented for a different key must be rejected even
+  // though the file itself is pristine.
+  trace::StoreKey other = key;
+  other.seed = key.seed + 1;
+  EXPECT_FALSE(trace::decode_stored(other, blob).has_value());
+
+  EXPECT_FALSE(trace::decode_stored(key, std::string_view{}).has_value());
+}
+
+TEST(TraceStoreCodec, WrongFormatVersionIsRejectedEvenWithValidHash) {
+  const core::ExperimentConfig cfg =
+      make_config("ngsa", apps::Dataset::kSmall);
+  core::Runner runner;
+  const core::ExperimentResult ref = runner.run(cfg);
+  trace::StoredExecution exec;
+  exec.canonical = trace::CanonicalTrace::build(ref.job_trace);
+  const trace::StoreKey key = key_of(cfg);
+  std::string blob = trace::encode_stored(key, exec);
+
+  // Bump the format version (u32 little-endian at offset 8, after the magic)
+  // and re-stamp the trailing whole-file hash so only the version gate can
+  // reject the blob.
+  blob[8] = static_cast<char>(blob[8] + 1);
+  Fnv1a file_hash;
+  for (std::size_t i = 0; i + 8 < blob.size(); ++i) {
+    file_hash.byte(static_cast<unsigned char>(blob[i]));
+  }
+  const std::uint64_t h = file_hash.value();
+  for (int i = 0; i < 8; ++i) {
+    blob[blob.size() - 8 + static_cast<std::size_t>(i)] =
+        static_cast<char>(h >> (8 * i));
+  }
+  EXPECT_FALSE(trace::decode_stored(key, blob).has_value());
+}
+
+// ----- store-level fallback ------------------------------------------------
+
+TEST(TraceStore, CorruptFilesFallBackToNativeRuns) {
+  const core::ExperimentConfig cfg =
+      make_config("modylas", apps::Dataset::kSmall);
+  TempDir dir("corrupt");
+
+  core::Runner seed_runner;
+  seed_runner.set_trace_store(std::make_shared<trace::TraceStore>(dir.str()));
+  const core::ExperimentResult ref = seed_runner.run(cfg);
+  EXPECT_EQ(seed_runner.native_runs(), 1u);
+  EXPECT_EQ(seed_runner.disk_writes(), 1u);
+
+  const std::string path =
+      trace::TraceStore(dir.str()).path_for(key_of(cfg));
+  const std::string clean = read_file(path);
+  ASSERT_FALSE(clean.empty());
+
+  const auto corruptions = std::vector<std::pair<std::string, std::string>>{
+      {"truncated", clean.substr(0, clean.size() / 2)},
+      {"zero-length", std::string{}},
+      {"bit-flipped", [&] {
+         std::string bad = clean;
+         bad[bad.size() / 3] = static_cast<char>(bad[bad.size() / 3] ^ 0x01);
+         return bad;
+       }()},
+      {"wrong-magic", [&] {
+         std::string bad = clean;
+         bad[0] = 'X';
+         return bad;
+       }()},
+  };
+  for (const auto& [label, bytes] : corruptions) {
+    SCOPED_TRACE(label);
+    write_file(path, bytes);
+    core::Runner runner;
+    runner.set_trace_store(std::make_shared<trace::TraceStore>(dir.str()));
+    const core::ExperimentResult res = runner.run(cfg);
+    // Silent fallback: one native run, no disk hit, identical result — and
+    // the clean trace is re-published over the corrupt file.
+    EXPECT_EQ(runner.native_runs(), 1u);
+    EXPECT_EQ(runner.disk_hits(), 0u);
+    EXPECT_EQ(runner.disk_writes(), 1u);
+    expect_results_identical(res, ref);
+    EXPECT_EQ(read_file(path), clean);
+  }
+
+  // A file copied under a foreign key's path is rejected by the key check.
+  core::ExperimentConfig other_cfg = cfg;
+  other_cfg.seed = cfg.seed + 7;
+  const std::string other_path =
+      trace::TraceStore(dir.str()).path_for(key_of(other_cfg));
+  write_file(other_path, clean);
+  core::Runner runner;
+  runner.set_trace_store(std::make_shared<trace::TraceStore>(dir.str()));
+  runner.run(other_cfg);
+  EXPECT_EQ(runner.native_runs(), 1u);
+  EXPECT_EQ(runner.disk_hits(), 0u);
+}
+
+TEST(TraceStore, WarmRunnerReplaysEverythingFromDisk) {
+  TempDir dir("warm");
+  const std::vector<core::ExperimentConfig> configs = {
+      make_config("ffb", apps::Dataset::kSmall),
+      make_config("ffvc", apps::Dataset::kSmall),
+      make_config("ffvc", apps::Dataset::kSmall, 4, 2),
+  };
+
+  core::Runner cold;
+  cold.set_trace_store(std::make_shared<trace::TraceStore>(dir.str()));
+  std::vector<core::ExperimentResult> cold_results;
+  for (const core::ExperimentConfig& cfg : configs) {
+    cold_results.push_back(cold.run(cfg));
+  }
+  EXPECT_EQ(cold.native_runs(), configs.size());
+  EXPECT_EQ(cold.disk_writes(), configs.size());
+
+  core::Runner warm;
+  warm.set_trace_store(std::make_shared<trace::TraceStore>(dir.str()));
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const core::ExperimentResult res = warm.run(configs[i]);
+    expect_results_identical(res, cold_results[i]);
+  }
+  EXPECT_EQ(warm.native_runs(), 0u);
+  EXPECT_EQ(warm.disk_hits(), configs.size());
+  EXPECT_FALSE(has_temp_files(dir.path));
+}
+
+TEST(TraceStore, EvictionKeepsDirectoryUnderBudget) {
+  TempDir dir("evict");
+  const core::ExperimentConfig cfg = make_config("ffb", apps::Dataset::kSmall);
+  core::Runner probe;
+  const core::ExperimentResult ref = probe.run(cfg);
+  trace::StoredExecution exec;
+  exec.canonical = trace::CanonicalTrace::build(ref.job_trace);
+  const std::size_t file_size =
+      trace::encode_stored(key_of(cfg), exec).size();
+
+  // Budget for ~1.5 files: publishing three keys must evict the older ones
+  // while never deleting the file just published.
+  trace::TraceStore store(dir.str(), file_size + file_size / 2);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    trace::StoreKey key = key_of(cfg);
+    key.seed = seed;
+    EXPECT_TRUE(store.store(key, exec));
+    EXPECT_TRUE(fs::exists(store.path_for(key)));
+  }
+  EXPECT_GE(store.evictions(), 2u);
+  EXPECT_LE(trace_file_count(dir.path), 1u);
+
+  // The survivor (the most recent publication) still loads.
+  trace::StoreKey last = key_of(cfg);
+  last.seed = 3;
+  EXPECT_TRUE(store.load(last).has_value());
+}
+
+TEST(TraceStore, FaultPlanBypassesTheStoreEntirely) {
+  TempDir dir("fault");
+  const core::ExperimentConfig cfg = make_config("ffb", apps::Dataset::kSmall);
+  {
+    fault::Plan plan;
+    plan.run_fail = 1;
+    fault::ScopedPlan scoped(plan);
+    core::Runner runner;
+    runner.set_trace_store(std::make_shared<trace::TraceStore>(dir.str()));
+    // First native attempt is injected to fail; nothing may be published —
+    // neither by the failed attempt nor by the successful retry (the store
+    // is bypassed whenever a plan is installed).
+    EXPECT_THROW(runner.run(cfg), Error);
+    EXPECT_EQ(trace_file_count(dir.path), 0u);
+    EXPECT_FALSE(has_temp_files(dir.path));
+    const core::ExperimentResult res = runner.run(cfg, /*attempt=*/1);
+    EXPECT_TRUE(res.verified);
+    EXPECT_EQ(runner.disk_writes(), 0u);
+    EXPECT_EQ(runner.disk_hits(), 0u);
+    EXPECT_EQ(trace_file_count(dir.path), 0u);
+  }
+  // With the plan cleared the same directory accepts a clean publication.
+  core::Runner runner;
+  runner.set_trace_store(std::make_shared<trace::TraceStore>(dir.str()));
+  runner.run(cfg);
+  EXPECT_EQ(runner.disk_writes(), 1u);
+  EXPECT_EQ(trace_file_count(dir.path), 1u);
+}
+
+// ----- concurrency ---------------------------------------------------------
+
+TEST(TraceStore, RacingRunnersProduceIdenticalResultsAndNoTornFiles) {
+  TempDir dir("race");
+  const std::vector<core::ExperimentConfig> configs = {
+      make_config("ffb", apps::Dataset::kSmall),
+      make_config("ffvc", apps::Dataset::kSmall),
+  };
+
+  // Two independent Runners (separate tier-1 caches) race on one store
+  // directory from two threads each: publications collide on the same final
+  // paths and must stay atomic.
+  core::Runner a;
+  core::Runner b;
+  a.set_trace_store(std::make_shared<trace::TraceStore>(dir.str()));
+  b.set_trace_store(std::make_shared<trace::TraceStore>(dir.str()));
+  std::vector<core::ExperimentResult> results_a(configs.size());
+  std::vector<core::ExperimentResult> results_b(configs.size());
+  {
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      threads.emplace_back(
+          [&, i] { results_a[i] = a.run(configs[i]); });
+      threads.emplace_back(
+          [&, i] { results_b[i] = b.run(configs[i]); });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    expect_results_identical(results_a[i], results_b[i]);
+  }
+  EXPECT_FALSE(has_temp_files(dir.path));
+  EXPECT_EQ(trace_file_count(dir.path), configs.size());
+
+  // Whoever won, a warm runner now replays both keys from disk.
+  core::Runner warm;
+  warm.set_trace_store(std::make_shared<trace::TraceStore>(dir.str()));
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    expect_results_identical(warm.run(configs[i]), results_a[i]);
+  }
+  EXPECT_EQ(warm.native_runs(), 0u);
+}
+
+#ifdef FIBERSIM_CLI
+TEST(TraceStore, RacingProcessesShareOneStore) {
+  TempDir dir("procs");
+  const std::string out1 = (dir.path / "out1.json").string();
+  const std::string out2 = (dir.path / "out2.json").string();
+  const fs::path cache = dir.path / "cache";
+  const std::string base = std::string("'") + FIBERSIM_CLI +
+                           "' run --app ffb --dataset small --ranks 2"
+                           " --threads 2 --iterations 1 --json"
+                           " --trace-cache '" +
+                           cache.string() + "'";
+  // Two whole processes race cold on the same cache directory; both must
+  // succeed, agree bytewise, and leave exactly one published trace file.
+  const std::string cmd = base + " > '" + out1 + "' & " + base + " > '" +
+                          out2 + "'; wait";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  const std::string bytes1 = read_file(out1);
+  ASSERT_FALSE(bytes1.empty());
+  EXPECT_EQ(bytes1, read_file(out2));
+  EXPECT_FALSE(has_temp_files(cache));
+  EXPECT_EQ(trace_file_count(cache), 1u);
+
+  // A third, warm process must reproduce the same bytes from the store.
+  const std::string out3 = (dir.path / "out3.json").string();
+  ASSERT_EQ(std::system((base + " > '" + out3 + "'").c_str()), 0);
+  EXPECT_EQ(bytes1, read_file(out3));
+}
+#endif
+
+}  // namespace
+}  // namespace fibersim

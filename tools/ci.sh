@@ -19,6 +19,22 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 
+echo "== trace store: cold -> warm replay must be byte-identical =="
+CACHE_DIR="$(mktemp -d)"
+trap 'rm -rf "$CACHE_DIR"' EXIT
+FIBERSIM="$BUILD_DIR/tools/fibersim"
+RUN_ARGS="run --app ffvc --dataset small --ranks 4 --threads 2 --json"
+"$FIBERSIM" $RUN_ARGS --trace-cache "$CACHE_DIR" > "$CACHE_DIR/cold.json"
+"$FIBERSIM" $RUN_ARGS --trace-cache "$CACHE_DIR" > "$CACHE_DIR/warm.json"
+diff "$CACHE_DIR/cold.json" "$CACHE_DIR/warm.json"
+# The warm pass must replay from disk: a second cache dir would have forced
+# a native run, so assert the store actually holds the published trace.
+[ "$(ls "$CACHE_DIR" | grep -c '\.fstrace$')" -eq 1 ]
+# The bench drives a full cold/warm sweep and exits nonzero unless the warm
+# pass runs with native_runs == 0 and byte-identical output for jobs 1 and 4.
+"$BUILD_DIR/bench/perf_trace_cache" --out "$CACHE_DIR/BENCH_trace_cache.json" \
+    --cache-dir "$CACHE_DIR/bench-cache"
+
 echo "== sanitize: concurrency + fault suites under TSan =="
 cmake -B "$TSAN_DIR" -S . -DFIBERSIM_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j
