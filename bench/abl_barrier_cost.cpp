@@ -1,11 +1,7 @@
-// A2 — barrier-cost model across team sizes and topological spans.
-#include "bench_util.hpp"
+// abl_barrier_cost: shim over the A2 experiment (ablation). All sweep logic,
+// flag parsing and rendering live in the registry; see core/bench_main.hpp.
+#include "core/bench_main.hpp"
 
 int main(int argc, char** argv) {
-  fibersim::core::Runner runner;
-  const auto args = fibersim::bench::parse_args(argc, argv, runner,
-                                                fibersim::apps::Dataset::kSmall);
-  fibersim::bench::emit(args, "A2: modelled barrier cost on A64FX",
-                        fibersim::core::barrier_cost_table());
-  return 0;
+  return fibersim::bench::run_experiment("A2", argc, argv);
 }

@@ -1,13 +1,7 @@
-// A1 — sensitivity of the stride conclusion to the inter-CMG bandwidth.
-#include "bench_util.hpp"
+// abl_cmg_penalty: shim over the A1 experiment (ablation). All sweep logic,
+// flag parsing and rendering live in the registry; see core/bench_main.hpp.
+#include "core/bench_main.hpp"
 
 int main(int argc, char** argv) {
-  fibersim::core::Runner runner;
-  const auto args = fibersim::bench::parse_args(argc, argv, runner,
-                                                fibersim::apps::Dataset::kLarge);
-  fibersim::bench::emit(args,
-                        "A1: scatter/compact time ratio vs inter-CMG bandwidth "
-                        "scale",
-                        fibersim::core::cmg_penalty_ablation(args.ctx));
-  return 0;
+  return fibersim::bench::run_experiment("A1", argc, argv);
 }

@@ -1,11 +1,7 @@
-// A5 — loop fission on/off (the Fujitsu compiler's OoO-pressure mitigation).
-#include "bench_util.hpp"
+// abl_loop_fission: shim over the A5 experiment (extension). All sweep logic,
+// flag parsing and rendering live in the registry; see core/bench_main.hpp.
+#include "core/bench_main.hpp"
 
 int main(int argc, char** argv) {
-  fibersim::core::Runner runner;
-  const auto args = fibersim::bench::parse_args(argc, argv, runner,
-                                                fibersim::apps::Dataset::kLarge);
-  fibersim::bench::emit(args, "A5: loop fission on the A64FX",
-                        fibersim::core::loop_fission_table(args.ctx));
-  return 0;
+  return fibersim::bench::run_experiment("A5", argc, argv);
 }

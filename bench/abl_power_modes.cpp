@@ -1,11 +1,7 @@
-// A3 — A64FX power modes (normal / boost / eco).
-#include "bench_util.hpp"
+// abl_power_modes: shim over the A3 experiment (extension). All sweep logic,
+// flag parsing and rendering live in the registry; see core/bench_main.hpp.
+#include "core/bench_main.hpp"
 
 int main(int argc, char** argv) {
-  fibersim::core::Runner runner;
-  const auto args = fibersim::bench::parse_args(argc, argv, runner,
-                                                fibersim::apps::Dataset::kLarge);
-  fibersim::bench::emit(args, "A3: A64FX power modes",
-                        fibersim::core::power_mode_table(args.ctx));
-  return 0;
+  return fibersim::bench::run_experiment("A3", argc, argv);
 }

@@ -1,12 +1,7 @@
-// A4 — SVE vector-length sweep at fixed core resources.
-#include "bench_util.hpp"
+// abl_vector_length: shim over the A4 experiment (extension). All sweep logic,
+// flag parsing and rendering live in the registry; see core/bench_main.hpp.
+#include "core/bench_main.hpp"
 
 int main(int argc, char** argv) {
-  fibersim::core::Runner runner;
-  const auto args = fibersim::bench::parse_args(argc, argv, runner,
-                                                fibersim::apps::Dataset::kLarge);
-  fibersim::bench::emit(args,
-                        "A4: time [ms] vs SVE vector length (fixed resources)",
-                        fibersim::core::vector_length_table(args.ctx));
-  return 0;
+  return fibersim::bench::run_experiment("A4", argc, argv);
 }

@@ -1,12 +1,7 @@
-// E1 — multi-node strong scaling over the Tofu-D-class fabric model.
-#include "bench_util.hpp"
+// ext_multinode: shim over the E1 experiment (extension). All sweep logic,
+// flag parsing and rendering live in the registry; see core/bench_main.hpp.
+#include "core/bench_main.hpp"
 
 int main(int argc, char** argv) {
-  fibersim::core::Runner runner;
-  const auto args = fibersim::bench::parse_args(argc, argv, runner,
-                                                fibersim::apps::Dataset::kLarge);
-  fibersim::bench::emit(
-      args, "E1: A64FX multi-node strong scaling (4 ranks x 12 threads/node)",
-      fibersim::core::multinode_scaling_table(args.ctx, {1, 2, 4}));
-  return 0;
+  return fibersim::bench::run_experiment("E1", argc, argv);
 }

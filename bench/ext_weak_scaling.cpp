@@ -1,12 +1,7 @@
-// E2 — multi-node weak scaling (problem grows with the node count).
-#include "bench_util.hpp"
+// ext_weak_scaling: shim over the E2 experiment (extension). All sweep logic,
+// flag parsing and rendering live in the registry; see core/bench_main.hpp.
+#include "core/bench_main.hpp"
 
 int main(int argc, char** argv) {
-  fibersim::core::Runner runner;
-  const auto args = fibersim::bench::parse_args(argc, argv, runner,
-                                                fibersim::apps::Dataset::kLarge);
-  fibersim::bench::emit(
-      args, "E2: A64FX multi-node weak scaling (4 ranks x 12 threads/node)",
-      fibersim::core::weak_scaling_table(args.ctx, {1, 2, 4}));
-  return 0;
+  return fibersim::bench::run_experiment("E2", argc, argv);
 }

@@ -1,16 +1,7 @@
-// F1 — the T2 sweep normalised to each app's best configuration.
-#include "bench_util.hpp"
+// fig_mpi_omp: shim over the F1 experiment (Fig. 1). All sweep logic,
+// flag parsing and rendering live in the registry; see core/bench_main.hpp.
+#include "core/bench_main.hpp"
 
 int main(int argc, char** argv) {
-  fibersim::core::Runner runner;
-  const auto args = fibersim::bench::parse_args(argc, argv, runner,
-                                                fibersim::apps::Dataset::kLarge);
-  const auto table = fibersim::core::mpi_omp_relative_table(args.ctx);
-  fibersim::bench::emit(
-      args,
-      std::string("F1: relative time vs MPI x OMP on A64FX (") +
-          fibersim::apps::dataset_name(args.ctx.dataset) + " dataset)",
-      table);
-  fibersim::bench::emit_chart(args, table, "x best", 1, table.columns() - 2);
-  return 0;
+  return fibersim::bench::run_experiment("F1", argc, argv);
 }

@@ -1,17 +1,7 @@
-// F3 — MPI process-allocation sweep (8 ranks x 6 threads on A64FX).
-#include "bench_util.hpp"
+// fig_proc_alloc: shim over the F3 experiment (Fig. 3). All sweep logic,
+// flag parsing and rendering live in the registry; see core/bench_main.hpp.
+#include "core/bench_main.hpp"
 
 int main(int argc, char** argv) {
-  fibersim::core::Runner runner;
-  const auto args = fibersim::bench::parse_args(argc, argv, runner,
-                                                fibersim::apps::Dataset::kLarge);
-  const auto report = fibersim::core::proc_alloc_report(args.ctx);
-  fibersim::bench::emit(
-      args,
-      std::string("F3: time [ms] vs process allocation, 8x6 on A64FX (") +
-          fibersim::apps::dataset_name(args.ctx.dataset) + " dataset)",
-      report.table);
-  std::cout << "max relative spread over the suite: "
-            << fibersim::strfmt("%.1f%%", report.max_spread * 100.0) << "\n";
-  return 0;
+  return fibersim::bench::run_experiment("F3", argc, argv);
 }

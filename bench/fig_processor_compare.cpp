@@ -1,18 +1,7 @@
-// F4 — cross-processor comparison at each machine's best configuration.
-#include "bench_util.hpp"
+// fig_processor_compare: shim over the F4 experiment (Fig. 4). All sweep logic,
+// flag parsing and rendering live in the registry; see core/bench_main.hpp.
+#include "core/bench_main.hpp"
 
 int main(int argc, char** argv) {
-  fibersim::core::Runner runner;
-  auto args = fibersim::bench::parse_args(argc, argv, runner,
-                                          fibersim::apps::Dataset::kLarge);
-  for (const auto dataset :
-       {fibersim::apps::Dataset::kSmall, fibersim::apps::Dataset::kLarge}) {
-    args.ctx.dataset = dataset;
-    fibersim::bench::emit(
-        args,
-        std::string("F4: processor comparison (") +
-            fibersim::apps::dataset_name(dataset) + " dataset)",
-        fibersim::core::processor_compare_table(args.ctx));
-  }
-  return 0;
+  return fibersim::bench::run_experiment("F4", argc, argv);
 }

@@ -1,13 +1,7 @@
-// F5 — roofline placement of every miniapp on the A64FX.
-#include "bench_util.hpp"
+// fig_roofline: shim over the F5 experiment (Fig. 5). All sweep logic,
+// flag parsing and rendering live in the registry; see core/bench_main.hpp.
+#include "core/bench_main.hpp"
 
 int main(int argc, char** argv) {
-  fibersim::core::Runner runner;
-  const auto args = fibersim::bench::parse_args(argc, argv, runner,
-                                                fibersim::apps::Dataset::kLarge);
-  std::cout << "== F5: A64FX roofline ("
-            << fibersim::apps::dataset_name(args.ctx.dataset)
-            << " dataset) ==\n";
-  std::cout << fibersim::core::roofline_figure(args.ctx);
-  return 0;
+  return fibersim::bench::run_experiment("F5", argc, argv);
 }

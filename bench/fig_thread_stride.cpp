@@ -1,27 +1,7 @@
-// F2 — OpenMP thread-stride sweep (4 ranks x 12 threads on A64FX).
-#include "bench_util.hpp"
+// fig_thread_stride: shim over the F2 experiment (Fig. 2). All sweep logic,
+// flag parsing and rendering live in the registry; see core/bench_main.hpp.
+#include "core/bench_main.hpp"
 
 int main(int argc, char** argv) {
-  fibersim::core::Runner runner;
-  const auto args = fibersim::bench::parse_args(argc, argv, runner,
-                                                fibersim::apps::Dataset::kLarge);
-  const auto table = fibersim::core::thread_stride_table(args.ctx);
-  fibersim::bench::emit(
-      args,
-      std::string("F2: time [ms] vs thread stride, 4x12 on A64FX (") +
-          fibersim::apps::dataset_name(args.ctx.dataset) + " dataset)",
-      table);
-  fibersim::bench::emit_chart(args, table, "ms", 1, table.columns() - 2);
-
-  // Repeat at 2 x 24: even the compact baseline spans CMGs there, so the
-  // residual stride effect isolates the shared-traffic concentration term.
-  auto wide = args.ctx;
-  wide.override_ranks = 2;
-  wide.override_threads = 24;
-  fibersim::bench::emit(
-      args,
-      std::string("F2b: time [ms] vs thread stride, 2x24 on A64FX (") +
-          fibersim::apps::dataset_name(args.ctx.dataset) + " dataset)",
-      fibersim::core::thread_stride_table(wide));
-  return 0;
+  return fibersim::bench::run_experiment("F2", argc, argv);
 }

@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "common/report_emit.hpp"
+#include "common/string_util.hpp"
 #include "common/timer.hpp"
 #include "core/runner.hpp"
 #include "fault/fault.hpp"
@@ -166,15 +168,26 @@ int main(int argc, char** argv) {
     });
   }
 
-  const auto report = [](const char* name, const PathResult& r) {
-    std::cout << name << ": off " << r.off_s << " s (" << r.ops / r.off_s
-              << " ops/s), armed " << r.armed_s << " s, overhead "
-              << overhead(r) * 100.0 << "%\n";
+  // Stdout summary goes through the shared report emitter (same renderer as
+  // the experiment registry); the JSON artifact below stays hand-rolled.
+  ReportArtifact artifact;
+  artifact.id = "micro_fault_overhead";
+  TextTable table({"path", "off s", "off ops/s", "armed s", "overhead"});
+  const auto report = [&](const char* name, const PathResult& r) {
+    table.add_row({name, strfmt("%g", r.off_s), strfmt("%g", r.ops / r.off_s),
+                   strfmt("%g", r.armed_s),
+                   strfmt("%g%%", overhead(r) * 100.0)});
+    artifact.metrics.push_back(
+        {std::string(name) + "_armed_overhead", overhead(r), "fraction"});
   };
-  std::cout << "== micro_fault_overhead: hook cost with no plan active ==\n";
-  report("mp ops   ", mp_result);
-  report("rt region", rt_result);
-  report("runner   ", runner_result);
+  report("mp", mp_result);
+  report("rt", rt_result);
+  report("runner", runner_result);
+  artifact.add_table("micro_fault_overhead: hook cost with no plan active",
+                     table);
+  EmitOptions emit_opts;
+  emit_opts.framed = true;
+  emit_report(artifact, emit_opts, std::cout);
 
   std::ostringstream json;
   json.precision(17);

@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "cg/codegen_cache.hpp"
+#include "common/report_emit.hpp"
+#include "common/string_util.hpp"
 #include "common/timer.hpp"
 #include "core/runner.hpp"
 #include "core/sweep.hpp"
@@ -199,23 +201,41 @@ int main(int argc, char** argv) {
                            static_cast<double>(exec_evals)
                      : 0.0;
 
-  std::cout << "== perf_predict: raw vs memoized sweep prediction ==\n"
-            << "trace: " << app << "/" << apps::dataset_name(dataset) << " "
-            << ranks << "x" << threads << ", " << canonical.phase_count()
-            << " phases, " << canonical.class_count() << " classes\n"
-            << "sweep: " << points.size() << " configs, " << repeats
-            << " timing passes\n"
-            << "naive:    " << naive_s << " s/pass ("
-            << static_cast<double>(points.size()) / naive_s << " predictions/s)\n"
-            << "memoized: " << memo_s << " s/pass ("
-            << static_cast<double>(points.size()) / memo_s
-            << " predictions/s), canonicalize once: " << canonicalize_s
-            << " s\n"
-            << "speedup:  " << speedup << "x\n"
-            << "codegen evals: " << naive_codegen_per_pass << " -> "
-            << codegen_evals << " (" << codegen_ratio << "x fewer)\n"
-            << "exec evals:    " << naive_exec_per_pass << " -> " << exec_evals
-            << " (" << exec_ratio << "x fewer)\n";
+  // Stdout summary goes through the shared report emitter (same renderer as
+  // the experiment registry); the JSON artifact below stays hand-rolled.
+  ReportArtifact artifact;
+  artifact.id = "perf_predict";
+  TextTable table({"quantity", "value"});
+  table.add_row({"trace", app + "/" + apps::dataset_name(dataset) + " " +
+                             std::to_string(ranks) + "x" +
+                             std::to_string(threads)});
+  table.add_row({"phases / classes",
+                 std::to_string(canonical.phase_count()) + " / " +
+                     std::to_string(canonical.class_count())});
+  table.add_row({"sweep", strfmt("%zu configs, %d timing passes",
+                                 points.size(), repeats)});
+  table.add_row({"naive", strfmt("%g s/pass (%g predictions/s)", naive_s,
+                                 static_cast<double>(points.size()) / naive_s)});
+  table.add_row({"memoized",
+                 strfmt("%g s/pass (%g predictions/s)", memo_s,
+                        static_cast<double>(points.size()) / memo_s)});
+  table.add_row({"canonicalize once", strfmt("%g s", canonicalize_s)});
+  table.add_row({"speedup", strfmt("%gx", speedup)});
+  table.add_row({"codegen evals",
+                 strfmt("%zu -> %zu (%gx fewer)", naive_codegen_per_pass,
+                        codegen_evals, codegen_ratio)});
+  table.add_row({"exec evals",
+                 strfmt("%zu -> %zu (%gx fewer)", naive_exec_per_pass,
+                        exec_evals, exec_ratio)});
+  ReportSection& section = artifact.add_table(
+      "perf_predict: raw vs memoized sweep prediction", table);
+  section.notes.push_back("both paths agree bitwise on every prediction");
+  artifact.metrics.push_back({"speedup", speedup, "x"});
+  artifact.metrics.push_back({"naive_seconds_per_pass", naive_s, "s"});
+  artifact.metrics.push_back({"memoized_seconds_per_pass", memo_s, "s"});
+  EmitOptions emit_opts;
+  emit_opts.framed = true;
+  emit_report(artifact, emit_opts, std::cout);
 
   std::ostringstream json;
   json.precision(17);

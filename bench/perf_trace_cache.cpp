@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "common/report_emit.hpp"
 #include "common/string_util.hpp"
 #include "common/timer.hpp"
 #include "core/runner.hpp"
@@ -231,22 +232,36 @@ int main(int argc, char** argv) {
   const double fan_shared_s = time_fanout(fan_ranks, fan_bytes, repeats, true);
   const double fan_ratio = fan_shared_s > 0.0 ? fan_copy_s / fan_shared_s : 0.0;
 
-  std::cout << "== perf_trace_cache: cold vs warm sweep through the store ==\n"
-            << "sweep: " << configs.size() << " configs, " << unique_keys
-            << " unique execution keys\n";
+  // Stdout summary goes through the shared report emitter (same renderer as
+  // the experiment registry); the JSON artifact below stays hand-rolled.
+  ReportArtifact artifact;
+  artifact.id = "perf_trace_cache";
+  TextTable table({"jobs", "cold s", "native runs", "warm s", "disk hits",
+                   "speedup"});
   for (const Leg& leg : legs) {
     const double speedup =
         leg.warm.seconds > 0.0 ? leg.cold.seconds / leg.warm.seconds : 0.0;
-    std::cout << "--jobs " << leg.jobs << ": cold " << leg.cold.seconds
-              << " s (" << leg.cold.native_runs << " native runs), warm "
-              << leg.warm.seconds << " s (" << leg.warm.disk_hits
-              << " disk hits, 0 native runs), speedup " << speedup
-              << "x, byte-identical\n";
+    table.add_row({std::to_string(leg.jobs), strfmt("%g", leg.cold.seconds),
+                   std::to_string(leg.cold.native_runs),
+                   strfmt("%g", leg.warm.seconds),
+                   std::to_string(leg.warm.disk_hits),
+                   strfmt("%gx", speedup)});
+    artifact.metrics.push_back({"warm_speedup_jobs" + std::to_string(leg.jobs),
+                                speedup, "x"});
   }
-  std::cout << "fan-out " << fan_ranks << " ranks x " << (fan_bytes >> 10)
-            << " KiB x " << repeats << ": per-destination copies "
-            << fan_copy_s << " s, shared buffer " << fan_shared_s << " s ("
-            << fan_ratio << "x)\n";
+  ReportSection& section = artifact.add_table(
+      "perf_trace_cache: cold vs warm sweep through the store", table);
+  section.notes.push_back(strfmt("sweep: %zu configs, %zu unique execution keys",
+                                 configs.size(), unique_keys));
+  section.notes.push_back(
+      strfmt("fan-out %d ranks x %zu KiB x %d: per-destination copies %g s, "
+             "shared buffer %g s (%gx)",
+             fan_ranks, fan_bytes >> 10, repeats, fan_copy_s, fan_shared_s,
+             fan_ratio));
+  artifact.metrics.push_back({"fanout_copy_over_shared", fan_ratio, "x"});
+  EmitOptions emit_opts;
+  emit_opts.framed = true;
+  emit_report(artifact, emit_opts, std::cout);
 
   std::ostringstream json;
   json.precision(17);

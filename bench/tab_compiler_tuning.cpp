@@ -1,13 +1,7 @@
-// T3 — compiler tuning ladder on the as-is small datasets vs Skylake.
-#include "bench_util.hpp"
+// tab_compiler_tuning: shim over the T3 experiment (Table 3). All sweep logic,
+// flag parsing and rendering live in the registry; see core/bench_main.hpp.
+#include "core/bench_main.hpp"
 
 int main(int argc, char** argv) {
-  fibersim::core::Runner runner;
-  const auto args = fibersim::bench::parse_args(argc, argv, runner,
-                                                fibersim::apps::Dataset::kSmall);
-  fibersim::bench::emit(args,
-                        "T3: SIMD vectorisation + instruction scheduling on the "
-                        "as-is small datasets",
-                        fibersim::core::compiler_tuning_table(args.ctx));
-  return 0;
+  return fibersim::bench::run_experiment("T3", argc, argv);
 }

@@ -1,11 +1,7 @@
-// T1 — machine configuration table.
-#include "bench_util.hpp"
+// tab_machines: shim over the T1 experiment (Table 1). All sweep logic,
+// flag parsing and rendering live in the registry; see core/bench_main.hpp.
+#include "core/bench_main.hpp"
 
 int main(int argc, char** argv) {
-  fibersim::core::Runner runner;
-  const auto args = fibersim::bench::parse_args(argc, argv, runner,
-                                                fibersim::apps::Dataset::kSmall);
-  fibersim::bench::emit(args, "T1: machine configurations",
-                        fibersim::core::machines_table());
-  return 0;
+  return fibersim::bench::run_experiment("T1", argc, argv);
 }

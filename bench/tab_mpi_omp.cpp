@@ -1,15 +1,7 @@
-// T2 — predicted execution time per miniapp across every MPI x OpenMP split
-// of the A64FX's 48 cores.
-#include "bench_util.hpp"
+// tab_mpi_omp: shim over the T2 experiment (Table 2). All sweep logic,
+// flag parsing and rendering live in the registry; see core/bench_main.hpp.
+#include "core/bench_main.hpp"
 
 int main(int argc, char** argv) {
-  fibersim::core::Runner runner;
-  const auto args = fibersim::bench::parse_args(argc, argv, runner,
-                                                fibersim::apps::Dataset::kLarge);
-  fibersim::bench::emit(
-      args,
-      std::string("T2: time [ms] vs MPI x OMP on A64FX (") +
-          fibersim::apps::dataset_name(args.ctx.dataset) + " dataset)",
-      fibersim::core::mpi_omp_table(args.ctx));
-  return 0;
+  return fibersim::bench::run_experiment("T2", argc, argv);
 }

@@ -1,14 +1,7 @@
-// T4 — per-phase breakdown of each miniapp at its best A64FX configuration.
-#include "bench_util.hpp"
+// tab_phase_breakdown: shim over the T4 experiment (Table 4). All sweep logic,
+// flag parsing and rendering live in the registry; see core/bench_main.hpp.
+#include "core/bench_main.hpp"
 
 int main(int argc, char** argv) {
-  fibersim::core::Runner runner;
-  const auto args = fibersim::bench::parse_args(argc, argv, runner,
-                                                fibersim::apps::Dataset::kLarge);
-  fibersim::bench::emit(
-      args,
-      std::string("T4: phase breakdown on A64FX (") +
-          fibersim::apps::dataset_name(args.ctx.dataset) + " dataset)",
-      fibersim::core::phase_breakdown_table(args.ctx));
-  return 0;
+  return fibersim::bench::run_experiment("T4", argc, argv);
 }

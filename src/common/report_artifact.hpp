@@ -1,0 +1,77 @@
+// Structured experiment results — the one shape every front end renders.
+//
+// A ReportArtifact is what an experiment *produces*: one or more titled
+// sections (a table or an ASCII figure, optionally charted), plus scalar
+// metrics for machine consumers. The CLI, the bench shims, CI and the tests
+// all consume artifacts through common/report_emit.hpp instead of each
+// wiring its own print calls.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace fibersim {
+
+/// Renders columns [first_col, last_col] of a section's table as horizontal
+/// bar charts (one chart per row, bars labelled by the header) in framed
+/// text mode — how the fig_* benches draw their "figures".
+struct ChartSpec {
+  bool enabled = false;
+  std::string unit;  ///< printed after each bar value, e.g. "ms"
+  std::size_t first_col = 0;
+  std::size_t last_col = 0;
+};
+
+/// One named scalar carried beside the tables (e.g. F3's max spread), for
+/// JSON consumers and assertions that should not parse rendered cells.
+struct ScalarMetric {
+  std::string key;
+  double value = 0.0;
+  std::string unit;
+};
+
+/// One titled block of a report: a table or an ASCII figure, plus optional
+/// chart rendering and trailing note lines.
+struct ReportSection {
+  std::string title;
+  std::optional<TextTable> table;
+  std::string figure;  ///< raw ASCII art, used when `table` is empty
+  ChartSpec chart;
+  /// Trailing lines in framed (bench) rendering.
+  std::vector<std::string> notes;
+  /// Trailing lines in bare (CLI) rendering. Kept separate because the two
+  /// historical front ends worded their summary lines differently and the
+  /// registry refactor preserves both byte-for-byte.
+  std::vector<std::string> cli_notes;
+};
+
+/// Structured result of one experiment.
+struct ReportArtifact {
+  std::string id;  ///< stamped by core::ExperimentRegistry::build
+  std::vector<ReportSection> sections;
+  std::vector<ScalarMetric> metrics;
+
+  bool empty() const { return sections.empty(); }
+
+  /// Append a table section and return it for further decoration.
+  ReportSection& add_table(std::string title, TextTable table) {
+    sections.push_back(ReportSection{});
+    sections.back().title = std::move(title);
+    sections.back().table = std::move(table);
+    return sections.back();
+  }
+
+  /// Append an ASCII-figure section.
+  ReportSection& add_figure(std::string title, std::string figure) {
+    sections.push_back(ReportSection{});
+    sections.back().title = std::move(title);
+    sections.back().figure = std::move(figure);
+    return sections.back();
+  }
+};
+
+}  // namespace fibersim

@@ -53,14 +53,25 @@ void TextTable::print(std::ostream& os) const {
 }
 
 void TextTable::print_csv(std::ostream& os) const {
+  // RFC 4180: a cell containing a comma, a double quote or a line break is
+  // quoted, and embedded double quotes are doubled.
   auto emit = [&](const std::vector<std::string>& cells) {
     for (std::size_t c = 0; c < cells.size(); ++c) {
       if (c) os << ',';
-      if (cells[c].find(',') != std::string::npos) {
-        os << '"' << cells[c] << '"';
-      } else {
-        os << cells[c];
+      const std::string& cell = cells[c];
+      if (cell.find_first_of(",\"\n\r") == std::string::npos) {
+        os << cell;
+        continue;
       }
+      os << '"';
+      for (const char ch : cell) {
+        if (ch == '"') {
+          os << "\"\"";
+        } else {
+          os << ch;
+        }
+      }
+      os << '"';
     }
     os << '\n';
   };

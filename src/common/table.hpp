@@ -26,7 +26,8 @@ class TextTable {
   /// that parse as numbers, which are right-aligned.
   void print(std::ostream& os) const;
 
-  /// Comma-separated output with a header line; commas in cells are quoted.
+  /// Comma-separated output with a header line (RFC 4180: cells containing
+  /// a comma, quote or line break are quoted, embedded quotes doubled).
   void print_csv(std::ostream& os) const;
 
  private:

@@ -1,0 +1,48 @@
+#include "core/bench_main.hpp"
+
+#include <iostream>
+#include <vector>
+
+#include "core/experiment_registry.hpp"
+#include "core/report_flags.hpp"
+#include "core/runner.hpp"
+#include "fault/fault.hpp"
+
+namespace fibersim::bench {
+
+int run_experiment(const std::string& id, int argc, char** argv) {
+  try {
+    const core::Experiment& entry =
+        core::ExperimentRegistry::instance().get(id);
+    // Environment fault plan applies first; --fault-plan overrides it.
+    fault::install_from_env();
+    core::Runner runner;
+    core::ReportFlags flags;
+    flags.ctx.runner = &runner;
+    flags.ctx.dataset = entry.default_dataset;
+    flags.ctx.supplements = true;  // benches print the full figure set
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    const std::string problem = core::parse_report_flags(args, flags);
+    if (!problem.empty()) {
+      std::cerr << problem << "\n";
+      return 2;
+    }
+    if (flags.list) {
+      core::print_experiment_list(std::cout);
+      return 0;
+    }
+    core::attach_trace_store(runner, flags.trace_cache_dir);
+    const ReportArtifact artifact =
+        core::ExperimentRegistry::instance().build(id, flags.ctx);
+    EmitOptions opts;
+    opts.format = flags.format;
+    opts.framed = true;
+    emit_report(artifact, opts, std::cout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace fibersim::bench

@@ -1,0 +1,22 @@
+// Shared entry point for the experiment shim binaries under bench/.
+//
+// Every fig_*/tab_*/abl_*/ext_* binary is a ≤15-line shim over
+// run_experiment(id): the registry supplies the builder and the bench
+// default dataset, core::parse_report_flags supplies the shared flag set
+// ([--dataset small|large] [--apps a,b] [--iterations N] [--seed N]
+// [--jobs N] [--format text|csv|json] [--csv] [--list] plus the resilience
+// and --trace-cache knobs), and common/report_emit renders the artifact in
+// the framed bench style. --jobs defaults to 1 so timing comparisons
+// against the serial engine stay trivial; the printed output is
+// byte-identical for any job count.
+#pragma once
+
+#include <string>
+
+namespace fibersim::bench {
+
+/// Run one registered experiment as a bench binary; returns the process
+/// exit code (0 ok, 2 usage/config error).
+int run_experiment(const std::string& id, int argc, char** argv);
+
+}  // namespace fibersim::bench

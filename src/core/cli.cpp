@@ -1,21 +1,18 @@
 #include "core/cli.hpp"
 
 #include <fstream>
-#include <map>
-#include <memory>
 #include <ostream>
 
 #include "common/error.hpp"
 #include "trace/serialize.hpp"
 #include "common/string_util.hpp"
 #include "core/config_parse.hpp"
-#include "core/journal.hpp"
+#include "core/experiment_registry.hpp"
+#include "core/report_flags.hpp"
 #include "core/reports.hpp"
 #include "core/runner.hpp"
-#include "core/sweep.hpp"
 #include "core/sweep_pool.hpp"
 #include "fault/fault.hpp"
-#include "trace/trace_store.hpp"
 
 namespace fibersim::core {
 
@@ -39,9 +36,14 @@ constexpr const char* kUsage =
     "                            env FIBERSIM_TRACE_CACHE)\n"
     "  report <id> [--apps a,b] [--dataset small|large] [--iterations N]\n"
     "         [--jobs N]         regenerate one table/figure (see list);\n"
-    "                            id 'all' regenerates every one. --jobs sets\n"
-    "                            the sweep worker count (default: all cores;\n"
+    "                            id 'all' (or --all) regenerates every\n"
+    "                            registered experiment. --jobs sets the\n"
+    "                            sweep worker count (default: all cores;\n"
     "                            output is identical for any job count)\n"
+    "         [--format text|csv|json]  output format (--csv = --format\n"
+    "                            csv); --format json emits one machine-\n"
+    "                            readable object per experiment (a JSON\n"
+    "                            array under --all)\n"
     "         [--trace-cache D]  persistent trace store: cold runs publish\n"
     "                            to D, warm runs replay with zero native\n"
     "                            executions and byte-identical output (env\n"
@@ -63,9 +65,8 @@ int cmd_list(std::ostream& out) {
   }
   out << "processors: a64fx, a64fx-boost, a64fx-eco, skylake, thunderx2, "
          "broadwell\n";
-  out << "reports:";
-  for (const auto& id : cli_report_ids()) out << ' ' << id;
-  out << "\n";
+  out << "reports:\n";
+  print_experiment_list(out);
   return 0;
 }
 
@@ -78,17 +79,6 @@ int cmd_describe(const std::vector<std::string>& args, std::ostream& out,
   const auto app = apps::create_miniapp(args[0]);
   out << app->name() << ": " << app->description() << "\n";
   return 0;
-}
-
-/// Attach the persistent trace store selected by --trace-cache, or — when
-/// the flag is absent — by FIBERSIM_TRACE_CACHE, to the runner.
-void attach_trace_store(Runner& runner, const std::string& dir) {
-  if (!dir.empty()) {
-    runner.set_trace_store(std::make_shared<trace::TraceStore>(dir));
-  } else if (std::shared_ptr<trace::TraceStore> store =
-                 trace::TraceStore::from_env()) {
-    runner.set_trace_store(std::move(store));
-  }
 }
 
 /// Applies --key value pairs onto a config; returns unconsumed error or "".
@@ -209,129 +199,64 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out,
 
 int cmd_report(const std::vector<std::string>& args, std::ostream& out,
                std::ostream& err) {
+  const ExperimentRegistry& registry = ExperimentRegistry::instance();
   if (args.empty()) {
     err << "report needs an id; one of:";
-    for (const auto& id : cli_report_ids()) err << ' ' << id;
+    for (const auto& id : registry.ids()) err << ' ' << id;
     err << "\n";
     return 2;
   }
-  std::string id = to_lower(args[0]);
-  Runner runner;
-  std::string trace_cache_dir;
-  ReportContext ctx;
-  ctx.runner = &runner;
-  ctx.dataset = apps::Dataset::kLarge;
-  ctx.jobs = SweepPool::default_jobs();
-  std::unique_ptr<SweepJournal> journal;  // owns the --journal file handle
-  for (std::size_t i = 1; i < args.size();) {
-    const std::string& key = args[i];
-    if (key == "--keep-going") {
-      ctx.keep_going = true;
-      ++i;
-      continue;
-    }
-    if (key == "--fail-fast") {
-      ctx.keep_going = false;
-      ++i;
-      continue;
-    }
-    if (i + 1 >= args.size()) {
-      err << "missing value for " << key << "\n";
-      return 2;
-    }
-    const std::string& value = args[i + 1];
-    if (key == "--apps") {
-      ctx.app_names = split(value, ',');
-    } else if (key == "--dataset") {
-      ctx.dataset = parse_dataset(value);
-    } else if (key == "--iterations") {
-      ctx.iterations = std::stoi(value);
-    } else if (key == "--seed") {
-      ctx.seed = std::stoull(value);
-    } else if (key == "--jobs") {
-      ctx.jobs = std::stoi(value);
-      if (ctx.jobs < 1) {
-        err << "--jobs must be >= 1\n";
-        return 2;
-      }
-    } else if (key == "--fault-plan") {
-      fault::install(fault::Plan::parse(value));
-    } else if (key == "--retries") {
-      ctx.max_retries = std::stoi(value);
-      if (ctx.max_retries < 0) {
-        err << "--retries must be >= 0\n";
-        return 2;
-      }
-    } else if (key == "--watchdog") {
-      ctx.watchdog_s = std::stod(value);
-      if (ctx.watchdog_s < 0.0) {
-        err << "--watchdog must be >= 0\n";
-        return 2;
-      }
-    } else if (key == "--journal") {
-      journal = std::make_unique<SweepJournal>(value);
-      ctx.journal = journal.get();
-    } else if (key == "--trace-cache") {
-      trace_cache_dir = value;
-    } else {
-      err << "unknown flag: " << key << "\n";
-      return 2;
-    }
-    i += 2;
-  }
-  attach_trace_store(runner, trace_cache_dir);
-
-  if (id == "all") {
-    // Regenerate every report in index order (each with a fresh runner;
-    // traces are cheap at suite scale).
-    for (const std::string& each : cli_report_ids()) {
-      out << "== " << each << " ==\n";
-      std::vector<std::string> sub_args{each};
-      for (std::size_t i = 1; i < args.size(); ++i) sub_args.push_back(args[i]);
-      const int code = cmd_report(sub_args, out, err);
-      if (code != 0) return code;
-      out << "\n";
-    }
-    return 0;
-  }
-  if (id == "t1") {
-    machines_table().print(out);
-  } else if (id == "t2") {
-    mpi_omp_table(ctx).print(out);
-  } else if (id == "f1") {
-    mpi_omp_relative_table(ctx).print(out);
-  } else if (id == "f2") {
-    thread_stride_table(ctx).print(out);
-  } else if (id == "f3") {
-    const AllocReport report = proc_alloc_report(ctx);
-    report.table.print(out);
-    out << "max spread: " << strfmt("%.1f%%", report.max_spread * 100.0) << "\n";
-  } else if (id == "t3") {
-    if (ctx.dataset != apps::Dataset::kSmall) ctx.dataset = apps::Dataset::kSmall;
-    compiler_tuning_table(ctx).print(out);
-  } else if (id == "f4") {
-    processor_compare_table(ctx).print(out);
-  } else if (id == "f5") {
-    out << roofline_figure(ctx);
-  } else if (id == "t4") {
-    phase_breakdown_table(ctx).print(out);
-  } else if (id == "a1") {
-    cmg_penalty_ablation(ctx).print(out);
-  } else if (id == "a2") {
-    barrier_cost_table().print(out);
-  } else if (id == "a3") {
-    power_mode_table(ctx).print(out);
-  } else if (id == "a4") {
-    vector_length_table(ctx).print(out);
-  } else if (id == "a5") {
-    loop_fission_table(ctx).print(out);
-  } else if (id == "e1") {
-    multinode_scaling_table(ctx, {1, 2, 4}).print(out);
-  } else if (id == "e2") {
-    weak_scaling_table(ctx, {1, 2, 4}).print(out);
-  } else {
+  const bool all = to_lower(args[0]) == "all" || args[0] == "--all";
+  const Experiment* single = all ? nullptr : registry.find(args[0]);
+  if (!all && single == nullptr) {
     err << "unknown report id: " << args[0] << "\n";
     return 2;
+  }
+  ReportFlags flags;
+  flags.ctx.dataset = apps::Dataset::kLarge;
+  flags.ctx.jobs = SweepPool::default_jobs();
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  const std::string problem = parse_report_flags(rest, flags);
+  if (!problem.empty()) {
+    err << problem << "\n";
+    return 2;
+  }
+  if (flags.list) {
+    print_experiment_list(out);
+    return 0;
+  }
+  const auto build_one = [&](const Experiment& entry) {
+    Runner runner;  // fresh per report; traces are cheap at suite scale
+    attach_trace_store(runner, flags.trace_cache_dir);
+    ReportContext ctx = flags.ctx;
+    ctx.runner = &runner;
+    // The CLI has always pinned T3 to the small dataset (the paper's
+    // compiler study only exists there); the bench shim honours --dataset.
+    if (to_lower(entry.id) == "t3") ctx.dataset = apps::Dataset::kSmall;
+    return registry.build(entry.id, ctx);
+  };
+  EmitOptions opts;
+  opts.format = flags.format;
+  opts.framed = false;
+  if (!all) {
+    emit_report(build_one(*single), opts, out);
+    return 0;
+  }
+  if (flags.format == ReportFormat::kJson) {
+    out << "[\n";
+    bool first = true;
+    for (const Experiment& entry : registry.experiments()) {
+      if (!first) out << ",";
+      first = false;
+      emit_report(build_one(entry), opts, out);
+    }
+    out << "]\n";
+    return 0;
+  }
+  for (const Experiment& entry : registry.experiments()) {
+    out << "== " << entry.id << " ==\n";
+    emit_report(build_one(entry), opts, out);
+    out << "\n";
   }
   return 0;
 }
@@ -339,8 +264,7 @@ int cmd_report(const std::vector<std::string>& args, std::ostream& out,
 }  // namespace
 
 std::vector<std::string> cli_report_ids() {
-  return {"T1", "T2", "F1", "F2", "F3", "T3", "F4", "F5", "T4",
-          "A1", "A2", "A3", "A4", "A5", "E1", "E2"};
+  return ExperimentRegistry::instance().ids();
 }
 
 int cli_main(const std::vector<std::string>& args, std::ostream& out,

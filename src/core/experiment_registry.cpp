@@ -1,0 +1,60 @@
+#include "core/experiment_registry.hpp"
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace fibersim::core {
+
+ExperimentRegistry& ExperimentRegistry::instance() {
+  // Thread-safe (magic static); leaked on purpose so artifact builders may
+  // run during static destruction of test binaries.
+  static ExperimentRegistry* registry = [] {
+    auto* r = new ExperimentRegistry();
+    register_sweep_experiments(*r);
+    register_compare_experiments(*r);
+    register_ablation_experiments(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void ExperimentRegistry::add(Experiment experiment) {
+  FS_REQUIRE(!experiment.id.empty(), "experiment id must not be empty");
+  FS_REQUIRE(static_cast<bool>(experiment.build),
+             "experiment '" + experiment.id + "' needs a builder");
+  FS_REQUIRE(find(experiment.id) == nullptr,
+             "duplicate experiment id: " + experiment.id);
+  experiments_.push_back(std::move(experiment));
+}
+
+const Experiment* ExperimentRegistry::find(std::string_view id) const {
+  const std::string key = to_lower(trim(id));
+  for (const Experiment& experiment : experiments_) {
+    if (to_lower(experiment.id) == key) return &experiment;
+  }
+  return nullptr;
+}
+
+const Experiment& ExperimentRegistry::get(std::string_view id) const {
+  const Experiment* experiment = find(id);
+  FS_REQUIRE(experiment != nullptr,
+             "unknown experiment id: " + std::string(id));
+  return *experiment;
+}
+
+std::vector<std::string> ExperimentRegistry::ids() const {
+  std::vector<std::string> out;
+  out.reserve(experiments_.size());
+  for (const Experiment& experiment : experiments_) out.push_back(experiment.id);
+  return out;
+}
+
+ReportArtifact ExperimentRegistry::build(std::string_view id,
+                                         const ReportContext& ctx) const {
+  const Experiment& experiment = get(id);
+  ReportArtifact artifact = experiment.build(ctx);
+  artifact.id = experiment.id;
+  return artifact;
+}
+
+}  // namespace fibersim::core

@@ -1,0 +1,68 @@
+// Declarative index of every experiment the framework can regenerate.
+//
+// Each paper table/figure (T1..T4, F1..F5), ablation (A1..A5) and extension
+// (E1, E2) registers itself once — id, one-line title, paper reference,
+// bench-default dataset and a builder producing a structured ReportArtifact
+// — and every consumer drives experiments through the registry: the CLI's
+// `report <id>` / `report --all`, the thin bench shims (via
+// bench::run_experiment), CI's drift gate and the golden tests. Adding an
+// experiment means adding one registration; no front end changes.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/report_artifact.hpp"
+#include "core/reports.hpp"
+
+namespace fibersim::core {
+
+/// One registered experiment.
+struct Experiment {
+  std::string id;         ///< canonical form, e.g. "T2" (lookup is
+                          ///< case-insensitive)
+  std::string title;      ///< one-line description for listings
+  std::string paper_ref;  ///< which paper table/figure, or ablation/extension
+  apps::Dataset default_dataset = apps::Dataset::kLarge;  ///< bench default
+  std::function<ReportArtifact(const ReportContext&)> build;
+};
+
+class ExperimentRegistry {
+ public:
+  /// The process-wide registry; the built-in experiments are registered on
+  /// first access, in the DESIGN.md index order.
+  static ExperimentRegistry& instance();
+
+  /// Register one experiment; throws Error on an empty/duplicate id or a
+  /// missing builder.
+  void add(Experiment experiment);
+
+  /// Case-insensitive lookup; nullptr when unknown.
+  const Experiment* find(std::string_view id) const;
+
+  /// As find, but throws Error for unknown ids.
+  const Experiment& get(std::string_view id) const;
+
+  /// Canonical ids in registration order.
+  std::vector<std::string> ids() const;
+
+  const std::vector<Experiment>& experiments() const { return experiments_; }
+
+  /// Run one experiment's builder and stamp the artifact with its id.
+  ReportArtifact build(std::string_view id, const ReportContext& ctx) const;
+
+ private:
+  std::vector<Experiment> experiments_;
+};
+
+// Per-TU registration hooks (reports.cpp, reports_compare.cpp,
+// reports_ablation.cpp). Explicit calls from instance() — not static
+// initializers — so the static-library linker can never silently drop a
+// TU's experiments.
+void register_sweep_experiments(ExperimentRegistry& registry);
+void register_compare_experiments(ExperimentRegistry& registry);
+void register_ablation_experiments(ExperimentRegistry& registry);
+
+}  // namespace fibersim::core

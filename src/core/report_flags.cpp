@@ -1,0 +1,100 @@
+#include "core/report_flags.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/string_util.hpp"
+#include "core/config_parse.hpp"
+#include "core/experiment_registry.hpp"
+#include "core/runner.hpp"
+#include "fault/fault.hpp"
+#include "trace/trace_store.hpp"
+
+namespace fibersim::core {
+
+std::string parse_report_flags(const std::vector<std::string>& args,
+                               ReportFlags& flags) {
+  for (std::size_t i = 0; i < args.size();) {
+    const std::string& key = args[i];
+    // Flags without a value first.
+    if (key == "--keep-going") {
+      flags.ctx.keep_going = true;
+      ++i;
+      continue;
+    }
+    if (key == "--fail-fast") {
+      flags.ctx.keep_going = false;
+      ++i;
+      continue;
+    }
+    if (key == "--csv") {
+      flags.format = ReportFormat::kCsv;
+      ++i;
+      continue;
+    }
+    if (key == "--list") {
+      flags.list = true;
+      ++i;
+      continue;
+    }
+    if (i + 1 >= args.size()) return "missing value for " + key;
+    const std::string& value = args[i + 1];
+    if (key == "--apps") {
+      flags.ctx.app_names = split(value, ',');
+    } else if (key == "--dataset") {
+      flags.ctx.dataset = parse_dataset(value);
+    } else if (key == "--iterations") {
+      flags.ctx.iterations = std::stoi(value);
+    } else if (key == "--seed") {
+      flags.ctx.seed = std::stoull(value);
+    } else if (key == "--jobs") {
+      flags.ctx.jobs = std::stoi(value);
+      if (flags.ctx.jobs < 1) return "--jobs must be >= 1";
+    } else if (key == "--format") {
+      flags.format = parse_report_format(value);
+    } else if (key == "--fault-plan") {
+      fault::install(fault::Plan::parse(value));
+    } else if (key == "--retries") {
+      flags.ctx.max_retries = std::stoi(value);
+      if (flags.ctx.max_retries < 0) return "--retries must be >= 0";
+    } else if (key == "--watchdog") {
+      flags.ctx.watchdog_s = std::stod(value);
+      if (flags.ctx.watchdog_s < 0.0) return "--watchdog must be >= 0";
+    } else if (key == "--journal") {
+      flags.journal = std::make_shared<SweepJournal>(value);
+      flags.ctx.journal = flags.journal.get();
+    } else if (key == "--trace-cache") {
+      flags.trace_cache_dir = value;
+    } else {
+      return "unknown flag: " + key;
+    }
+    i += 2;
+  }
+  return "";
+}
+
+void attach_trace_store(Runner& runner, const std::string& dir) {
+  if (!dir.empty()) {
+    runner.set_trace_store(std::make_shared<trace::TraceStore>(dir));
+  } else if (std::shared_ptr<trace::TraceStore> store =
+                 trace::TraceStore::from_env()) {
+    runner.set_trace_store(std::move(store));
+  }
+}
+
+void print_experiment_list(std::ostream& out) {
+  const auto& experiments = ExperimentRegistry::instance().experiments();
+  std::size_t id_width = 0;
+  std::size_t title_width = 0;
+  for (const Experiment& e : experiments) {
+    id_width = std::max(id_width, e.id.size());
+    title_width = std::max(title_width, e.title.size());
+  }
+  for (const Experiment& e : experiments) {
+    out << "  " << e.id << std::string(id_width - e.id.size() + 2, ' ')
+        << e.title << std::string(title_width - e.title.size() + 2, ' ')
+        << '[' << e.paper_ref << "]\n";
+  }
+}
+
+}  // namespace fibersim::core

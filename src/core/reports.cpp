@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/string_util.hpp"
+#include "core/experiment_registry.hpp"
 #include "core/sweep.hpp"
 #include "core/sweep_pool.hpp"
 
@@ -266,6 +267,88 @@ AllocReport proc_alloc_report(const ReportContext& ctx) {
     report.table.add_row(std::move(row));
   }
   return report;
+}
+
+namespace {
+
+std::string dataset_suffix(const ReportContext& ctx) {
+  return std::string(" (") + apps::dataset_name(ctx.dataset) + " dataset)";
+}
+
+}  // namespace
+
+void register_sweep_experiments(ExperimentRegistry& registry) {
+  registry.add({"T1", "machine configurations", "Table 1",
+                apps::Dataset::kSmall, [](const ReportContext&) {
+                  ReportArtifact artifact;
+                  artifact.add_table("T1: machine configurations",
+                                     machines_table());
+                  return artifact;
+                }});
+  registry.add({"T2", "time per MPI x OMP split on A64FX", "Table 2",
+                apps::Dataset::kLarge, [](const ReportContext& ctx) {
+                  ReportArtifact artifact;
+                  artifact.add_table(
+                      "T2: time [ms] vs MPI x OMP on A64FX" +
+                          dataset_suffix(ctx),
+                      mpi_omp_table(ctx));
+                  return artifact;
+                }});
+  registry.add({"F1", "MPI x OMP sweep relative to each app's best", "Fig. 1",
+                apps::Dataset::kLarge, [](const ReportContext& ctx) {
+                  ReportArtifact artifact;
+                  TextTable table = mpi_omp_relative_table(ctx);
+                  const ChartSpec chart{true, "x best", 1,
+                                        table.columns() - 2};
+                  artifact
+                      .add_table("F1: relative time vs MPI x OMP on A64FX" +
+                                     dataset_suffix(ctx),
+                                 std::move(table))
+                      .chart = chart;
+                  return artifact;
+                }});
+  registry.add({"F2", "time vs OpenMP thread stride", "Fig. 2",
+                apps::Dataset::kLarge, [](const ReportContext& ctx) {
+                  ReportArtifact artifact;
+                  TextTable table = thread_stride_table(ctx);
+                  const ChartSpec chart{true, "ms", 1, table.columns() - 2};
+                  artifact
+                      .add_table("F2: time [ms] vs thread stride, 4x12 on "
+                                 "A64FX" +
+                                     dataset_suffix(ctx),
+                                 std::move(table))
+                      .chart = chart;
+                  if (ctx.supplements) {
+                    // 2x24: even the compact baseline spans CMGs there, so
+                    // the residual stride effect isolates the shared-traffic
+                    // concentration term.
+                    ReportContext wide = ctx;
+                    wide.override_ranks = 2;
+                    wide.override_threads = 24;
+                    artifact.add_table(
+                        "F2b: time [ms] vs thread stride, 2x24 on A64FX" +
+                            dataset_suffix(ctx),
+                        thread_stride_table(wide));
+                  }
+                  return artifact;
+                }});
+  registry.add({"F3", "time vs MPI process-allocation policy", "Fig. 3",
+                apps::Dataset::kLarge, [](const ReportContext& ctx) {
+                  AllocReport report = proc_alloc_report(ctx);
+                  const std::string spread =
+                      strfmt("%.1f%%", report.max_spread * 100.0);
+                  ReportArtifact artifact;
+                  ReportSection& section = artifact.add_table(
+                      "F3: time [ms] vs process allocation, 8x6 on A64FX" +
+                          dataset_suffix(ctx),
+                      std::move(report.table));
+                  section.notes.push_back(
+                      "max relative spread over the suite: " + spread);
+                  section.cli_notes.push_back("max spread: " + spread);
+                  artifact.metrics.push_back(
+                      {"max_spread", report.max_spread, "fraction"});
+                  return artifact;
+                }});
 }
 
 }  // namespace fibersim::core

@@ -28,6 +28,10 @@ struct ReportContext {
   /// Worker threads for the sweep fan-out (see core::SweepPool). 1 = serial;
   /// any value produces byte-identical report output.
   int jobs = 1;
+  /// Include the supplementary sections some experiments print beyond their
+  /// primary table (F2's 2x24 stride panel, F4's second dataset). The bench
+  /// front end sets this; the CLI renders the primary sections only.
+  bool supplements = false;
 
   // Resilience knobs (see SweepControl). With keep_going, the sweep-grid
   // reports (T2/F1/F2/F3) render slots whose task failed after retries as

@@ -3,6 +3,7 @@
 
 #include "common/error.hpp"
 #include "common/string_util.hpp"
+#include "core/experiment_registry.hpp"
 #include "core/reports.hpp"
 #include "core/sweep.hpp"
 #include "machine/exec_model.hpp"
@@ -285,6 +286,72 @@ TextTable weak_scaling_table(const ReportContext& ctx,
     table.add_row(std::move(row));
   }
   return table;
+}
+
+void register_ablation_experiments(ExperimentRegistry& registry) {
+  registry.add({"A1", "stride conclusion vs inter-CMG bandwidth",
+                "ablation (model robustness)", apps::Dataset::kLarge,
+                [](const ReportContext& ctx) {
+                  ReportArtifact artifact;
+                  artifact.add_table(
+                      "A1: scatter/compact time ratio vs inter-CMG bandwidth "
+                      "scale",
+                      cmg_penalty_ablation(ctx));
+                  return artifact;
+                }});
+  registry.add({"A2", "modelled barrier cost across team sizes and spans",
+                "ablation (runtime model)", apps::Dataset::kSmall,
+                [](const ReportContext&) {
+                  ReportArtifact artifact;
+                  artifact.add_table("A2: modelled barrier cost on A64FX",
+                                     barrier_cost_table());
+                  return artifact;
+                }});
+  registry.add({"A3", "A64FX power modes: time, power, energy",
+                "extension (power studies)", apps::Dataset::kLarge,
+                [](const ReportContext& ctx) {
+                  ReportArtifact artifact;
+                  artifact.add_table("A3: A64FX power modes",
+                                     power_mode_table(ctx));
+                  return artifact;
+                }});
+  registry.add({"A4", "SVE vector-length sweep at fixed core resources",
+                "extension (SVE VL studies)", apps::Dataset::kLarge,
+                [](const ReportContext& ctx) {
+                  ReportArtifact artifact;
+                  artifact.add_table(
+                      "A4: time [ms] vs SVE vector length (fixed resources)",
+                      vector_length_table(ctx));
+                  return artifact;
+                }});
+  registry.add({"A5", "Fujitsu-compiler loop fission on/off",
+                "extension (compiler study)", apps::Dataset::kLarge,
+                [](const ReportContext& ctx) {
+                  ReportArtifact artifact;
+                  artifact.add_table("A5: loop fission on the A64FX",
+                                     loop_fission_table(ctx));
+                  return artifact;
+                }});
+  registry.add({"E1", "multi-node strong scaling (4x12 per node)",
+                "extension (multi-node outlook)", apps::Dataset::kLarge,
+                [](const ReportContext& ctx) {
+                  ReportArtifact artifact;
+                  artifact.add_table(
+                      "E1: A64FX multi-node strong scaling (4 ranks x 12 "
+                      "threads/node)",
+                      multinode_scaling_table(ctx, {1, 2, 4}));
+                  return artifact;
+                }});
+  registry.add({"E2", "multi-node weak scaling (problem grows with nodes)",
+                "extension (multi-node outlook)", apps::Dataset::kLarge,
+                [](const ReportContext& ctx) {
+                  ReportArtifact artifact;
+                  artifact.add_table(
+                      "E2: A64FX multi-node weak scaling (4 ranks x 12 "
+                      "threads/node)",
+                      weak_scaling_table(ctx, {1, 2, 4}));
+                  return artifact;
+                }});
 }
 
 }  // namespace fibersim::core

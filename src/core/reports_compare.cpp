@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/string_util.hpp"
+#include "core/experiment_registry.hpp"
 #include "core/reports.hpp"
 #include "core/sweep.hpp"
 #include "machine/roofline.hpp"
@@ -187,6 +188,63 @@ TextTable phase_breakdown_table(const ReportContext& ctx) {
     }
   }
   return table;
+}
+
+namespace {
+
+std::string compare_title(apps::Dataset dataset) {
+  return std::string("F4: processor comparison (") + apps::dataset_name(dataset) +
+         " dataset)";
+}
+
+}  // namespace
+
+void register_compare_experiments(ExperimentRegistry& registry) {
+  registry.add({"T3", "compiler-tuning ladder on the as-is small datasets",
+                "Table 3", apps::Dataset::kSmall, [](const ReportContext& ctx) {
+                  ReportArtifact artifact;
+                  artifact.add_table(
+                      "T3: SIMD vectorisation + instruction scheduling on the "
+                      "as-is small datasets",
+                      compiler_tuning_table(ctx));
+                  return artifact;
+                }});
+  registry.add({"F4", "cross-processor comparison at best configurations",
+                "Fig. 4", apps::Dataset::kLarge, [](const ReportContext& ctx) {
+                  ReportArtifact artifact;
+                  if (ctx.supplements) {
+                    // The bench figure always shows both datasets.
+                    for (const apps::Dataset dataset :
+                         {apps::Dataset::kSmall, apps::Dataset::kLarge}) {
+                      ReportContext sub = ctx;
+                      sub.dataset = dataset;
+                      artifact.add_table(compare_title(dataset),
+                                         processor_compare_table(sub));
+                    }
+                  } else {
+                    artifact.add_table(compare_title(ctx.dataset),
+                                       processor_compare_table(ctx));
+                  }
+                  return artifact;
+                }});
+  registry.add({"F5", "roofline placement of every miniapp on A64FX",
+                "Fig. 5", apps::Dataset::kLarge, [](const ReportContext& ctx) {
+                  ReportArtifact artifact;
+                  artifact.add_figure(
+                      std::string("F5: A64FX roofline (") +
+                          apps::dataset_name(ctx.dataset) + " dataset)",
+                      roofline_figure(ctx));
+                  return artifact;
+                }});
+  registry.add({"T4", "per-phase breakdown at each app's best configuration",
+                "Table 4", apps::Dataset::kLarge, [](const ReportContext& ctx) {
+                  ReportArtifact artifact;
+                  artifact.add_table(
+                      std::string("T4: phase breakdown on A64FX (") +
+                          apps::dataset_name(ctx.dataset) + " dataset)",
+                      phase_breakdown_table(ctx));
+                  return artifact;
+                }});
 }
 
 }  // namespace fibersim::core

@@ -104,6 +104,17 @@ TEST(ConfigFile, UnknownKeyRejected) {
   EXPECT_THROW(parse_experiment_config("appp = ffvc\n"), Error);
 }
 
+TEST(ConfigFile, UnknownKeyErrorNamesKeyAndLine) {
+  try {
+    parse_experiment_config("app = ffvc\nappp = ffvc\n");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown config key 'appp' on line 2"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(ConfigFile, MissingEqualsRejected) {
   EXPECT_THROW(parse_experiment_config("app ffvc\n"), Error);
 }
@@ -171,8 +182,12 @@ TEST(Cli, ListShowsSuiteAndReports) {
   for (const auto& name : apps::registry_names()) {
     EXPECT_NE(r.out.find(name), std::string::npos) << name;
   }
+  // The report index comes from the experiment registry: id, title, ref.
   EXPECT_NE(r.out.find("T1"), std::string::npos);
   EXPECT_NE(r.out.find("E1"), std::string::npos);
+  EXPECT_NE(r.out.find("machine configurations"), std::string::npos);
+  EXPECT_NE(r.out.find("[Table 1]"), std::string::npos);
+  EXPECT_NE(r.out.find("[extension (multi-node outlook)]"), std::string::npos);
 }
 
 TEST(Cli, DescribeApp) {
@@ -278,6 +293,35 @@ TEST(Cli, ReportAllRegeneratesEveryId) {
 TEST(Cli, ReportRejectsUnknownId) {
   EXPECT_EQ(run_cli({"report", "Z9"}).code, 2);
   EXPECT_EQ(run_cli({"report"}).code, 2);
+}
+
+TEST(Cli, ReportFormatJson) {
+  const CliResult r = run_cli({"report", "T1", "--format", "json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out.front(), '{');
+  EXPECT_NE(r.out.find("\"id\": \"T1\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"metrics\""), std::string::npos);
+}
+
+TEST(Cli, ReportFormatCsv) {
+  const CliResult r = run_cli({"report", "T1", "--format", "csv"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("A64FX,48,"), std::string::npos) << r.out;
+  // --csv is shorthand for --format csv.
+  EXPECT_EQ(run_cli({"report", "T1", "--csv"}).out, r.out);
+  EXPECT_EQ(run_cli({"report", "T1", "--format", "yaml"}).code, 2);
+}
+
+TEST(Cli, ReportAllJsonIsOneArray) {
+  const CliResult r = run_cli({"report", "--all", "--apps", "ffvc",
+                               "--dataset", "small", "--iterations", "1",
+                               "--format", "json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out.front(), '[');
+  EXPECT_EQ(r.out.substr(r.out.size() - 2), "]\n");
+  for (const auto& id : cli_report_ids()) {
+    EXPECT_NE(r.out.find("\"id\": \"" + id + "\""), std::string::npos) << id;
+  }
 }
 
 TEST(Cli, ReportIdsCoverTheDesignIndex) {

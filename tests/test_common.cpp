@@ -10,6 +10,7 @@
 #include "common/barchart.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "common/report_emit.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/string_util.hpp"
@@ -247,6 +248,20 @@ TEST(Table, CsvQuotesCommas) {
   EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
 }
 
+TEST(Table, CsvQuotingIsRfc4180) {
+  TextTable t({"k", "v"});
+  t.add_row({"say \"hi\"", "plain"});    // embedded quotes: doubled + quoted
+  t.add_row({"two\nlines", "cr\rhere"});  // newlines/CR force quoting too
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"two\nlines\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"cr\rhere\""), std::string::npos) << out;
+  // Unremarkable cells stay unquoted, so existing outputs are unchanged.
+  EXPECT_NE(out.find(",plain\n"), std::string::npos) << out;
+}
+
 // ----- bar charts -----
 
 TEST(BarChart, RendersBarsProportionally) {
@@ -295,6 +310,72 @@ TEST(BarChart, SeparatorAddsBlankLine) {
 TEST(Table, HeaderAccessor) {
   TextTable t({"x", "y"});
   EXPECT_EQ(t.header()[1], "y");
+}
+
+// ----- report emission -----
+
+ReportArtifact sample_artifact() {
+  ReportArtifact artifact;
+  artifact.id = "X1";
+  TextTable t({"app", "ms"});
+  t.add_row({"ffvc", "1.5"});
+  ReportSection& section = artifact.add_table("X1: sample", t);
+  section.notes.push_back("framed note");
+  section.cli_notes.push_back("bare note");
+  artifact.metrics.push_back({"best_ms", 1.5, "ms"});
+  return artifact;
+}
+
+std::string emit(const ReportArtifact& artifact, ReportFormat format,
+                 bool framed) {
+  std::ostringstream os;
+  emit_report(artifact, {format, framed}, os);
+  return os.str();
+}
+
+TEST(ReportEmit, FramedTextHasHeaderAndNotes) {
+  const std::string out =
+      emit(sample_artifact(), ReportFormat::kText, /*framed=*/true);
+  EXPECT_EQ(out.find("== X1: sample ==\n"), 0u) << out;
+  EXPECT_NE(out.find("framed note"), std::string::npos);
+  EXPECT_EQ(out.find("bare note"), std::string::npos);
+}
+
+TEST(ReportEmit, BareTextIsTablePlusCliNotes) {
+  const std::string out =
+      emit(sample_artifact(), ReportFormat::kText, /*framed=*/false);
+  EXPECT_EQ(out.find("=="), std::string::npos) << out;
+  EXPECT_NE(out.find("bare note"), std::string::npos);
+  EXPECT_EQ(out.find("framed note"), std::string::npos);
+}
+
+TEST(ReportEmit, CsvRendersRowsAsCsv) {
+  const std::string out =
+      emit(sample_artifact(), ReportFormat::kCsv, /*framed=*/false);
+  EXPECT_NE(out.find("app,ms\n"), std::string::npos);
+  EXPECT_NE(out.find("ffvc,1.5\n"), std::string::npos);
+}
+
+TEST(ReportEmit, JsonCarriesIdSectionsAndMetrics) {
+  const std::string out =
+      emit(sample_artifact(), ReportFormat::kJson, /*framed=*/false);
+  EXPECT_NE(out.find("\"id\": \"X1\""), std::string::npos);
+  EXPECT_NE(out.find("\"header\": [\"app\", \"ms\"]"), std::string::npos);
+  EXPECT_NE(out.find("\"key\": \"best_ms\""), std::string::npos);
+}
+
+TEST(ReportEmit, ParseFormatNamesRoundTrip) {
+  EXPECT_EQ(parse_report_format("text"), ReportFormat::kText);
+  EXPECT_EQ(parse_report_format("CSV"), ReportFormat::kCsv);
+  EXPECT_EQ(parse_report_format(" json "), ReportFormat::kJson);
+  EXPECT_THROW(parse_report_format("yaml"), Error);
+  EXPECT_STREQ(report_format_name(ReportFormat::kJson), "json");
+}
+
+TEST(ReportEmit, JsonEscapeCoversControlCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
 }
 
 // ----- aligned buffers -----

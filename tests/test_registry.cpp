@@ -1,0 +1,218 @@
+// Golden tests for the experiment registry and the unified report pipeline:
+// every registered experiment must build a non-empty artifact whose rendered
+// output — text, CSV and JSON — is byte-identical for any --jobs count, and
+// whose JSON form parses and round-trips the scalar metrics exactly.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/report_emit.hpp"
+#include "core/experiment_registry.hpp"
+#include "core/reports.hpp"
+#include "core/runner.hpp"
+
+namespace fibersim::core {
+namespace {
+
+/// Build one experiment at golden-test scale (one app, small dataset, one
+/// iteration) with a fresh runner, the way both front ends do.
+ReportArtifact build_artifact(const std::string& id, int jobs,
+                              bool supplements = true) {
+  Runner runner;
+  ReportContext ctx;
+  ctx.runner = &runner;
+  ctx.app_names = {"ffvc"};
+  ctx.dataset = apps::Dataset::kSmall;
+  ctx.iterations = 1;
+  ctx.jobs = jobs;
+  ctx.supplements = supplements;
+  return ExperimentRegistry::instance().build(id, ctx);
+}
+
+std::string render(const ReportArtifact& artifact, ReportFormat format,
+                   bool framed) {
+  std::ostringstream os;
+  EmitOptions opts;
+  opts.format = format;
+  opts.framed = framed;
+  emit_report(artifact, opts, os);
+  return os.str();
+}
+
+// ----- a minimal JSON validator (objects/arrays/strings/numbers/literals) --
+
+bool skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\n' || s[i] == '\t' ||
+                          s[i] == '\r')) {
+    ++i;
+  }
+  return i < s.size();
+}
+
+bool parse_value(const std::string& s, std::size_t& i);
+
+bool parse_string(const std::string& s, std::size_t& i) {
+  if (s[i] != '"') return false;
+  for (++i; i < s.size(); ++i) {
+    if (s[i] == '\\') {
+      ++i;
+      continue;
+    }
+    if (s[i] == '"') {
+      ++i;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_value(const std::string& s, std::size_t& i) {
+  if (!skip_ws(s, i)) return false;
+  const char c = s[i];
+  if (c == '"') return parse_string(s, i);
+  if (c == '{') {
+    ++i;
+    if (!skip_ws(s, i)) return false;
+    if (s[i] == '}') return ++i, true;
+    while (true) {
+      if (!skip_ws(s, i) || !parse_string(s, i)) return false;
+      if (!skip_ws(s, i) || s[i] != ':') return false;
+      ++i;
+      if (!parse_value(s, i)) return false;
+      if (!skip_ws(s, i)) return false;
+      if (s[i] == ',') {
+        ++i;
+        continue;
+      }
+      return s[i] == '}' ? (++i, true) : false;
+    }
+  }
+  if (c == '[') {
+    ++i;
+    if (!skip_ws(s, i)) return false;
+    if (s[i] == ']') return ++i, true;
+    while (true) {
+      if (!parse_value(s, i)) return false;
+      if (!skip_ws(s, i)) return false;
+      if (s[i] == ',') {
+        ++i;
+        continue;
+      }
+      return s[i] == ']' ? (++i, true) : false;
+    }
+  }
+  if (s.compare(i, 4, "true") == 0) return i += 4, true;
+  if (s.compare(i, 5, "false") == 0) return i += 5, true;
+  if (s.compare(i, 4, "null") == 0) return i += 4, true;
+  const char* start = s.c_str() + i;
+  char* end = nullptr;
+  (void)std::strtod(start, &end);
+  if (end == start) return false;
+  i += static_cast<std::size_t>(end - start);
+  return true;
+}
+
+bool valid_json(const std::string& s) {
+  std::size_t i = 0;
+  if (!parse_value(s, i)) return false;
+  return !skip_ws(s, i);  // nothing but whitespace may follow
+}
+
+/// The numbers following every `"value": ` key, in document order — the
+/// emitted scalar metrics, re-read the way a JSON consumer would.
+std::vector<double> metric_values(const std::string& json) {
+  std::vector<double> values;
+  const std::string key = "\"value\": ";
+  for (std::size_t pos = json.find(key); pos != std::string::npos;
+       pos = json.find(key, pos + 1)) {
+    values.push_back(std::strtod(json.c_str() + pos + key.size(), nullptr));
+  }
+  return values;
+}
+
+// ----- registration sanity ------------------------------------------------
+
+TEST(Registry, IndexOrderMatchesTheDesignDoc) {
+  const std::vector<std::string> expected = {"T1", "T2", "F1", "F2", "F3",
+                                             "T3", "F4", "F5", "T4", "A1",
+                                             "A2", "A3", "A4", "A5", "E1",
+                                             "E2"};
+  EXPECT_EQ(ExperimentRegistry::instance().ids(), expected);
+}
+
+TEST(Registry, EveryEntryIsFullyDescribed) {
+  for (const Experiment& e : ExperimentRegistry::instance().experiments()) {
+    EXPECT_FALSE(e.title.empty()) << e.id;
+    EXPECT_FALSE(e.paper_ref.empty()) << e.id;
+    EXPECT_TRUE(static_cast<bool>(e.build)) << e.id;
+  }
+}
+
+TEST(Registry, FindIsCaseInsensitiveAndTotal) {
+  const ExperimentRegistry& registry = ExperimentRegistry::instance();
+  ASSERT_NE(registry.find("t3"), nullptr);
+  EXPECT_EQ(registry.find("t3")->id, "T3");
+  EXPECT_EQ(registry.find(" F5 "), registry.find("f5"));
+  EXPECT_EQ(registry.find("Z9"), nullptr);
+  EXPECT_THROW(registry.get("Z9"), Error);
+}
+
+TEST(Registry, RejectsBadRegistrations) {
+  ExperimentRegistry registry;
+  Experiment missing_builder;
+  missing_builder.id = "X1";
+  EXPECT_THROW(registry.add(missing_builder), Error);
+  Experiment ok = missing_builder;
+  ok.build = [](const ReportContext&) { return ReportArtifact{}; };
+  registry.add(ok);
+  EXPECT_THROW(registry.add(ok), Error);  // duplicate id
+  Experiment anonymous = ok;
+  anonymous.id.clear();
+  EXPECT_THROW(registry.add(anonymous), Error);
+}
+
+TEST(Registry, SupplementsAddBenchOnlySections) {
+  // F2's 2x24 stride panel and F4's second dataset only render on the bench
+  // front end; the CLI builds the primary sections alone.
+  EXPECT_EQ(build_artifact("F2", 1, true).sections.size(),
+            build_artifact("F2", 1, false).sections.size() + 1);
+  EXPECT_EQ(build_artifact("F4", 1, true).sections.size(), 2u);
+  EXPECT_EQ(build_artifact("F4", 1, false).sections.size(), 1u);
+}
+
+// ----- the golden walk ----------------------------------------------------
+
+TEST(Registry, EveryExperimentBuildsByteIdenticalAcrossJobCounts) {
+  for (const std::string& id : ExperimentRegistry::instance().ids()) {
+    const ReportArtifact serial = build_artifact(id, 1);
+    EXPECT_FALSE(serial.empty()) << id;
+    EXPECT_EQ(serial.id, id);
+    const ReportArtifact pooled = build_artifact(id, 4);
+    for (const ReportFormat format :
+         {ReportFormat::kText, ReportFormat::kCsv, ReportFormat::kJson}) {
+      for (const bool framed : {false, true}) {
+        EXPECT_EQ(render(serial, format, framed),
+                  render(pooled, format, framed))
+            << id << " drifted between --jobs 1 and --jobs 4 ("
+            << report_format_name(format) << (framed ? ", framed)" : ")");
+      }
+    }
+    const std::string json = render(serial, ReportFormat::kJson, false);
+    EXPECT_TRUE(valid_json(json)) << id;
+    EXPECT_NE(json.find("\"id\": \"" + id + "\""), std::string::npos) << id;
+    // Scalar metrics must survive the JSON round trip bit-for-bit (%.17g).
+    const std::vector<double> parsed = metric_values(json);
+    ASSERT_EQ(parsed.size(), serial.metrics.size()) << id;
+    for (std::size_t m = 0; m < parsed.size(); ++m) {
+      EXPECT_EQ(parsed[m], serial.metrics[m].value)
+          << id << " metric " << serial.metrics[m].key;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fibersim::core

@@ -35,6 +35,20 @@ diff "$CACHE_DIR/cold.json" "$CACHE_DIR/warm.json"
 "$BUILD_DIR/bench/perf_trace_cache" --out "$CACHE_DIR/BENCH_trace_cache.json" \
     --cache-dir "$CACHE_DIR/bench-cache"
 
+echo "== report registry: --all must be jobs-invariant and documented =="
+REPORT_ARGS="report --all --apps ffvc --dataset small --iterations 1"
+"$FIBERSIM" $REPORT_ARGS > "$CACHE_DIR/report.cold.txt"
+"$FIBERSIM" $REPORT_ARGS --jobs 4 > "$CACHE_DIR/report.j4.txt"
+diff "$CACHE_DIR/report.cold.txt" "$CACHE_DIR/report.j4.txt"
+# Every registered experiment id must have a section in EXPERIMENTS.md.
+"$FIBERSIM" list | awk '/^reports:/{flag=1; next} /^[^ ]/{flag=0} flag && NF {print $1}' \
+  | while read -r id; do
+      grep -Eq "^## [A-Z0-9 /]*\b$id\b" EXPERIMENTS.md || {
+        echo "registered experiment $id missing from EXPERIMENTS.md" >&2
+        exit 1
+      }
+    done
+
 echo "== sanitize: concurrency + fault suites under TSan =="
 cmake -B "$TSAN_DIR" -S . -DFIBERSIM_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j
