@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parse_num.hpp"
 #include "common/report_emit.hpp"
 #include "common/string_util.hpp"
 #include "common/timer.hpp"
@@ -138,7 +139,14 @@ int main(int argc, char** argv) {
       dataset = value() == "large" ? apps::Dataset::kLarge
                                    : apps::Dataset::kSmall;
     } else if (a == "--repeats") {
-      repeats = std::stoi(value());
+      const std::string v = value();
+      const std::optional<int> n = fibersim::parse_i32(v);
+      if (!n || *n < 1) {
+        std::cerr << "--repeats: expected an integer >= 1, got '" << v
+                  << "'\n";
+        std::exit(2);
+      }
+      repeats = *n;
     } else if (a == "--out") {
       out_path = value();
     } else if (a == "--cache-dir") {

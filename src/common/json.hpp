@@ -1,0 +1,89 @@
+// Minimal hardened JSON parser for untrusted input (no dependencies).
+//
+// Built for the serve daemon's request codec: every byte arriving on the
+// socket is hostile until proven otherwise, so the parser is strict and
+// bounded rather than fast or featureful.
+//
+//   * strict grammar: one complete JSON value, nothing trailing; objects
+//     reject duplicate keys (a smuggling vector — "which value wins" must
+//     never be a question);
+//   * bounded: nesting depth is capped (kMaxDepth) so a recursive descent
+//     cannot be driven into stack exhaustion by ":[[[[[...";
+//   * exact numbers: the raw token is preserved beside the double value, so
+//     a 64-bit seed round-trips through parse_u64 without losing the low
+//     bits to the double mantissa;
+//   * errors are values, not exceptions: parse() returns nullopt and a
+//     position-stamped message — malformed input is an expected case on a
+//     server, never control flow by throw.
+//
+// Escapes: the usual \" \\ \/ \b \f \n \r \t plus \uXXXX (encoded to UTF-8,
+// surrogate pairs supported). Unescaped control characters are rejected.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fibersim::json {
+
+class Value;
+
+/// Object members keep insertion order (std::vector of pairs) so tests can
+/// assert byte-stable round-trips; lookup is linear — serve requests have a
+/// dozen keys at most.
+using Members = std::vector<std::pair<std::string, Value>>;
+using Items = std::vector<Value>;
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Value() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  bool as_bool() const { return bool_; }
+  double as_double() const { return number_; }
+  /// The number's raw source token ("18446744073709551615" stays exact).
+  const std::string& raw_number() const { return string_; }
+  const std::string& as_string() const { return string_; }
+  const Members& members() const { return members_; }
+  const Items& items() const { return items_; }
+
+  /// Object member by key, or null when absent (or not an object).
+  const Value* find(std::string_view key) const;
+
+  static Value make_null();
+  static Value make_bool(bool b);
+  static Value make_number(double v, std::string raw);
+  static Value make_string(std::string s);
+  static Value make_object(Members members);
+  static Value make_array(Items items);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;  ///< string value, or a number's raw token
+  Members members_;
+  Items items_;
+};
+
+/// Maximum nesting depth parse() accepts.
+inline constexpr int kMaxDepth = 32;
+
+/// Parse exactly one JSON value spanning all of `text` (surrounding
+/// whitespace allowed). On failure returns nullopt and, when `error` is
+/// non-null, a one-line message with the byte offset.
+std::optional<Value> parse(std::string_view text, std::string* error);
+
+}  // namespace fibersim::json

@@ -1,0 +1,76 @@
+#include "common/parse_num.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "common/string_util.hpp"
+
+namespace fibersim {
+
+namespace {
+
+/// Trimmed copy, or nullopt when nothing (or an embedded NUL — the strto*
+/// family would silently stop there) remains.
+std::optional<std::string> clean_token(std::string_view text) {
+  const std::string_view t = trim(text);
+  if (t.empty() || t.find('\0') != std::string_view::npos) return std::nullopt;
+  return std::string(t);
+}
+
+}  // namespace
+
+std::optional<std::int64_t> parse_i64(std::string_view text) {
+  const auto token = clean_token(text);
+  if (!token) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(token->c_str(), &end, 10);
+  if (errno == ERANGE || end != token->c_str() + token->size() ||
+      end == token->c_str()) {
+    return std::nullopt;
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  const auto token = clean_token(text);
+  if (!token) return std::nullopt;
+  if ((*token)[0] == '-') return std::nullopt;  // strtoull would wrap mod 2^64
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token->c_str(), &end, 10);
+  if (errno == ERANGE || end != token->c_str() + token->size() ||
+      end == token->c_str()) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+std::optional<double> parse_f64(std::string_view text) {
+  const auto token = clean_token(text);
+  if (!token) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(token->c_str(), &end);
+  if (end != token->c_str() + token->size() || end == token->c_str()) {
+    return std::nullopt;
+  }
+  // ERANGE also fires for harmless underflow-to-subnormal; only reject
+  // overflow and explicit inf/nan spellings.
+  if (!std::isfinite(v)) return std::nullopt;
+  return v;
+}
+
+std::optional<int> parse_i32(std::string_view text) {
+  const auto v = parse_i64(text);
+  if (!v || *v < std::numeric_limits<int>::min() ||
+      *v > std::numeric_limits<int>::max()) {
+    return std::nullopt;
+  }
+  return static_cast<int>(*v);
+}
+
+}  // namespace fibersim

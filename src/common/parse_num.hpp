@@ -1,0 +1,34 @@
+// Checked numeric parsing for untrusted input.
+//
+// Every front end of the framework — CLI flags, bench arguments, environment
+// variables, and the serve daemon's request codec — takes numbers from
+// sources it does not control. The std::sto* family is unusable there: it
+// throws (std::invalid_argument / std::out_of_range escape straight through
+// main and call std::terminate in noexcept contexts), silently accepts
+// trailing garbage ("12x" parses as 12), and std::strtoull wraps negative
+// input through 2^64. These helpers accept exactly one complete, in-range
+// number (surrounding ASCII whitespace tolerated) and return nullopt for
+// everything else: empty strings, trailing garbage, out-of-range magnitudes,
+// signs a type cannot represent, and non-finite doubles.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace fibersim {
+
+/// Base-10 signed integer; rejects anything but [ws][+-]digits[ws].
+std::optional<std::int64_t> parse_i64(std::string_view text);
+
+/// Base-10 unsigned integer; additionally rejects a leading '-' ("-1" must
+/// not wrap to 2^64-1 the way strtoull specifies).
+std::optional<std::uint64_t> parse_u64(std::string_view text);
+
+/// Finite double via strtod; rejects trailing garbage, overflow, inf/nan.
+std::optional<double> parse_f64(std::string_view text);
+
+/// parse_i64 narrowed to int range.
+std::optional<int> parse_i32(std::string_view text);
+
+}  // namespace fibersim

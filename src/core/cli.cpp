@@ -11,6 +11,7 @@
 #include "core/report_flags.hpp"
 #include "core/reports.hpp"
 #include "core/runner.hpp"
+#include "core/serve.hpp"
 #include "core/sweep_pool.hpp"
 #include "fault/fault.hpp"
 
@@ -48,6 +49,13 @@ constexpr const char* kUsage =
     "                            to D, warm runs replay with zero native\n"
     "                            executions and byte-identical output (env\n"
     "                            FIBERSIM_TRACE_CACHE also enables it)\n"
+    "  serve [--socket path]     long-lived prediction daemon on a Unix\n"
+    "        [--workers N]       socket (default fibersim.sock): line-\n"
+    "        [--queue N]         delimited JSON requests (ping | stats |\n"
+    "        [--trace-cache D]   predict | report), N workers over one\n"
+    "                            bounded queue (full -> typed BUSY), warm\n"
+    "                            trace store shared across requests and\n"
+    "                            restarts; SIGINT/SIGTERM drain and exit\n"
     "    resilience: [--fault-plan spec] install a deterministic fault plan\n"
     "                (also read from env FIBERSIM_FAULT_PLAN)\n"
     "                [--retries N] retry failed sweep tasks up to N times\n"
@@ -82,8 +90,11 @@ int cmd_describe(const std::vector<std::string>& args, std::ostream& out,
 }
 
 /// Applies --key value pairs onto a config; returns unconsumed error or "".
+/// Numeric values go through the checked flag_* parsers: a malformed value
+/// is an error message, never an uncaught std::sto* exception.
 std::string apply_flags(const std::vector<std::string>& args,
                         ExperimentConfig& cfg) {
+  std::string problem;
   for (std::size_t i = 0; i < args.size(); i += 2) {
     const std::string& key = args[i];
     if (i + 1 >= args.size()) return "missing value for " + key;
@@ -93,11 +104,11 @@ std::string apply_flags(const std::vector<std::string>& args,
     } else if (key == "--dataset") {
       cfg.dataset = parse_dataset(value);
     } else if (key == "--ranks") {
-      cfg.ranks = std::stoi(value);
+      problem = flag_int(key, value, 1, &cfg.ranks);
     } else if (key == "--threads") {
-      cfg.threads = std::stoi(value);
+      problem = flag_int(key, value, 1, &cfg.threads);
     } else if (key == "--nodes") {
-      cfg.nodes = std::stoi(value);
+      problem = flag_int(key, value, 1, &cfg.nodes);
     } else if (key == "--bind") {
       cfg.bind = parse_bind(value);
     } else if (key == "--alloc") {
@@ -107,16 +118,17 @@ std::string apply_flags(const std::vector<std::string>& args,
     } else if (key == "--processor") {
       cfg.processor = parse_processor(value);
     } else if (key == "--iterations") {
-      cfg.iterations = std::stoi(value);
+      problem = flag_int(key, value, 1, &cfg.iterations);
     } else if (key == "--seed") {
-      cfg.seed = std::stoull(value);
+      problem = flag_u64(key, value, &cfg.seed);
     } else if (key == "--weak-scale") {
-      cfg.weak_scale = std::stoi(value);
+      problem = flag_int(key, value, 1, &cfg.weak_scale);
     } else if (key == "--config") {
       cfg = load_experiment_config(value);
     } else {
       return "unknown flag: " + key;
     }
+    if (!problem.empty()) return problem;
   }
   return "";
 }
@@ -261,6 +273,44 @@ int cmd_report(const std::vector<std::string>& args, std::ostream& out,
   return 0;
 }
 
+int cmd_serve(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  ServeOptions opts;
+  std::string problem;
+  for (std::size_t i = 0; i < args.size(); i += 2) {
+    const std::string& key = args[i];
+    if (i + 1 >= args.size()) {
+      err << "missing value for " << key << "\n";
+      return 2;
+    }
+    const std::string& value = args[i + 1];
+    if (key == "--socket") {
+      opts.socket_path = value;
+    } else if (key == "--workers") {
+      problem = flag_int(key, value, 1, &opts.workers);
+    } else if (key == "--queue") {
+      problem = flag_int(key, value, 1, &opts.queue_capacity);
+    } else if (key == "--trace-cache") {
+      opts.trace_cache_dir = value;
+    } else {
+      err << "unknown serve flag: " << key << "\n";
+      return 2;
+    }
+    if (!problem.empty()) {
+      err << problem << "\n";
+      return 2;
+    }
+  }
+  Server server(std::move(opts));
+  server.start();
+  server.install_signal_handlers();
+  // Readiness line: CI and the load generator wait for it before connecting.
+  out << "serving on " << server.socket_path() << "\n" << std::flush;
+  server.wait();
+  out << "server stopped\n";
+  return 0;
+}
+
 }  // namespace
 
 std::vector<std::string> cli_report_ids() {
@@ -283,6 +333,7 @@ int cli_main(const std::vector<std::string>& args, std::ostream& out,
     if (command == "describe") return cmd_describe(rest, out, err);
     if (command == "run") return cmd_run(rest, out, err);
     if (command == "report") return cmd_report(rest, out, err);
+    if (command == "serve") return cmd_serve(rest, out, err);
     if (command == "help" || command == "--help" || command == "-h") {
       out << kUsage;
       return 0;

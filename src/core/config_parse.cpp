@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/parse_num.hpp"
 #include "common/string_util.hpp"
 
 namespace fibersim::core {
@@ -13,12 +14,10 @@ topo::ThreadBindPolicy parse_bind(std::string_view text) {
   if (t == "compact") return topo::ThreadBindPolicy::compact();
   if (t == "scatter") return topo::ThreadBindPolicy::scatter();
   if (t.rfind("stride-", 0) == 0) {
-    try {
-      const int stride = std::stoi(t.substr(7));
-      return topo::ThreadBindPolicy::strided(stride);
-    } catch (const std::exception&) {
-      // fall through to the error below
+    if (const std::optional<int> stride = parse_i32(t.substr(7))) {
+      return topo::ThreadBindPolicy::strided(*stride);
     }
+    // fall through to the error below ("stride-4x" must not parse as 4)
   }
   throw Error("unknown thread-bind policy: '" + std::string(text) +
               "' (expected compact | stride-<n> | scatter)");
@@ -80,12 +79,21 @@ apps::Dataset parse_dataset(std::string_view text) {
 namespace {
 
 int parse_int(const std::string& key, std::string_view value) {
-  try {
-    return std::stoi(std::string(trim(value)));
-  } catch (const std::exception&) {
+  const std::optional<int> v = fibersim::parse_i32(value);
+  if (!v) {
     throw Error("value of '" + key + "' is not an integer: '" +
                 std::string(value) + "'");
   }
+  return *v;
+}
+
+std::uint64_t parse_u64_value(const std::string& key, std::string_view value) {
+  const std::optional<std::uint64_t> v = fibersim::parse_u64(value);
+  if (!v) {
+    throw Error("value of '" + key + "' is not a non-negative integer: '" +
+                std::string(value) + "'");
+  }
+  return *v;
 }
 
 bool parse_bool(const std::string& key, std::string_view value) {
@@ -144,7 +152,7 @@ ExperimentConfig parse_experiment_config(std::string_view text) {
     } else if (key == "iterations") {
       cfg.iterations = parse_int(key, value);
     } else if (key == "seed") {
-      cfg.seed = static_cast<std::uint64_t>(parse_int(key, value));
+      cfg.seed = parse_u64_value(key, value);
     } else if (key == "weak_scale") {
       cfg.weak_scale = parse_int(key, value);
     } else {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 
+#include "common/parse_num.hpp"
 #include "common/string_util.hpp"
 #include "core/config_parse.hpp"
 #include "core/experiment_registry.hpp"
@@ -12,8 +13,46 @@
 
 namespace fibersim::core {
 
+std::string flag_int(const std::string& flag, const std::string& value,
+                     int min, int* out) {
+  const std::optional<int> v = parse_i32(value);
+  if (!v) {
+    return flag + ": expected an integer, got '" + value + "'";
+  }
+  if (*v < min) {
+    return flag + " must be >= " + std::to_string(min) + ", got '" + value +
+           "'";
+  }
+  *out = *v;
+  return "";
+}
+
+std::string flag_u64(const std::string& flag, const std::string& value,
+                     std::uint64_t* out) {
+  const std::optional<std::uint64_t> v = parse_u64(value);
+  if (!v) {
+    return flag + ": expected a non-negative integer, got '" + value + "'";
+  }
+  *out = *v;
+  return "";
+}
+
+std::string flag_f64(const std::string& flag, const std::string& value,
+                     double min, double* out) {
+  const std::optional<double> v = parse_f64(value);
+  if (!v) {
+    return flag + ": expected a number, got '" + value + "'";
+  }
+  if (*v < min) {
+    return flag + " must be >= " + strfmt("%g", min) + ", got '" + value + "'";
+  }
+  *out = *v;
+  return "";
+}
+
 std::string parse_report_flags(const std::vector<std::string>& args,
                                ReportFlags& flags) {
+  std::string problem;
   for (std::size_t i = 0; i < args.size();) {
     const std::string& key = args[i];
     // Flags without a value first.
@@ -44,22 +83,24 @@ std::string parse_report_flags(const std::vector<std::string>& args,
     } else if (key == "--dataset") {
       flags.ctx.dataset = parse_dataset(value);
     } else if (key == "--iterations") {
-      flags.ctx.iterations = std::stoi(value);
+      problem = flag_int(key, value, 1, &flags.ctx.iterations);
+      if (!problem.empty()) return problem;
     } else if (key == "--seed") {
-      flags.ctx.seed = std::stoull(value);
+      problem = flag_u64(key, value, &flags.ctx.seed);
+      if (!problem.empty()) return problem;
     } else if (key == "--jobs") {
-      flags.ctx.jobs = std::stoi(value);
-      if (flags.ctx.jobs < 1) return "--jobs must be >= 1";
+      problem = flag_int(key, value, 1, &flags.ctx.jobs);
+      if (!problem.empty()) return problem;
     } else if (key == "--format") {
       flags.format = parse_report_format(value);
     } else if (key == "--fault-plan") {
       fault::install(fault::Plan::parse(value));
     } else if (key == "--retries") {
-      flags.ctx.max_retries = std::stoi(value);
-      if (flags.ctx.max_retries < 0) return "--retries must be >= 0";
+      problem = flag_int(key, value, 0, &flags.ctx.max_retries);
+      if (!problem.empty()) return problem;
     } else if (key == "--watchdog") {
-      flags.ctx.watchdog_s = std::stod(value);
-      if (flags.ctx.watchdog_s < 0.0) return "--watchdog must be >= 0";
+      problem = flag_f64(key, value, 0.0, &flags.ctx.watchdog_s);
+      if (!problem.empty()) return problem;
     } else if (key == "--journal") {
       flags.journal = std::make_shared<SweepJournal>(value);
       flags.ctx.journal = flags.journal.get();

@@ -11,6 +11,7 @@
 // ReportFlags::ctx before parsing; parsed flags override them.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -36,10 +37,24 @@ struct ReportFlags {
 
 /// Parse `args` onto `flags`. Returns "" on success or a one-line error
 /// message (value parse errors — bad dataset names, fault-plan grammar —
-/// throw fibersim::Error instead, like every other parser here).
+/// throw fibersim::Error instead, like every other parser here). Numeric
+/// values go through the checked parsers below: "banana", trailing garbage
+/// and out-of-range magnitudes come back as the error string, never as an
+/// uncaught std::invalid_argument.
 /// --fault-plan installs its plan immediately, overriding any env plan.
 std::string parse_report_flags(const std::vector<std::string>& args,
                                ReportFlags& flags);
+
+/// Checked "flag value" parsers shared by the CLI flag parsers and the serve
+/// request codec: write the parsed value to `out` and return "", or return a
+/// one-line error naming `flag` and the offending value. `min` is the
+/// smallest accepted value.
+std::string flag_int(const std::string& flag, const std::string& value,
+                     int min, int* out);
+std::string flag_u64(const std::string& flag, const std::string& value,
+                     std::uint64_t* out);
+std::string flag_f64(const std::string& flag, const std::string& value,
+                     double min, double* out);
 
 /// Attach the persistent trace store selected by --trace-cache (`dir`), or
 /// — when empty — by FIBERSIM_TRACE_CACHE, to the runner.

@@ -114,8 +114,17 @@ Runner::Execution Runner::run_native(const ExperimentConfig& config,
   return exec;
 }
 
+const char* run_tier_name(RunTier tier) {
+  switch (tier) {
+    case RunTier::kMemo: return "memo";
+    case RunTier::kDisk: return "disk";
+    case RunTier::kNative: return "native";
+  }
+  return "?";
+}
+
 std::shared_ptr<const Runner::Execution> Runner::execute(
-    const ExperimentConfig& config) {
+    const ExperimentConfig& config, RunTier* tier) {
   const Key key{config.app,        static_cast<int>(config.dataset),
                 config.ranks,      config.threads,
                 config.iterations, config.weak_scale,
@@ -140,7 +149,13 @@ std::shared_ptr<const Runner::Execution> Runner::execute(
   // entry is never wedged by a failure.
   std::unique_lock<std::mutex> lock(entry->mutex);
   while (true) {
-    if (entry->done) return {entry, &entry->exec};
+    if (entry->done) {
+      // Tier-1 hit — either the entry was already complete or this caller
+      // coalesced onto another thread's in-flight run; only the claimant
+      // that executed reports native/disk.
+      if (tier != nullptr) *tier = RunTier::kMemo;
+      return {entry, &entry->exec};
+    }
     if (entry->running) {
       entry->cv.wait(lock);
       continue;
@@ -189,6 +204,9 @@ std::shared_ptr<const Runner::Execution> Runner::execute(
       if (!from_disk) {
         native_runs_.fetch_add(1, std::memory_order_relaxed);
       }
+      if (tier != nullptr) {
+        *tier = from_disk ? RunTier::kDisk : RunTier::kNative;
+      }
       lock.unlock();
       entry->cv.notify_all();
       return {entry, &entry->exec};
@@ -202,7 +220,8 @@ std::shared_ptr<const Runner::Execution> Runner::execute(
   }
 }
 
-ExperimentResult Runner::run(const ExperimentConfig& config, int attempt) {
+ExperimentResult Runner::run(const ExperimentConfig& config, int attempt,
+                             RunTier* tier) {
   config.validate();
 
   // Deterministic prediction-failure injection: fires for the first
@@ -219,7 +238,7 @@ ExperimentResult Runner::run(const ExperimentConfig& config, int attempt) {
     }
   }
 
-  const std::shared_ptr<const Execution> exec = execute(config);
+  const std::shared_ptr<const Execution> exec = execute(config, tier);
 
   const topo::Topology topology(config.processor.shape, config.nodes);
   const topo::Binding binding = topo::Binding::make(

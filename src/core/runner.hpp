@@ -56,13 +56,23 @@ struct ExperimentResult {
   double gflops() const { return prediction.gflops(); }
 };
 
+/// Which cache tier satisfied a run()'s execution: the in-memory tier-1
+/// entry (including coalescing onto another caller's in-flight native run),
+/// the persistent tier-2 store, or a fresh native execution. The serve
+/// daemon reports these per request.
+enum class RunTier { kMemo = 0, kDisk, kNative };
+
+const char* run_tier_name(RunTier tier);
+
 class Runner {
  public:
   /// Run (or reuse the cached execution of) an experiment. Thread-safe.
   /// `attempt` is the caller's retry attempt for this config (the SweepPool
   /// passes its per-task attempt); it only matters under an active fault
   /// plan, where it drives deterministic prediction-failure injection.
-  ExperimentResult run(const ExperimentConfig& config, int attempt = 0);
+  /// `tier` (optional) receives which cache tier satisfied the execution.
+  ExperimentResult run(const ExperimentConfig& config, int attempt = 0,
+                       RunTier* tier = nullptr);
 
   /// Number of native executions performed so far (tests use this to assert
   /// the caching contract).
@@ -128,10 +138,12 @@ class Runner {
                          int /*threads*/, int /*iterations*/,
                          int /*weak_scale*/, std::uint64_t>;
 
-  /// Returns a completed execution. The shared_ptr keeps the entry alive
-  /// independent of the cache map, so callers never hold a reference that
-  /// another thread could invalidate or observe mid-construction.
-  std::shared_ptr<const Execution> execute(const ExperimentConfig& config);
+  /// Returns a completed execution; `tier` receives how it was satisfied.
+  /// The shared_ptr keeps the entry alive independent of the cache map, so
+  /// callers never hold a reference that another thread could invalidate or
+  /// observe mid-construction.
+  std::shared_ptr<const Execution> execute(const ExperimentConfig& config,
+                                           RunTier* tier);
 
   /// One native run attempt (no caching); throws on failure.
   Execution run_native(const ExperimentConfig& config, int attempt);

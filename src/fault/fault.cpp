@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/hash.hpp"
+#include "common/parse_num.hpp"
 #include "common/rng.hpp"
 #include "common/string_util.hpp"
 
@@ -67,7 +68,10 @@ Plan Plan::parse(const std::string& spec) {
       const std::string key{trim(entry.substr(0, eq))};
       const std::string value{trim(entry.substr(eq + 1))};
       if (key == "seed") {
-        plan.seed = std::stoull(value);
+        const std::optional<std::uint64_t> seed = parse_u64(value);
+        FS_REQUIRE(seed.has_value(),
+                   "fault plan: bad value for seed: '" + value + "'");
+        plan.seed = *seed;
       } else if (key == "transient") {
         plan.transient = parse_count(key, value);
       } else if (key == "mp.drop") {

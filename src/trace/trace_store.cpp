@@ -7,10 +7,13 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <utility>
 #include <vector>
 
 #include "common/hash.hpp"
+#include "common/log.hpp"
+#include "common/parse_num.hpp"
 #include "common/string_util.hpp"
 
 namespace fibersim::trace {
@@ -403,9 +406,18 @@ std::shared_ptr<TraceStore> TraceStore::from_env() {
   if (dir == nullptr || dir[0] == '\0') return nullptr;
   std::uint64_t max_bytes = kDefaultMaxBytes;
   if (const char* mb = std::getenv("FIBERSIM_TRACE_CACHE_MAX_MB")) {
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(mb, &end, 10);
-    if (end != mb) max_bytes = static_cast<std::uint64_t>(v) << 20;
+    // Checked parse: negative values must not wrap through strtoull into a
+    // ~2^64-byte budget that disables eviction, and trailing garbage or an
+    // ERANGE overflow must not half-apply. The shift bound keeps `v << 20`
+    // representable. Anything invalid falls back to the default, loudly.
+    const std::optional<std::uint64_t> v = parse_u64(mb);
+    if (v && *v <= (std::numeric_limits<std::uint64_t>::max() >> 20)) {
+      max_bytes = *v << 20;
+    } else {
+      FS_LOG(kWarn) << "FIBERSIM_TRACE_CACHE_MAX_MB='" << mb
+                    << "' is not a valid size in MiB; using default "
+                    << (kDefaultMaxBytes >> 20) << " MiB";
+    }
   }
   return std::make_shared<TraceStore>(dir, max_bytes);
 }

@@ -110,6 +110,18 @@ class TraceStore {
     return evictions_.load(std::memory_order_relaxed);
   }
 
+  /// One coherent snapshot of the counters (the serve daemon's `stats` verb
+  /// reports these as the tier-2 section beside the Runner's tier counts).
+  struct Stats {
+    std::size_t loads = 0;
+    std::size_t hits = 0;
+    std::size_t writes = 0;
+    std::size_t evictions = 0;
+  };
+  Stats stats() const {
+    return Stats{loads(), hits(), writes(), evictions()};
+  }
+
  private:
   /// Delete oldest trace files until the directory fits max_bytes_, never
   /// touching `keep` (the file just published). Best-effort under races.

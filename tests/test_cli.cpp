@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "core/cli.hpp"
 #include "core/config_parse.hpp"
+#include "core/report_flags.hpp"
 
 namespace fibersim::core {
 namespace {
@@ -327,6 +328,113 @@ TEST(Cli, ReportAllJsonIsOneArray) {
 TEST(Cli, ReportIdsCoverTheDesignIndex) {
   const auto ids = cli_report_ids();
   EXPECT_EQ(ids.size(), 16u);
+}
+
+// ----- malformed numeric values: every flag, every command -----
+//
+// Each case must exit 2 with a diagnostic on stderr -- never an uncaught
+// std::sto* exception, never a silently clamped value.
+
+// Values that no integer flag may accept (surrounding whitespace is the
+// one tolerated decoration — parse_num trims it before the strict parse).
+const char* const kBadInts[] = {"",     "abc",  "2x",  "x2",   "1 2",
+                                "1.5",  "0x10", "++1", "--1",  "1e3",
+                                "nan",  "9999999999999999999"};
+
+TEST(Cli, RunRejectsMalformedIntegerValues) {
+  for (const char* flag : {"--ranks", "--threads", "--nodes", "--iterations",
+                           "--weak-scale"}) {
+    for (const char* bad : kBadInts) {
+      const CliResult r = run_cli({"run", flag, bad});
+      EXPECT_EQ(r.code, 2) << flag << "='" << bad << "'";
+      EXPECT_NE(r.err.find(flag), std::string::npos) << flag << "='" << bad
+                                                     << "'";
+    }
+    // Positive-only flags reject zero and negatives with a range message.
+    for (const char* bad : {"0", "-3"}) {
+      const CliResult r = run_cli({"run", flag, bad});
+      EXPECT_EQ(r.code, 2) << flag << "='" << bad << "'";
+      EXPECT_NE(r.err.find("must be >= 1"), std::string::npos)
+          << flag << "='" << bad << "'";
+    }
+  }
+}
+
+TEST(Cli, RunRejectsMalformedSeed) {
+  for (const char* bad : {"", "-1", "abc", "12x", "18446744073709551616"}) {
+    const CliResult r = run_cli({"run", "--seed", bad});
+    EXPECT_EQ(r.code, 2) << "seed='" << bad << "'";
+    EXPECT_NE(r.err.find("--seed"), std::string::npos);
+  }
+  // The full u64 range is usable as a seed.
+  EXPECT_EQ(run_cli({"run", "--app", "ffvc", "--dataset", "small", "--ranks",
+                     "2", "--threads", "1", "--iterations", "1", "--seed",
+                     "18446744073709551615"})
+                .code,
+            0);
+}
+
+TEST(Cli, ReportRejectsMalformedNumericValues) {
+  for (const char* flag : {"--iterations", "--jobs"}) {
+    for (const char* bad : {"abc", "2x", "", "0", "-2"}) {
+      const CliResult r = run_cli({"report", "T1", flag, bad});
+      EXPECT_EQ(r.code, 2) << flag << "='" << bad << "'";
+      EXPECT_NE(r.err.find(flag), std::string::npos);
+    }
+  }
+  // --retries allows 0 but rejects negatives and garbage.
+  EXPECT_EQ(run_cli({"report", "T1", "--retries", "-1"}).code, 2);
+  EXPECT_EQ(run_cli({"report", "T1", "--retries", "two"}).code, 2);
+  // --watchdog is a float: finite, >= 0, fully consumed.
+  for (const char* bad : {"-0.5", "abc", "1.5s", "nan", "inf", ""}) {
+    const CliResult r = run_cli({"report", "T1", "--watchdog", bad});
+    EXPECT_EQ(r.code, 2) << "watchdog='" << bad << "'";
+    EXPECT_NE(r.err.find("--watchdog"), std::string::npos);
+  }
+  EXPECT_EQ(run_cli({"report", "T1", "--seed", "-7"}).code, 2);
+  // Missing value at end of line is reported, not read out of bounds.
+  EXPECT_EQ(run_cli({"report", "T1", "--jobs"}).code, 2);
+}
+
+TEST(Cli, ServeRejectsMalformedNumericValues) {
+  // Bad flag values must fail before the server binds its socket.
+  for (const char* flag : {"--workers", "--queue"}) {
+    for (const char* bad : {"abc", "4x", "", "0", "-1", "1e2"}) {
+      const CliResult r = run_cli({"serve", flag, bad});
+      EXPECT_EQ(r.code, 2) << flag << "='" << bad << "'";
+      EXPECT_NE(r.err.find(flag), std::string::npos);
+    }
+  }
+  EXPECT_EQ(run_cli({"serve", "--bogus", "1"}).code, 2);
+  EXPECT_EQ(run_cli({"serve", "--workers"}).code, 2);
+}
+
+// The bench shims route their argv through the same parse_report_flags as
+// `fibersim report`; exercise that entry point directly so a bench binary
+// can never crash on a malformed numeric value either.
+TEST(Cli, BenchFlagParserRejectsMalformedValues) {
+  for (const char* flag : {"--iterations", "--jobs", "--retries"}) {
+    for (const char* bad : kBadInts) {
+      ReportFlags flags;
+      const std::string problem = parse_report_flags({flag, bad}, flags);
+      EXPECT_FALSE(problem.empty()) << flag << "='" << bad << "'";
+      EXPECT_NE(problem.find(flag), std::string::npos);
+    }
+  }
+  for (const char* bad : {"x", "-1", "1.0e999"}) {
+    ReportFlags flags;
+    EXPECT_FALSE(parse_report_flags({"--watchdog", bad}, flags).empty())
+        << "watchdog='" << bad << "'";
+  }
+  {
+    ReportFlags flags;
+    EXPECT_FALSE(parse_report_flags({"--seed", "-1"}, flags).empty());
+    EXPECT_TRUE(parse_report_flags({"--seed", "18446744073709551615"}, flags)
+                    .empty());
+    EXPECT_EQ(flags.ctx.seed, 18446744073709551615ull);
+    EXPECT_TRUE(parse_report_flags({"--retries", "0"}, flags).empty());
+    EXPECT_EQ(flags.ctx.max_retries, 0);
+  }
 }
 
 }  // namespace

@@ -3,13 +3,17 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <set>
 #include <sstream>
 
 #include "common/aligned_buffer.hpp"
 #include "common/barchart.hpp"
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "common/log.hpp"
+#include "common/parse_num.hpp"
 #include "common/report_emit.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -403,6 +407,147 @@ TEST(Units, Constants) {
   using namespace units;
   EXPECT_DOUBLE_EQ(kGiB, 1024.0 * 1024.0 * 1024.0);
   EXPECT_DOUBLE_EQ(kGHz, 1e9);
+}
+
+// ----- checked numeric parsing -----
+
+TEST(ParseNum, I64AcceptsPlainIntegers) {
+  EXPECT_EQ(parse_i64("0"), 0);
+  EXPECT_EQ(parse_i64("42"), 42);
+  EXPECT_EQ(parse_i64("-17"), -17);
+  EXPECT_EQ(parse_i64("+8"), 8);
+  EXPECT_EQ(parse_i64("  12  "), 12);  // surrounding whitespace is trimmed
+  EXPECT_EQ(parse_i64("9223372036854775807"),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(parse_i64("-9223372036854775808"),
+            std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(ParseNum, I64RejectsGarbage) {
+  EXPECT_FALSE(parse_i64(""));
+  EXPECT_FALSE(parse_i64("   "));
+  EXPECT_FALSE(parse_i64("abc"));
+  EXPECT_FALSE(parse_i64("12x"));       // trailing garbage
+  EXPECT_FALSE(parse_i64("1 2"));       // embedded space
+  EXPECT_FALSE(parse_i64("3.5"));       // not an integer
+  EXPECT_FALSE(parse_i64("0x10"));      // no hex
+  EXPECT_FALSE(parse_i64("9223372036854775808"));   // overflow
+  EXPECT_FALSE(parse_i64("-9223372036854775809"));  // underflow
+  EXPECT_FALSE(parse_i64(std::string("1\0 2", 4)));  // embedded NUL
+}
+
+TEST(ParseNum, U64CoversTheFullRangeAndRejectsNegatives) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+  // strtoull would silently wrap "-1" to 2^64-1; the checked parser must
+  // refuse (that wrap is exactly the TraceStore MAX_MB bug class).
+  EXPECT_FALSE(parse_u64("-1"));
+  EXPECT_FALSE(parse_u64("-0"));
+  EXPECT_FALSE(parse_u64("18446744073709551616"));  // overflow
+  EXPECT_FALSE(parse_u64("12mb"));
+}
+
+TEST(ParseNum, I32NarrowsTheRange) {
+  EXPECT_EQ(parse_i32("2147483647"), std::numeric_limits<int>::max());
+  EXPECT_EQ(parse_i32("-2147483648"), std::numeric_limits<int>::min());
+  EXPECT_FALSE(parse_i32("2147483648"));
+  EXPECT_FALSE(parse_i32("-2147483649"));
+}
+
+TEST(ParseNum, F64RequiresFiniteFullConsumption) {
+  EXPECT_DOUBLE_EQ(*parse_f64("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(*parse_f64("-1e-3"), -1e-3);
+  EXPECT_DOUBLE_EQ(*parse_f64("3"), 3.0);
+  EXPECT_FALSE(parse_f64("2.5s"));
+  EXPECT_FALSE(parse_f64("nan"));
+  EXPECT_FALSE(parse_f64("inf"));
+  EXPECT_FALSE(parse_f64("1e999"));  // overflows to infinity
+  EXPECT_FALSE(parse_f64(""));
+}
+
+// ----- hardened JSON parser -----
+
+TEST(Json, ParsesScalarsAndStructure) {
+  std::string error;
+  const auto v = json::parse(
+      R"({"s":"hi","n":-2.5,"b":true,"z":null,"a":[1,2],"o":{"k":7}})",
+      &error);
+  ASSERT_TRUE(v) << error;
+  EXPECT_EQ(v->find("s")->as_string(), "hi");
+  EXPECT_DOUBLE_EQ(v->find("n")->as_double(), -2.5);
+  EXPECT_TRUE(v->find("b")->as_bool());
+  EXPECT_TRUE(v->find("z")->is_null());
+  ASSERT_EQ(v->find("a")->items().size(), 2u);
+  EXPECT_DOUBLE_EQ(v->find("o")->find("k")->as_double(), 7.0);
+  EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(Json, PreservesRawNumberTokensForExactU64) {
+  // 2^64-1 is not representable as a double; the raw token must survive so
+  // callers can re-parse 64-bit seeds exactly.
+  std::string error;
+  const auto v = json::parse(R"({"seed":18446744073709551615})", &error);
+  ASSERT_TRUE(v) << error;
+  EXPECT_EQ(v->find("seed")->raw_number(), "18446744073709551615");
+  EXPECT_EQ(parse_u64(v->find("seed")->raw_number()),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Json, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(json::parse("", &error));
+  EXPECT_FALSE(json::parse("{", &error));
+  EXPECT_FALSE(json::parse("{}extra", &error));     // trailing bytes
+  EXPECT_FALSE(json::parse(R"({"a":1,})", &error));  // trailing comma
+  EXPECT_FALSE(json::parse(R"({"a" 1})", &error));  // missing colon
+  EXPECT_FALSE(json::parse(R"({"a":01})", &error)); // leading zero
+  EXPECT_FALSE(json::parse(R"({"a":+1})", &error)); // leading plus
+  EXPECT_FALSE(json::parse(R"({"a":.5})", &error));
+  EXPECT_FALSE(json::parse(R"({"a":tru})", &error));
+  EXPECT_FALSE(json::parse("\"unterminated", &error));
+  EXPECT_FALSE(json::parse(R"("bad \q escape")", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Json, RejectsDuplicateKeys) {
+  std::string error;
+  EXPECT_FALSE(json::parse(R"({"a":1,"a":2})", &error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+}
+
+TEST(Json, DepthCapStopsRecursionBombs) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  std::string error;
+  EXPECT_FALSE(json::parse(deep, &error));
+  EXPECT_NE(error.find("deep"), std::string::npos);
+  // At the cap boundary it still parses.
+  std::string okay;
+  for (int i = 0; i < json::kMaxDepth; ++i) okay += "[";
+  for (int i = 0; i < json::kMaxDepth; ++i) okay += "]";
+  EXPECT_TRUE(json::parse(okay, &error)) << error;
+}
+
+TEST(Json, DecodesEscapesIncludingSurrogatePairs) {
+  std::string error;
+  // Raw UTF-8 bytes pass through untouched...
+  const auto raw = json::parse(R"("a\"b\\c\/d\n\tAé😀")", &error);
+  ASSERT_TRUE(raw) << error;
+  EXPECT_EQ(raw->as_string(), "a\"b\\c/d\n\tA\xC3\xA9\xF0\x9F\x98\x80");
+  // ...and \uXXXX escapes (surrogate pairs included) decode to the same.
+  const auto escaped = json::parse(R"("\u00e9 \ud83d\ude00")", &error);
+  ASSERT_TRUE(escaped) << error;
+  EXPECT_EQ(escaped->as_string(), "\xC3\xA9 \xF0\x9F\x98\x80");
+  EXPECT_FALSE(json::parse(R"("\ud83d")", &error));  // lone high surrogate
+  EXPECT_FALSE(json::parse(R"("\ud83dx")", &error));
+}
+
+TEST(Json, ReportsByteOffsets) {
+  std::string error;
+  EXPECT_FALSE(json::parse(R"({"a":bogus})", &error));
+  EXPECT_NE(error.find("at byte"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,482 @@
+// Tests for the `fibersim serve` daemon: request codec, server lifecycle,
+// concurrency, admission control and the untrusted-input contract (malformed
+// bytes yield typed errors, never an uncaught exception).
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "core/runner.hpp"
+#include "core/serve.hpp"
+#include "core/serve_codec.hpp"
+#include "trace/serialize.hpp"
+
+namespace fibersim::core {
+namespace {
+
+// ----- codec -----
+
+TEST(ServeCodec, ParsesEveryVerb) {
+  ServeRequest req;
+  EXPECT_EQ(parse_serve_request(R"({"verb":"ping"})", req), "");
+  EXPECT_EQ(req.verb, ServeRequest::Verb::kPing);
+  EXPECT_EQ(parse_serve_request(R"({"verb":"stats","id":"s1"})", req), "");
+  EXPECT_EQ(req.verb, ServeRequest::Verb::kStats);
+  EXPECT_EQ(req.id, "s1");
+
+  req = ServeRequest{};
+  EXPECT_EQ(parse_serve_request(
+                R"({"verb":"predict","app":"ffvc","dataset":"small",)"
+                R"("ranks":4,"threads":2,"iterations":1,"seed":7})",
+                req),
+            "");
+  EXPECT_EQ(req.verb, ServeRequest::Verb::kPredict);
+  EXPECT_EQ(req.config.app, "ffvc");
+  EXPECT_EQ(req.config.ranks, 4);
+  EXPECT_EQ(req.config.threads, 2);
+  EXPECT_EQ(req.config.seed, 7u);
+
+  req = ServeRequest{};
+  EXPECT_EQ(parse_serve_request(
+                R"({"verb":"report","report":"T1","apps":"ffvc,ffb",)"
+                R"("iterations":2,"jobs":3,"format":"json"})",
+                req),
+            "");
+  EXPECT_EQ(req.verb, ServeRequest::Verb::kReport);
+  EXPECT_EQ(req.report_id, "T1");
+  ASSERT_EQ(req.apps.size(), 2u);
+  EXPECT_EQ(req.apps[1], "ffb");
+  EXPECT_EQ(req.iterations, 2);
+  EXPECT_EQ(req.jobs, 3);
+  EXPECT_EQ(req.format, ReportFormat::kJson);
+}
+
+TEST(ServeCodec, NumericFieldsAcceptStringsAndKeepU64Exact) {
+  // A numeric string is as good as a JSON number (shell-friendly clients).
+  ServeRequest req;
+  EXPECT_EQ(parse_serve_request(R"({"verb":"predict","ranks":"4"})", req),
+            "");
+  EXPECT_EQ(req.config.ranks, 4);
+  // 2^64-1 survives because the raw number token is re-parsed, never routed
+  // through a double.
+  req = ServeRequest{};
+  EXPECT_EQ(parse_serve_request(
+                R"({"verb":"predict","seed":18446744073709551615})", req),
+            "");
+  EXPECT_EQ(req.config.seed, 18446744073709551615ull);
+}
+
+TEST(ServeCodec, RejectsMalformedRequests) {
+  const std::pair<const char*, const char*> cases[] = {
+      {"", "invalid JSON"},
+      {"{", "invalid JSON"},
+      {"[1,2]", "must be a JSON object"},
+      {R"({"id":"x"})", "missing required field 'verb'"},
+      {R"({"verb":7})", "'verb' must be a string"},
+      {R"({"verb":"launch"})", "unknown verb"},
+      {R"({"verb":"predict","rnaks":2})", "unknown predict field"},
+      {R"({"verb":"report","report":"T1","retries":1})",
+       "unknown report field"},
+      {R"({"verb":"ping","app":"ffvc"})", "unknown field for verb 'ping'"},
+      {R"({"verb":"predict","ranks":0})", "must be >= 1"},
+      {R"({"verb":"predict","ranks":"3x"})", "expected an integer"},
+      {R"({"verb":"predict","ranks":true})", "must be a string or number"},
+      {R"({"verb":"predict","seed":-1})", "non-negative"},
+      {R"({"verb":"predict","dataset":"tiny"})", "dataset"},
+      {R"({"verb":"predict","processor":"epyc"})", "processor"},
+      {R"({"verb":"report"})", "need a 'report' experiment id"},
+      {R"({"verb":"report","report":"T1","format":"yaml"})", "format"},
+      {R"({"verb":"ping","id":42})", "'id' must be a string"},
+      {R"({"verb":"ping","verb":"ping"})", "duplicate"},
+  };
+  for (const auto& [line, expect] : cases) {
+    ServeRequest req;
+    const std::string problem = parse_serve_request(line, req);
+    EXPECT_FALSE(problem.empty()) << line;
+    EXPECT_NE(problem.find(expect), std::string::npos)
+        << line << " -> " << problem;
+  }
+  // The id cap keeps hostile correlation tokens from ballooning responses.
+  ServeRequest req;
+  const std::string long_id(257, 'x');
+  EXPECT_NE(parse_serve_request(R"({"verb":"ping","id":")" + long_id +
+                                    R"("})",
+                                req)
+                .find("exceeds"),
+            std::string::npos);
+}
+
+TEST(ServeCodec, ResponseShapes) {
+  EXPECT_EQ(serve_error_response(kCodeBusy, "", "full"),
+            R"({"ok":false,"code":"BUSY","error":"full"})");
+  EXPECT_EQ(serve_error_response(kCodeBadRequest, "a\"b", "x\ny"),
+            R"({"ok":false,"id":"a\"b","code":"BAD_REQUEST","error":"x\ny"})");
+  EXPECT_EQ(serve_ok_prefix("ping", "7") + ",\"payload\":\"pong\"}",
+            R"({"ok":true,"id":"7","verb":"ping","payload":"pong"})");
+}
+
+// ----- server -----
+
+std::string test_socket_path() {
+  static std::atomic<int> counter{0};
+  return "/tmp/fibersim_test_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+std::string test_cache_dir() {
+  static std::atomic<int> counter{0};
+  return "/tmp/fibersim_test_cache_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1));
+}
+
+constexpr const char* kPredictLine =
+    R"({"verb":"predict","app":"ffvc","dataset":"small","ranks":2,)"
+    R"("threads":1,"iterations":1})";
+
+// Payload is always the last key: everything after the first `"payload":`
+// up to the envelope's closing brace.
+std::string payload_of(const std::string& response) {
+  const std::size_t pos = response.find("\"payload\":");
+  if (pos == std::string::npos) {
+    ADD_FAILURE() << "no payload in: " << response;
+    return "";
+  }
+  const std::size_t begin = pos + std::strlen("\"payload\":");
+  return response.substr(begin, response.size() - begin - 1);
+}
+
+std::string field_of(const std::string& response, const std::string& key) {
+  std::string error;
+  const std::optional<json::Value> v = json::parse(response, &error);
+  if (!v || !v->is_object()) {
+    ADD_FAILURE() << "unparseable response (" << error << "): " << response;
+    return "";
+  }
+  const json::Value* f = v->find(key);
+  if (f == nullptr) return "";
+  if (f->is_bool()) return f->as_bool() ? "true" : "false";
+  return f->is_string() ? f->as_string() : f->raw_number();
+}
+
+TEST(Serve, PingPredictAndStats) {
+  ServeOptions opts;
+  opts.socket_path = test_socket_path();
+  opts.workers = 2;
+  Server server(std::move(opts));
+  server.start();
+
+  ServeClient client(server.socket_path());
+  const std::string pong = client.request(R"({"verb":"ping","id":"p1"})");
+  EXPECT_EQ(pong, R"({"ok":true,"id":"p1","verb":"ping","payload":"pong"})");
+
+  // The predict payload must be byte-identical to what `fibersim run --json`
+  // prints for the same config: the daemon is the CLI by other means.
+  const std::string response = client.request(kPredictLine);
+  EXPECT_EQ(field_of(response, "ok"), "true") << response;
+  EXPECT_EQ(field_of(response, "tier"), "native");
+  EXPECT_FALSE(field_of(response, "latency_us").empty());
+  ExperimentConfig cfg;
+  cfg.app = "ffvc";
+  cfg.dataset = apps::Dataset::kSmall;
+  cfg.ranks = 2;
+  cfg.threads = 1;
+  cfg.iterations = 1;
+  Runner reference;
+  EXPECT_EQ(payload_of(response), trace::to_json(reference.run(cfg).prediction));
+
+  // Identical request again: served from the in-memory memo tier.
+  EXPECT_EQ(field_of(client.request(kPredictLine), "tier"), "memo");
+
+  // The stats payload is itself valid JSON and reflects the traffic so far.
+  const std::string stats = client.request(R"({"verb":"stats"})");
+  std::string error;
+  const std::optional<json::Value> v = json::parse(stats, &error);
+  ASSERT_TRUE(v) << error << ": " << stats;
+  const json::Value* payload = v->find("payload");
+  ASSERT_NE(payload, nullptr);
+  EXPECT_NE(payload->find("verbs"), nullptr);
+  EXPECT_NE(payload->find("latency_us"), nullptr);
+
+  const ServeStats snap = server.stats_snapshot();
+  EXPECT_EQ(snap.ping, 1u);
+  EXPECT_EQ(snap.predict, 2u);
+  EXPECT_EQ(snap.stats, 1u);
+  EXPECT_EQ(snap.tier_native, 1u);
+  EXPECT_EQ(snap.tier_memo, 1u);
+  EXPECT_GE(snap.latency_samples, 2u);
+
+  server.stop();
+  server.wait();
+  EXPECT_EQ(::access(server.socket_path().c_str(), F_OK), -1)
+      << "socket file must be unlinked on shutdown";
+}
+
+TEST(Serve, MalformedBytesGetTypedErrorsAndServiceContinues) {
+  ServeOptions opts;
+  opts.socket_path = test_socket_path();
+  opts.workers = 1;
+  opts.max_line_bytes = 512;
+  Server server(std::move(opts));
+  server.start();
+
+  {
+    ServeClient client(server.socket_path());
+    EXPECT_EQ(field_of(client.request("this is not json"), "code"),
+              kCodeBadRequest);
+    EXPECT_EQ(field_of(client.request(R"({"verb":"predict","ranks":"2x"})"),
+                       "code"),
+              kCodeBadRequest);
+    // Blank lines are keepalive noise, not errors.
+    client.send_line("");
+    EXPECT_EQ(field_of(client.request(R"({"verb":"ping"})"), "verb"), "ping");
+    // An oversized line poisons the framing: BAD_REQUEST, then the server
+    // hangs up on that connection.
+    client.send_line(std::string(2048, 'x'));
+    const auto bad = client.read_line();
+    ASSERT_TRUE(bad.has_value());
+    EXPECT_EQ(field_of(*bad, "code"), kCodeBadRequest);
+    EXPECT_FALSE(client.read_line().has_value()) << "expected EOF";
+  }
+  // The daemon survives the hostile connection and keeps serving.
+  ServeClient next(server.socket_path());
+  EXPECT_EQ(field_of(next.request(R"({"verb":"ping"})"), "ok"), "true");
+  EXPECT_GE(server.stats_snapshot().bad_request, 3u);
+}
+
+TEST(Serve, ConcurrentClientsAllGetTheirOwnResponses) {
+  ServeOptions opts;
+  opts.socket_path = test_socket_path();
+  opts.workers = 4;
+  Server server(std::move(opts));
+  server.start();
+
+  constexpr int kClients = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      ServeClient client(server.socket_path());
+      // Distinct seeds force distinct cache keys: no accidental coalescing.
+      const std::string line =
+          R"({"verb":"predict","app":"ffvc","dataset":"small","ranks":2,)"
+          R"("threads":1,"iterations":1,"seed":)" +
+          std::to_string(1000 + c) + R"(,"id":"c)" + std::to_string(c) +
+          "\"}";
+      const std::string response = client.request(line);
+      if (field_of(response, "ok") == "true" &&
+          field_of(response, "id") == "c" + std::to_string(c)) {
+        ok.fetch_add(1);
+      } else {
+        ADD_FAILURE() << response;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kClients);
+  EXPECT_EQ(server.stats_snapshot().connections,
+            static_cast<std::uint64_t>(kClients));
+}
+
+TEST(Serve, IdenticalConcurrentPredictsCoalesceOntoOneNativeRun) {
+  ServeOptions opts;
+  opts.socket_path = test_socket_path();
+  opts.workers = 2;
+  Server server(std::move(opts));
+  server.start();
+
+  // Two identical requests in flight at once: the Runner's per-key claim
+  // runs natively once; the second request memo-waits on the first.
+  std::vector<std::string> tiers(2);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&, c] {
+      ServeClient client(server.socket_path());
+      tiers[c] = field_of(client.request(kPredictLine), "tier");
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::sort(tiers.begin(), tiers.end());
+  EXPECT_EQ(tiers[0], "memo");
+  EXPECT_EQ(tiers[1], "native");
+  const ServeStats snap = server.stats_snapshot();
+  EXPECT_EQ(snap.tier_native, 1u);
+  EXPECT_EQ(snap.tier_memo, 1u);
+}
+
+TEST(Serve, MidRequestDisconnectDoesNotKillTheServer) {
+  ServeOptions opts;
+  opts.socket_path = test_socket_path();
+  opts.workers = 1;
+  Server server(std::move(opts));
+  server.start();
+
+  {
+    ServeClient rude(server.socket_path());
+    rude.send_line(kPredictLine);
+    rude.abort();  // gone before the response is written
+  }
+  // The worker finishes the abandoned request (possibly dropping the write)
+  // and the daemon keeps serving fresh connections.
+  ServeClient polite(server.socket_path());
+  const std::string response = polite.request(kPredictLine);
+  EXPECT_EQ(field_of(response, "ok"), "true") << response;
+  server.stop();
+  server.wait();
+  EXPECT_GE(server.stats_snapshot().predict, 1u);
+}
+
+TEST(Serve, WarmStoreSurvivesRestart) {
+  const std::string cache_dir = test_cache_dir();
+  std::string first_payload;
+  {
+    ServeOptions opts;
+    opts.socket_path = test_socket_path();
+    opts.workers = 1;
+    opts.trace_cache_dir = cache_dir;
+    Server server(std::move(opts));
+    server.start();
+    ServeClient client(server.socket_path());
+    const std::string response = client.request(kPredictLine);
+    EXPECT_EQ(field_of(response, "tier"), "native");
+    first_payload = payload_of(response);
+    server.stop();
+    server.wait();
+  }
+  // A new daemon over the same store answers from disk, byte-identically:
+  // kill/restart costs one store load, not a native re-run.
+  {
+    ServeOptions opts;
+    opts.socket_path = test_socket_path();
+    opts.workers = 1;
+    opts.trace_cache_dir = cache_dir;
+    Server server(std::move(opts));
+    server.start();
+    ServeClient client(server.socket_path());
+    const std::string response = client.request(kPredictLine);
+    EXPECT_EQ(field_of(response, "tier"), "disk") << response;
+    EXPECT_EQ(payload_of(response), first_payload);
+    EXPECT_EQ(server.stats_snapshot().tier_native, 0u);
+  }
+}
+
+TEST(Serve, FullQueueShedsWithTypedBusy) {
+  ServeOptions opts;
+  opts.socket_path = test_socket_path();
+  opts.workers = 1;
+  opts.queue_capacity = 1;
+  Server server(std::move(opts));
+  server.start();
+
+  // Pipeline a burst on one connection, then half-close: the admitted
+  // request is served, the overflow is shed immediately with BUSY — the
+  // client always gets an answer per line, never a hang.
+  ServeClient client(server.socket_path());
+  constexpr int kBurst = 8;
+  for (int i = 0; i < kBurst; ++i) {
+    client.send_line(
+        R"({"verb":"predict","app":"ffvc","dataset":"small","ranks":2,)"
+        R"("threads":1,"iterations":1,"seed":)" +
+        std::to_string(5000 + i) + "}");
+  }
+  client.shutdown_write();
+  int ok = 0;
+  int busy = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    const auto response = client.read_line();
+    ASSERT_TRUE(response.has_value()) << "response " << i << " missing";
+    if (field_of(*response, "ok") == "true") {
+      ++ok;
+    } else {
+      EXPECT_EQ(field_of(*response, "code"), kCodeBusy) << *response;
+      ++busy;
+    }
+  }
+  EXPECT_FALSE(client.read_line().has_value());
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(busy, 1);
+  EXPECT_EQ(server.stats_snapshot().busy, static_cast<std::uint64_t>(busy));
+}
+
+TEST(Serve, StaleSocketFileIsReplacedButLiveServersAreNot) {
+  const std::string path = test_socket_path();
+  // Simulate a daemon that died without cleanup: bind, close, never unlink.
+  {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    ::close(fd);
+  }
+  ASSERT_EQ(::access(path.c_str(), F_OK), 0);
+
+  ServeOptions opts;
+  opts.socket_path = path;
+  opts.workers = 1;
+  Server server(std::move(opts));
+  server.start();  // recovers the stale path
+  ServeClient client(path);
+  EXPECT_EQ(field_of(client.request(R"({"verb":"ping"})"), "ok"), "true");
+
+  // A second server must refuse to steal a live socket.
+  ServeOptions rival_opts;
+  rival_opts.socket_path = path;
+  Server rival(std::move(rival_opts));
+  EXPECT_THROW(rival.start(), Error);
+
+  server.stop();
+  server.wait();
+  EXPECT_EQ(::access(path.c_str(), F_OK), -1);
+}
+
+TEST(Serve, StopDrainsAdmittedWorkBeforeExit) {
+  ServeOptions opts;
+  opts.socket_path = test_socket_path();
+  opts.workers = 1;
+  Server server(std::move(opts));
+  server.start();
+
+  ServeClient client(server.socket_path());
+  client.send_line(
+      R"({"verb":"predict","app":"ffb","dataset":"small","ranks":2,)"
+      R"("threads":1,"iterations":1,"id":"drain-me"})");
+  // Wait until a worker owns the request so stop() provably has in-flight
+  // work to drain (not a request still sitting in the reader's buffer).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (server.stats_snapshot().predict == 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.stop();  // drain starts with one admitted request in flight
+  // The in-flight response still arrives...
+  const auto first = client.read_line();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(field_of(*first, "id"), "drain-me");
+  EXPECT_EQ(field_of(*first, "ok"), "true") << *first;
+  // ...and until wait() tears the connection down, new work is refused with
+  // a typed SHUTDOWN while the ping control plane still answers.
+  EXPECT_EQ(field_of(client.request(kPredictLine), "code"), kCodeShutdown);
+  EXPECT_EQ(field_of(client.request(R"({"verb":"ping"})"), "ok"), "true");
+  server.wait();
+  EXPECT_FALSE(client.read_line().has_value()) << "expected EOF after wait";
+  EXPECT_EQ(::access(server.socket_path().c_str(), F_OK), -1);
+}
+
+}  // namespace
+}  // namespace fibersim::core

@@ -455,5 +455,90 @@ TEST(TraceStore, RacingProcessesShareOneStore) {
 }
 #endif
 
+// ----- environment configuration -------------------------------------------
+
+/// Sets (or clears, when value is null) one env var; restores on destruction.
+struct ScopedEnv {
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_ = true;
+      saved_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(TraceStore, FromEnvHonoursDirectoryAndBudget) {
+  TempDir dir("env");
+  {
+    ScopedEnv unset("FIBERSIM_TRACE_CACHE", nullptr);
+    EXPECT_EQ(trace::TraceStore::from_env(), nullptr);
+  }
+  {
+    ScopedEnv empty("FIBERSIM_TRACE_CACHE", "");
+    EXPECT_EQ(trace::TraceStore::from_env(), nullptr);
+  }
+  ScopedEnv cache("FIBERSIM_TRACE_CACHE", dir.str().c_str());
+  {
+    ScopedEnv mb("FIBERSIM_TRACE_CACHE_MAX_MB", "64");
+    const auto store = trace::TraceStore::from_env();
+    ASSERT_NE(store, nullptr);
+    EXPECT_EQ(store->dir(), dir.str());
+    EXPECT_EQ(store->max_bytes(), 64ull << 20);
+  }
+  {
+    // 0 is a real value: eviction disabled, not "fall back to default".
+    ScopedEnv mb("FIBERSIM_TRACE_CACHE_MAX_MB", "0");
+    EXPECT_EQ(trace::TraceStore::from_env()->max_bytes(), 0u);
+  }
+  {
+    ScopedEnv mb("FIBERSIM_TRACE_CACHE_MAX_MB", nullptr);
+    EXPECT_EQ(trace::TraceStore::from_env()->max_bytes(),
+              trace::TraceStore::kDefaultMaxBytes);
+  }
+}
+
+TEST(TraceStore, FromEnvFallsBackOnMalformedBudgets) {
+  TempDir dir("envbad");
+  ScopedEnv cache("FIBERSIM_TRACE_CACHE", dir.str().c_str());
+  // A negative value must not wrap through strtoull into a ~2^64-byte
+  // budget that silently disables eviction; garbage and overflow must not
+  // half-apply. All of them land on the default, with a warning logged.
+  for (const char* bad : {"-1", "garbage", "12x", "1.5", "", "0x40",
+                          "18446744073709551616", "99999999999999999999"}) {
+    ScopedEnv mb("FIBERSIM_TRACE_CACHE_MAX_MB", bad);
+    const auto store = trace::TraceStore::from_env();
+    ASSERT_NE(store, nullptr) << "MAX_MB='" << bad << "'";
+    EXPECT_EQ(store->max_bytes(), trace::TraceStore::kDefaultMaxBytes)
+        << "MAX_MB='" << bad << "'";
+  }
+  // The largest MiB count whose byte budget still fits in 64 bits is
+  // honoured exactly; one past it would overflow the shift and falls back.
+  {
+    ScopedEnv mb("FIBERSIM_TRACE_CACHE_MAX_MB", "17592186044415");
+    EXPECT_EQ(trace::TraceStore::from_env()->max_bytes(),
+              17592186044415ull << 20);
+  }
+  {
+    ScopedEnv mb("FIBERSIM_TRACE_CACHE_MAX_MB", "17592186044416");
+    EXPECT_EQ(trace::TraceStore::from_env()->max_bytes(),
+              trace::TraceStore::kDefaultMaxBytes);
+  }
+}
+
 }  // namespace
 }  // namespace fibersim

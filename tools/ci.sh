@@ -49,6 +49,57 @@ diff "$CACHE_DIR/report.cold.txt" "$CACHE_DIR/report.j4.txt"
       }
     done
 
+echo "== serve: daemon smoke (predict parity, chaos, clean shutdown) =="
+SERVE_SOCK="$CACHE_DIR/serve.sock"
+SERVE_CACHE="$CACHE_DIR/serve-cache"
+SERVE_LOG="$CACHE_DIR/serve.log"
+PERF_SERVE="$BUILD_DIR/bench/perf_serve"
+"$FIBERSIM" serve --socket "$SERVE_SOCK" --workers 2 \
+    --trace-cache "$SERVE_CACHE" > "$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+i=0
+until grep -q "serving on" "$SERVE_LOG" 2>/dev/null; do
+  i=$((i + 1)); [ "$i" -le 100 ] || { echo "serve never came up" >&2; exit 1; }
+  sleep 0.1
+done
+PREDICT='{"verb":"predict","app":"ffvc","dataset":"small","ranks":4,"threads":2}'
+# Cold then warm: the daemon's payload must be byte-identical to the CLI's
+# `run --json` for the same config, and the warm repeat must agree.
+RESP1="$("$PERF_SERVE" --connect "$SERVE_SOCK" --send "$PREDICT")"
+RESP2="$("$PERF_SERVE" --connect "$SERVE_SOCK" --send "$PREDICT")"
+case "$RESP1" in '{"ok":true'*) ;; *) echo "bad response: $RESP1" >&2; exit 1;; esac
+PAYLOAD1="${RESP1#*\"payload\":}"; PAYLOAD1="${PAYLOAD1%\}}"
+PAYLOAD2="${RESP2#*\"payload\":}"; PAYLOAD2="${PAYLOAD2%\}}"
+CLI_JSON="$("$FIBERSIM" run --app ffvc --dataset small --ranks 4 --threads 2 --json)"
+[ "$PAYLOAD1" = "$CLI_JSON" ] || { echo "serve payload != run --json" >&2; exit 1; }
+[ "$PAYLOAD1" = "$PAYLOAD2" ] || { echo "warm payload diverged" >&2; exit 1; }
+# A short multi-client load pass must come back with zero not-ok responses.
+"$PERF_SERVE" --connect "$SERVE_SOCK" --clients 2 --requests 8
+# Fault chaos: a plan-carrying daemon must answer with a typed FAILED
+# response tagged with the injected class — never a hang or a crash.
+FIBERSIM_FAULT_PLAN="seed=7;run.fail=1000000" "$FIBERSIM" serve \
+    --socket "$SERVE_SOCK.chaos" > "$SERVE_LOG.chaos" 2>&1 &
+CHAOS_PID=$!
+i=0
+until grep -q "serving on" "$SERVE_LOG.chaos" 2>/dev/null; do
+  i=$((i + 1)); [ "$i" -le 100 ] || { echo "chaos serve never came up" >&2; exit 1; }
+  sleep 0.1
+done
+CHAOS_RESP="$("$PERF_SERVE" --connect "$SERVE_SOCK.chaos" --send "$PREDICT")"
+case "$CHAOS_RESP" in
+  *'"code":"FAILED"'*'class=injected'*) ;;
+  *) echo "expected typed FAILED(class=injected), got: $CHAOS_RESP" >&2; exit 1;;
+esac
+# Clean shutdown: TERM drains, exits 0, unlinks sockets, leaves no torn
+# .tmp entries in the trace store.
+kill -TERM "$SERVE_PID" "$CHAOS_PID"
+wait "$SERVE_PID"
+wait "$CHAOS_PID"
+grep -q "server stopped" "$SERVE_LOG"
+grep -q "server stopped" "$SERVE_LOG.chaos"
+[ ! -e "$SERVE_SOCK" ] && [ ! -e "$SERVE_SOCK.chaos" ]
+[ "$(find "$SERVE_CACHE" -name '.tmp-*' | wc -l)" -eq 0 ]
+
 echo "== sanitize: concurrency + fault suites under TSan =="
 cmake -B "$TSAN_DIR" -S . -DFIBERSIM_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j
