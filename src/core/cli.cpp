@@ -28,6 +28,10 @@ constexpr const char* kUsage =
     "  run [--key value ...]     run one experiment; keys: --app --dataset\n"
     "                            --ranks --threads --nodes --bind --alloc\n"
     "                            --compile --processor --iterations --seed\n"
+    "                            --weak-scale; --collapse-ranks executes one\n"
+    "                            representative rank per symmetry class and\n"
+    "                            replicates the rest analytically (byte-\n"
+    "                            identical results, feasible to 10^6 ranks)\n"
     "                            (--config <file> loads key=value settings\n"
     "                            first, flags override; --json emits the\n"
     "                            prediction as JSON; --dump-trace <file>\n"
@@ -36,6 +40,10 @@ constexpr const char* kUsage =
     "                            a persistent trace store, also read from\n"
     "                            env FIBERSIM_TRACE_CACHE)\n"
     "  report <id> [--apps a,b] [--dataset small|large] [--iterations N]\n"
+    "         [--ranks N] [--threads N]  override the placement-report\n"
+    "                            MPI x OMP split (checked integers)\n"
+    "         [--collapse-ranks on|off]  run every sweep point collapsed\n"
+    "                            (output is byte-identical to a full run)\n"
     "         [--jobs N]         regenerate one table/figure (see list);\n"
     "                            id 'all' (or --all) regenerates every\n"
     "                            registered experiment. --jobs sets the\n"
@@ -137,6 +145,7 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err) {
   ExperimentConfig cfg;
   bool json = false;
+  bool collapse = false;
   std::string dump_trace_path;
   std::string trace_cache_dir;
   // Pull out the output-control flags, leave the rest for apply_flags.
@@ -144,6 +153,8 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out,
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--json") {
       json = true;
+    } else if (args[i] == "--collapse-ranks") {
+      collapse = true;
     } else if (args[i] == "--dump-trace") {
       if (i + 1 >= args.size()) {
         err << "missing value for --dump-trace\n";
@@ -165,6 +176,8 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out,
     err << problem << "\n";
     return 2;
   }
+  // The flag forces collapse on; a config file's collapse_ranks=true stays.
+  if (collapse) cfg.collapse = true;
   Runner runner;
   attach_trace_store(runner, trace_cache_dir);
   const ExperimentResult res = runner.run(cfg);

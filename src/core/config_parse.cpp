@@ -155,6 +155,8 @@ ExperimentConfig parse_experiment_config(std::string_view text) {
       cfg.seed = parse_u64_value(key, value);
     } else if (key == "weak_scale") {
       cfg.weak_scale = parse_int(key, value);
+    } else if (key == "collapse_ranks") {
+      cfg.collapse = parse_bool(key, value);
     } else {
       throw Error(strfmt("unknown config key '%s' on line %d", key.c_str(),
                          line_no));

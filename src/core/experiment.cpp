@@ -6,10 +6,11 @@
 namespace fibersim::core {
 
 std::string ExperimentConfig::label() const {
-  return strfmt("%s/%s %dx%d %s/%s [%s] on %s", app.c_str(),
+  return strfmt("%s/%s %dx%d %s/%s [%s] on %s%s", app.c_str(),
                 apps::dataset_name(dataset), ranks, threads,
                 topo::rank_alloc_name(alloc), bind.name().c_str(),
-                compile.name().c_str(), processor.name.c_str());
+                compile.name().c_str(), processor.name.c_str(),
+                collapse ? " (collapsed)" : "");
 }
 
 void ExperimentConfig::validate() const {

@@ -33,6 +33,12 @@ struct ExperimentConfig {
   int iterations = 3;
   /// Weak-scaling factor forwarded to the miniapp (see RunContext).
   int weak_scale = 1;
+  /// Collapse structurally equivalent ranks at execution time: only one
+  /// representative per symmetry class runs natively, the rest are
+  /// replicated analytically (mp::RankSymmetry + trace::CollapsedTrace).
+  /// Results are byte-identical to a full run; rank counts beyond the
+  /// native 4096-thread limit become feasible.
+  bool collapse = false;
 
   std::string label() const;
   void validate() const;

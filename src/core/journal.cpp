@@ -157,8 +157,10 @@ void hash_processor(Fnv1a& h, const machine::ProcessorConfig& p) {
       .f64(p.inter_numa_latency_ns)
       .f64(p.inter_socket_bw)
       .f64(p.inter_socket_latency_ns)
-      .f64(p.network_bw)
-      .f64(p.network_latency_us)
+      .f64(p.net.injection_bw)
+      .f64(p.net.link_bw)
+      .f64(p.net.base_latency_us)
+      .f64(p.net.hop_latency_ns)
       .f64(p.intra_node_msg_latency_ns)
       .f64(p.barrier_hop_ns_same_numa)
       .f64(p.barrier_hop_ns_cross_numa)
@@ -185,7 +187,8 @@ std::uint64_t SweepJournal::fingerprint(const ExperimentConfig& config) {
   h.f64(config.nominal_freq_hz)
       .u64(config.seed)
       .i32(config.iterations)
-      .i32(config.weak_scale);
+      .i32(config.weak_scale)
+      .i32(config.collapse ? 1 : 0);
   return h.value();
 }
 

@@ -37,6 +37,20 @@ std::string flag_u64(const std::string& flag, const std::string& value,
   return "";
 }
 
+std::string flag_bool(const std::string& flag, const std::string& value,
+                      bool* out) {
+  const std::string t = to_lower(value);
+  if (t == "on" || t == "true" || t == "1" || t == "yes") {
+    *out = true;
+    return "";
+  }
+  if (t == "off" || t == "false" || t == "0" || t == "no") {
+    *out = false;
+    return "";
+  }
+  return flag + ": expected on|off, got '" + value + "'";
+}
+
 std::string flag_f64(const std::string& flag, const std::string& value,
                      double min, double* out) {
   const std::optional<double> v = parse_f64(value);
@@ -90,6 +104,15 @@ std::string parse_report_flags(const std::vector<std::string>& args,
       if (!problem.empty()) return problem;
     } else if (key == "--jobs") {
       problem = flag_int(key, value, 1, &flags.ctx.jobs);
+      if (!problem.empty()) return problem;
+    } else if (key == "--ranks") {
+      problem = flag_int(key, value, 1, &flags.ctx.override_ranks);
+      if (!problem.empty()) return problem;
+    } else if (key == "--threads") {
+      problem = flag_int(key, value, 1, &flags.ctx.override_threads);
+      if (!problem.empty()) return problem;
+    } else if (key == "--collapse-ranks") {
+      problem = flag_bool(key, value, &flags.ctx.collapse);
       if (!problem.empty()) return problem;
     } else if (key == "--format") {
       flags.format = parse_report_format(value);

@@ -3,7 +3,8 @@
 // front ends.
 //
 // Flags: --apps a,b  --dataset small|large  --iterations N  --seed N
-//        --jobs N  --format text|csv|json  (--csv = --format csv)
+//        --jobs N  --ranks N  --threads N  --collapse-ranks on|off
+//        --format text|csv|json  (--csv = --format csv)
 //        --list  --fault-plan spec  --retries N  --watchdog S
 //        --journal path  --keep-going  --fail-fast  --trace-cache dir
 //
@@ -53,6 +54,8 @@ std::string flag_int(const std::string& flag, const std::string& value,
                      int min, int* out);
 std::string flag_u64(const std::string& flag, const std::string& value,
                      std::uint64_t* out);
+std::string flag_bool(const std::string& flag, const std::string& value,
+                      bool* out);
 std::string flag_f64(const std::string& flag, const std::string& value,
                      double min, double* out);
 

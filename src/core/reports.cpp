@@ -35,7 +35,15 @@ SweepControl ReportContext::sweep_control() const {
 SweepOutcome run_experiments_resilient(
     const ReportContext& ctx, const std::vector<ExperimentConfig>& configs) {
   ctx.validate();
-  return SweepPool(ctx.jobs).run_resilient(*ctx.runner, configs,
+  if (!ctx.collapse) {
+    return SweepPool(ctx.jobs).run_resilient(*ctx.runner, configs,
+                                             ctx.sweep_control());
+  }
+  // Every report sweep funnels through here, so flipping the flag at this
+  // one choke point collapses every registered experiment uniformly.
+  std::vector<ExperimentConfig> collapsed = configs;
+  for (ExperimentConfig& cfg : collapsed) cfg.collapse = true;
+  return SweepPool(ctx.jobs).run_resilient(*ctx.runner, collapsed,
                                            ctx.sweep_control());
 }
 

@@ -28,6 +28,11 @@ struct ReportContext {
   /// Worker threads for the sweep fan-out (see core::SweepPool). 1 = serial;
   /// any value produces byte-identical report output.
   int jobs = 1;
+  /// Run every sweep point with rank collapse (ExperimentConfig::collapse):
+  /// one representative rank per symmetry class executes natively. The
+  /// byte-identity contract makes the rendered report identical either way;
+  /// CI diffs the two to enforce it.
+  bool collapse = false;
   /// Include the supplementary sections some experiments print beyond their
   /// primary table (F2's 2x24 stride panel, F4's second dataset). The bench
   /// front end sets this; the CLI renders the primary sections only.

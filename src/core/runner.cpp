@@ -21,6 +21,7 @@ std::uint64_t execution_key_hash(const ExperimentConfig& config) {
       .i32(config.threads)
       .i32(config.iterations)
       .i32(config.weak_scale)
+      .i32(config.collapse ? 1 : 0)
       .u64(config.seed)
       .value();
 }
@@ -36,9 +37,15 @@ trace::StoreKey store_key_of(const ExperimentConfig& config) {
   key.threads = config.threads;
   key.iterations = config.iterations;
   key.weak_scale = config.weak_scale;
+  key.collapse = config.collapse ? 1 : 0;
   key.seed = config.seed;
   return key;
 }
+
+/// Largest virtual job worth materialising as a full JobTrace (matches the
+/// mp::Job native thread cap): below it `--dump-trace` and the byte-identity
+/// tests see the expansion; above it only the collapsed form exists.
+constexpr int kExpandLimit = 4096;
 }  // namespace
 
 void Runner::set_trace_store(std::shared_ptr<trace::TraceStore> store) {
@@ -46,8 +53,117 @@ void Runner::set_trace_store(std::shared_ptr<trace::TraceStore> store) {
   store_ = std::move(store);
 }
 
+Runner::Execution Runner::run_native_collapsed(const ExperimentConfig& config) {
+  const auto app = apps::create_miniapp(config.app);
+  const mp::CollapseSpec spec =
+      app->collapse_spec(config.dataset, config.weak_scale);
+  if (!spec.collapsible()) {
+    throw Error(config.app + ": app declares no rank symmetry");
+  }
+  mp::RankSymmetry symmetry = mp::RankSymmetry::build(spec, config.ranks);
+  const int classes = symmetry.classes();
+  FS_LOG(kInfo) << "collapsed native run: " << config.app << "/"
+                << apps::dataset_name(config.dataset) << " " << config.ranks
+                << "x" << config.threads << " -> " << classes
+                << " representative rank(s)";
+
+  trace::JobTrace rep_traces(static_cast<std::size_t>(classes));
+  Execution exec;
+  exec.verified = true;
+
+  std::mutex result_mutex;
+  mp::Job::run_collapsed(symmetry, [&](mp::Comm& comm) {
+    rt::ThreadTeam team(config.threads);
+    trace::Recorder recorder(&comm);
+    apps::RunContext ctx;
+    ctx.comm = &comm;
+    ctx.team = &team;
+    ctx.recorder = &recorder;
+    ctx.dataset = config.dataset;
+    ctx.seed = config.seed;
+    ctx.iterations = config.iterations;
+    ctx.weak_scale = config.weak_scale;
+
+    const auto slot_app = apps::create_miniapp(config.app);
+    const apps::RunResult result = slot_app->run(ctx);
+
+    // comm.rank() is the representative's *virtual* rank; its slot is the
+    // class id.
+    const std::size_t slot =
+        static_cast<std::size_t>(symmetry.class_of(comm.rank()));
+    rep_traces[slot] = recorder.phases();
+    std::lock_guard<std::mutex> lock(result_mutex);
+    exec.verified = exec.verified && result.verified;
+    if (comm.rank() == 0) {
+      exec.check_value = result.check_value;
+      exec.check_description = result.check_description;
+    }
+  });
+
+  // Throws when a send cannot be factored on the grid; the caller falls
+  // back to full simulation.
+  exec.collapsed =
+      trace::CollapsedTrace::assemble(std::move(symmetry), rep_traces);
+  exec.is_collapsed = true;
+  // Canonical form of the representative slots — what the tier-2 store
+  // persists; the virtual job is re-assembled at load (rehydrate_collapsed).
+  exec.canonical = trace::CanonicalTrace::build(rep_traces);
+  if (config.ranks <= kExpandLimit) {
+    exec.job_trace = exec.collapsed.expand();
+  }
+
+  collapse_classes_.fetch_add(static_cast<std::size_t>(classes),
+                              std::memory_order_relaxed);
+  collapse_native_ranks_.fetch_add(static_cast<std::size_t>(classes),
+                                   std::memory_order_relaxed);
+  collapse_replicated_.fetch_add(
+      static_cast<std::size_t>(config.ranks - classes),
+      std::memory_order_relaxed);
+  return exec;
+}
+
+void Runner::rehydrate_collapsed(const ExperimentConfig& config,
+                                 Execution& exec) {
+  const auto app = apps::create_miniapp(config.app);
+  const mp::CollapseSpec spec =
+      app->collapse_spec(config.dataset, config.weak_scale);
+  if (!spec.collapsible()) {
+    throw Error(config.app + ": app declares no rank symmetry");
+  }
+  mp::RankSymmetry symmetry = mp::RankSymmetry::build(spec, config.ranks);
+  const int classes = symmetry.classes();
+  FS_REQUIRE(static_cast<int>(exec.job_trace.size()) == classes,
+             "stored collapsed trace does not match the app's rank symmetry");
+  exec.collapsed =
+      trace::CollapsedTrace::assemble(std::move(symmetry), exec.job_trace);
+  exec.is_collapsed = true;
+  exec.job_trace = config.ranks <= kExpandLimit ? exec.collapsed.expand()
+                                                : trace::JobTrace{};
+  collapse_classes_.fetch_add(static_cast<std::size_t>(classes),
+                              std::memory_order_relaxed);
+  collapse_replicated_.fetch_add(
+      static_cast<std::size_t>(config.ranks - classes),
+      std::memory_order_relaxed);
+}
+
 Runner::Execution Runner::run_native(const ExperimentConfig& config,
                                      int attempt) {
+  if (config.collapse) {
+    if (fault::enabled() && fault::active() != nullptr) {
+      // Fault plans perturb individual physical ranks; a collapsed run would
+      // replicate the perturbation to a whole class. Run full instead.
+      FS_LOG(kWarn) << "fault plan active: running " << config.app
+                    << " without rank collapse";
+    } else {
+      try {
+        return run_native_collapsed(config);
+      } catch (const Error& e) {
+        FS_LOG(kWarn) << "rank collapse unavailable for "
+                      << config.label() << ": " << e.what()
+                      << "; falling back to full simulation";
+      }
+    }
+  }
   FS_LOG(kInfo) << "native run: " << config.app << "/"
                 << apps::dataset_name(config.dataset) << " " << config.ranks
                 << "x" << config.threads
@@ -128,7 +244,7 @@ std::shared_ptr<const Runner::Execution> Runner::execute(
   const Key key{config.app,        static_cast<int>(config.dataset),
                 config.ranks,      config.threads,
                 config.iterations, config.weak_scale,
-                config.seed};
+                config.collapse ? 1 : 0, config.seed};
   std::shared_ptr<Entry> entry;
   std::shared_ptr<trace::TraceStore> store;
   {
@@ -178,6 +294,19 @@ std::shared_ptr<const Runner::Execution> Runner::execute(
           exec.check_value = stored->check_value;
           exec.check_description = std::move(stored->check_description);
           from_disk = true;
+          if (config.collapse) {
+            // The store holds the representative slots; re-derive the
+            // symmetry and assemble the virtual job. A spec that drifted
+            // since the file was written falls back to a native run.
+            try {
+              rehydrate_collapsed(config, exec);
+            } catch (const Error& e) {
+              FS_LOG(kWarn) << "stored collapsed trace rejected for "
+                            << config.label() << ": " << e.what();
+              exec = Execution{};
+              from_disk = false;
+            }
+          }
         }
       }
       if (from_disk) {
@@ -246,9 +375,13 @@ ExperimentResult Runner::run(const ExperimentConfig& config, int attempt,
 
   ExperimentResult result;
   result.config = config;
-  result.prediction = trace::predict_job(
-      config.processor, config.compile, binding, exec->canonical,
-      trace::PredictMemo{&codegen_cache_, &eval_cache_});
+  const trace::PredictMemo memo{&codegen_cache_, &eval_cache_};
+  result.prediction =
+      exec->is_collapsed
+          ? trace::predict_job(config.processor, config.compile, binding,
+                               exec->collapsed, memo)
+          : trace::predict_job(config.processor, config.compile, binding,
+                               exec->canonical, memo);
   result.job_trace = exec->job_trace;
   result.verified = exec->verified;
   result.check_value = exec->check_value;

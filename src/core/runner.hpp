@@ -101,6 +101,22 @@ class Runner {
     return disk_writes_.load(std::memory_order_relaxed);
   }
 
+  /// Collapsed-simulation counters (the serve daemon's `stats` verb reports
+  /// them beside the tier counters). `collapse_classes` sums the symmetry
+  /// classes of every collapsed execution admitted (native or disk);
+  /// `collapse_native_ranks` counts the representative ranks actually
+  /// executed natively; `collapse_replicated_ranks` counts the ranks whose
+  /// traces were replicated analytically instead of executed.
+  std::size_t collapse_classes() const {
+    return collapse_classes_.load(std::memory_order_relaxed);
+  }
+  std::size_t collapse_native_ranks() const {
+    return collapse_native_ranks_.load(std::memory_order_relaxed);
+  }
+  std::size_t collapse_replicated_ranks() const {
+    return collapse_replicated_.load(std::memory_order_relaxed);
+  }
+
   /// Memoization counters, deterministic for a given run() call sequence
   /// regardless of thread interleaving (see CodegenCache/EvalCache).
   std::size_t codegen_evals() const { return codegen_cache_.evals(); }
@@ -115,8 +131,15 @@ class Runner {
     trace::JobTrace job_trace;
     /// Canonicalized at cache admission: rank/phase agreement validated once,
     /// ranks grouped into value-identical equivalence classes. Every
-    /// prediction against this execution reads the canonical form.
+    /// prediction against this execution reads the canonical form. For a
+    /// collapsed execution this holds the canonical form of the
+    /// *representative* traces (what the store persists), not the virtual
+    /// job; predictions then read `collapsed` instead.
     trace::CanonicalTrace canonical;
+    /// Collapsed form (is_collapsed only): the virtual job reconstructed
+    /// from one representative per symmetry class.
+    trace::CollapsedTrace collapsed;
+    bool is_collapsed = false;
     bool verified = false;
     double check_value = 0.0;
     std::string check_description;
@@ -136,7 +159,7 @@ class Runner {
   };
   using Key = std::tuple<std::string, int /*dataset*/, int /*ranks*/,
                          int /*threads*/, int /*iterations*/,
-                         int /*weak_scale*/, std::uint64_t>;
+                         int /*weak_scale*/, int /*collapse*/, std::uint64_t>;
 
   /// Returns a completed execution; `tier` receives how it was satisfied.
   /// The shared_ptr keeps the entry alive independent of the cache map, so
@@ -148,6 +171,16 @@ class Runner {
   /// One native run attempt (no caching); throws on failure.
   Execution run_native(const ExperimentConfig& config, int attempt);
 
+  /// Collapsed native run: executes one representative per symmetry class
+  /// and assembles the virtual job. Throws fibersim::Error when the app
+  /// declares no symmetry or a trace cannot be factored on the grid; the
+  /// caller falls back to a full run.
+  Execution run_native_collapsed(const ExperimentConfig& config);
+
+  /// Reconstruct the collapsed form of a disk-loaded execution (the store
+  /// persists representative slots); throws on spec drift.
+  void rehydrate_collapsed(const ExperimentConfig& config, Execution& exec);
+
   std::mutex cache_mutex_;
   std::map<Key, std::shared_ptr<Entry>> cache_;
   /// Tier-2 persistent store; written before the first run(), read under
@@ -156,6 +189,9 @@ class Runner {
   std::atomic<std::size_t> native_runs_{0};
   std::atomic<std::size_t> disk_hits_{0};
   std::atomic<std::size_t> disk_writes_{0};
+  std::atomic<std::size_t> collapse_classes_{0};
+  std::atomic<std::size_t> collapse_native_ranks_{0};
+  std::atomic<std::size_t> collapse_replicated_{0};
 
   // Shared memo layers for the canonical prediction path (thread-safe).
   cg::CodegenCache codegen_cache_;

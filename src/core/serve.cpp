@@ -595,6 +595,7 @@ std::string Server::execute_report(const ServeRequest& req) {
   ctx.iterations = req.iterations;
   ctx.seed = req.seed;
   ctx.jobs = req.jobs > 0 ? req.jobs : SweepPool::default_jobs();
+  ctx.collapse = req.collapse;
   // Same pin as the CLI front end: T3's compiler study only exists on the
   // small datasets. Keeps serve output byte-identical to `fibersim report`.
   if (to_lower(entry.id) == "t3") ctx.dataset = apps::Dataset::kSmall;
@@ -699,6 +700,11 @@ std::string Server::stats_json() const {
          u64_field("codegen_hits", runner_.codegen_hits()) + "," +
          u64_field("exec_lookups", runner_.exec_lookups()) + "," +
          u64_field("exec_hits", runner_.exec_hits()) + "},";
+  out += "\"collapse\":{" +
+         u64_field("classes", runner_.collapse_classes()) + "," +
+         u64_field("native_ranks", runner_.collapse_native_ranks()) + "," +
+         u64_field("replicated_ranks",
+                   runner_.collapse_replicated_ranks()) + "},";
   const std::shared_ptr<trace::TraceStore>& store = runner_.trace_store();
   if (store != nullptr) {
     const trace::TraceStore::Stats ts = store->stats();

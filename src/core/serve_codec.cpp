@@ -92,6 +92,8 @@ std::string parse_serve_request(std::string_view line, ServeRequest& req) {
           problem = flag_u64(key, token, &req.config.seed);
         } else if (key == "weak_scale") {
           problem = flag_int(key, token, 1, &req.config.weak_scale);
+        } else if (key == "collapse") {
+          problem = flag_bool(key, token, &req.config.collapse);
         } else {
           return "unknown predict field: '" + key + "'";
         }
@@ -110,6 +112,8 @@ std::string parse_serve_request(std::string_view line, ServeRequest& req) {
           problem = flag_int(key, token, 1, &req.jobs);
         } else if (key == "format") {
           req.format = parse_report_format(token);
+        } else if (key == "collapse") {
+          problem = flag_bool(key, token, &req.collapse);
         } else {
           return "unknown report field: '" + key + "'";
         }

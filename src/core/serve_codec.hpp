@@ -9,8 +9,12 @@
 //   {"verb":"ping"}
 //   {"verb":"stats"}
 //   {"verb":"predict","app":"ffvc","dataset":"small","ranks":4,"threads":2}
+//   {"verb":"predict","app":"ffvc","ranks":4,"collapse":"on"}
 //   {"verb":"report","report":"T1","apps":"ffvc","dataset":"small",
 //    "iterations":1,"format":"json"}
+//
+// The optional "collapse" field ("on"/"off") mirrors --collapse-ranks: the
+// execution collapses symmetric ranks, the payload stays byte-identical.
 //
 // All field values pass through the same checked parsers as the CLI flags
 // (core::flag_int / parse_dataset / ...): non-numeric, trailing-garbage and
@@ -63,6 +67,9 @@ struct ServeRequest {
   std::uint64_t seed = 42;
   int jobs = 0;  ///< 0 = SweepPool::default_jobs()
   ReportFormat format = ReportFormat::kText;
+  /// Run the report's sweep points collapsed (see ReportContext::collapse);
+  /// the payload is byte-identical either way.
+  bool collapse = false;
 };
 
 /// Parse one request line. Returns "" and fills `req` on success, else a

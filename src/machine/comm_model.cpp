@@ -1,13 +1,33 @@
 #include "machine/comm_model.hpp"
 
 #include <cmath>
+#include <cstdlib>
 
 #include "common/error.hpp"
 
 namespace fibersim::machine {
 
-CommCostModel::CommCostModel(const ProcessorConfig& cfg) : cfg_(cfg) {
+CommCostModel::CommCostModel(const ProcessorConfig& cfg, int nodes)
+    : cfg_(cfg), torus_(nodes) {
   cfg_.validate();
+}
+
+double CommCostModel::remote_latency_seconds(int hops) const {
+  return cfg_.net.base_latency_us * 1e-6 +
+         static_cast<double>(hops) * cfg_.net.hop_latency_ns * 1e-9;
+}
+
+double CommCostModel::intra_socket_latency_seconds(int numa_a,
+                                                   int numa_b) const {
+  const double base = cfg_.intra_node_msg_latency_ns * 1e-9;
+  const int per_socket = cfg_.shape.numa_per_socket;
+  if (per_socket <= 1) return base;
+  // Position on the socket's CMG ring; shortest way around.
+  const int a = numa_a % per_socket;
+  const int b = numa_b % per_socket;
+  const int direct = std::abs(a - b);
+  const int hops = std::min(direct, per_socket - direct);
+  return base + static_cast<double>(hops) * cfg_.inter_numa_latency_ns * 1e-9;
 }
 
 double CommCostModel::latency_seconds(topo::Distance distance) const {
@@ -23,7 +43,9 @@ double CommCostModel::latency_seconds(topo::Distance distance) const {
     case topo::Distance::kSameNode:
       return base + cfg_.inter_socket_latency_ns * 1e-9;
     case topo::Distance::kRemoteNode:
-      return cfg_.network_latency_us * 1e-6;
+      // Without a concrete route, assume the torus diameter — what a
+      // job-spanning collective's farthest pair pays.
+      return remote_latency_seconds(torus_.diameter_hops());
   }
   return base;
 }
@@ -41,7 +63,7 @@ double CommCostModel::bandwidth(topo::Distance distance) const {
       return cfg_.inter_socket_bw > 0.0 ? cfg_.inter_socket_bw
                                         : cfg_.numa_mem_bw / 2.0;
     case topo::Distance::kRemoteNode:
-      return cfg_.network_bw;
+      return cfg_.net.injection_bw;
   }
   return cfg_.numa_mem_bw / 2.0;
 }

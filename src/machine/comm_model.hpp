@@ -5,8 +5,17 @@
 // are costed as log-round algorithms over the participating ranks using the
 // widest distance in the communicator — the same first-order model used in
 // LogP-style analyses.
+//
+// The inter-node tier is hierarchical (machine::TorusMap): remote latency is
+// the fabric base latency plus per-hop latency over the torus — callers that
+// know the actual hop count use remote_latency_seconds(hops); the
+// distance-class APIs assume the torus diameter, the conservative bound a
+// collective spanning the whole job sees. The intra-socket tier models the
+// A64FX's CMG ring: crossing between NUMA domains of one socket pays the
+// inter-NUMA hop latency once per ring hop (intra_socket_latency_seconds).
 #pragma once
 
+#include "machine/network_model.hpp"
 #include "machine/processor.hpp"
 #include "topo/topology.hpp"
 
@@ -14,13 +23,26 @@ namespace fibersim::machine {
 
 class CommCostModel {
  public:
-  explicit CommCostModel(const ProcessorConfig& cfg);
+  /// `nodes` sizes the torus the remote tier runs over; 1 (the default)
+  /// degenerates to a diameter-0 fabric: remote cost is base latency +
+  /// injection bandwidth, the pre-hierarchical behaviour.
+  explicit CommCostModel(const ProcessorConfig& cfg, int nodes = 1);
 
   /// One point-to-point message of `bytes` across `distance`.
   double message_seconds(double bytes, topo::Distance distance) const;
 
   double latency_seconds(topo::Distance distance) const;
   double bandwidth(topo::Distance distance) const;
+
+  /// Remote message latency for a known torus route length.
+  double remote_latency_seconds(int hops) const;
+  /// Bandwidth of one directed torus link (the contention denominator).
+  double link_bandwidth() const { return cfg_.net.link_bw; }
+  /// Latency between two NUMA domains of one socket: ring hops on the
+  /// on-chip network (domain ids are node-local, [0, numa_per_node)).
+  double intra_socket_latency_seconds(int numa_a, int numa_b) const;
+
+  const TorusMap& torus() const { return torus_; }
 
   /// Cost of a `ranks`-way collective moving `bytes` per rank, spanning
   /// `distance`: rounds(log2) * message cost, the classic binomial bound.
@@ -33,6 +55,7 @@ class CommCostModel {
 
  private:
   ProcessorConfig cfg_;
+  TorusMap torus_;
 };
 
 }  // namespace fibersim::machine

@@ -1,0 +1,132 @@
+#include "machine/network_model.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/error.hpp"
+
+namespace fibersim::machine {
+
+std::array<int, 3> balanced_dims3(int nodes) {
+  FS_REQUIRE(nodes >= 1, "torus needs at least one node");
+  // Same greedy rule as mp::dims_create (largest prime factor onto the
+  // currently smallest dimension), implemented locally so the machine layer
+  // stays independent of mp: torus shapes match the grids apps build.
+  std::vector<int> factors;
+  int n = nodes;
+  for (int p = 2; p * p <= n; ++p) {
+    while (n % p == 0) {
+      factors.push_back(p);
+      n /= p;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  std::sort(factors.rbegin(), factors.rend());
+  std::array<int, 3> dims = {1, 1, 1};
+  for (const int f : factors) {
+    *std::min_element(dims.begin(), dims.end()) *= f;
+  }
+  std::sort(dims.begin(), dims.end(), std::greater<int>());
+  return dims;
+}
+
+TorusMap::TorusMap(int nodes) : nodes_(nodes), dims_(balanced_dims3(nodes)) {}
+
+std::array<int, 3> TorusMap::coords_of(int node) const {
+  FS_REQUIRE(node >= 0 && node < nodes_, "torus node out of range");
+  // Row-major: x slowest, z fastest.
+  const int yz = dims_[1] * dims_[2];
+  return {node / yz, (node / dims_[2]) % dims_[1], node % dims_[2]};
+}
+
+int TorusMap::node_of(const std::array<int, 3>& coords) const {
+  return (coords[0] * dims_[1] + coords[1]) * dims_[2] + coords[2];
+}
+
+namespace {
+/// Signed shortest-wrap displacement from `from` to `to` on a ring of `n`;
+/// ties (exactly half way) break positive.
+int ring_step(int from, int to, int n) {
+  int fwd = (to - from + n) % n;       // steps in the positive direction
+  const int bwd = n - fwd;             // steps in the negative direction
+  if (fwd == 0) return 0;
+  return fwd <= bwd ? fwd : -bwd;
+}
+}  // namespace
+
+int TorusMap::hops(int a, int b) const {
+  const std::array<int, 3> ca = coords_of(a);
+  const std::array<int, 3> cb = coords_of(b);
+  int h = 0;
+  for (int d = 0; d < 3; ++d) {
+    h += std::abs(ring_step(ca[static_cast<std::size_t>(d)],
+                            cb[static_cast<std::size_t>(d)],
+                            dims_[static_cast<std::size_t>(d)]));
+  }
+  return h;
+}
+
+int TorusMap::diameter_hops() const {
+  int h = 0;
+  for (const int n : dims_) h += n / 2;
+  return h;
+}
+
+void TorusMap::route_links(int a, int b, std::vector<int>* out) const {
+  std::array<int, 3> cur = coords_of(a);
+  const std::array<int, 3> dst = coords_of(b);
+  for (int d = 0; d < 3; ++d) {
+    const int n = dims_[static_cast<std::size_t>(d)];
+    int step = ring_step(cur[static_cast<std::size_t>(d)],
+                         dst[static_cast<std::size_t>(d)], n);
+    const int dir = step > 0 ? +1 : -1;
+    while (step != 0) {
+      const int src_node = node_of(cur);
+      out->push_back(src_node * 6 + d * 2 + (dir > 0 ? 0 : 1));
+      cur[static_cast<std::size_t>(d)] =
+          (cur[static_cast<std::size_t>(d)] + dir + n) % n;
+      step -= dir;
+    }
+  }
+}
+
+void LinkContention::add_flow(int src_node, int dst_node,
+                              std::uint64_t bytes) {
+  FS_REQUIRE(!sealed_, "contention map is sealed");
+  if (src_node == dst_node || bytes == 0) return;
+  flows_[{src_node, dst_node}] += bytes;
+}
+
+void LinkContention::seal() {
+  FS_REQUIRE(!sealed_, "contention map is sealed");
+  sealed_ = true;
+  if (flows_.empty()) return;
+  link_load_.assign(static_cast<std::size_t>(torus_->link_count()), 0);
+  std::vector<int> links;
+  for (const auto& [pair, bytes] : flows_) {
+    links.clear();
+    torus_->route_links(pair.first, pair.second, &links);
+    for (const int link : links) {
+      std::uint64_t& load = link_load_[static_cast<std::size_t>(link)];
+      load += bytes;
+      max_link_load_ = std::max(max_link_load_, load);
+    }
+  }
+}
+
+std::uint64_t LinkContention::foreign_bytes(int src_node, int dst_node) const {
+  FS_REQUIRE(sealed_, "contention map must be sealed first");
+  if (src_node == dst_node) return 0;
+  const auto it = flows_.find({src_node, dst_node});
+  if (it == flows_.end()) return 0;
+  std::vector<int> links;
+  torus_->route_links(src_node, dst_node, &links);
+  std::uint64_t worst = 0;
+  for (const int link : links) {
+    const std::uint64_t load = link_load_[static_cast<std::size_t>(link)];
+    worst = std::max(worst, load - it->second);
+  }
+  return worst;
+}
+
+}  // namespace fibersim::machine

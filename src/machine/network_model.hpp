@@ -1,0 +1,87 @@
+// Hierarchical inter-node network model: a Tofu-class 3-D torus with
+// dimension-ordered routing and per-link contention.
+//
+// Nodes are laid out on a balanced 3-D torus (the same largest-first
+// factorisation rule the rank grid uses, implemented locally so the machine
+// layer stays independent of mp). A message from node a to node b takes the
+// shortest-wrap route dimension by dimension (x, then y, then z; ties break
+// to the positive direction), paying NetworkConfig::base_latency_us once
+// plus hop_latency_ns per hop. Bytes cross the source node's injection port
+// at injection_bw, and every directed torus link on the route at link_bw.
+//
+// Contention is modelled per phase: LinkContention aggregates every
+// inter-node flow of the phase, routes each distinct node pair once, and
+// charges a pair for the *foreign* bytes sharing its busiest link — the
+// bottleneck-link approximation. More traffic on a shared link can only
+// raise (never lower) a flow's cost; a monotonicity test in
+// tests/test_machine.cpp pins that property.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "machine/processor.hpp"
+
+namespace fibersim::machine {
+
+/// Factor `nodes` into three balanced dimensions, largest first.
+std::array<int, 3> balanced_dims3(int nodes);
+
+/// Node coordinates and routes on the 3-D torus.
+class TorusMap {
+ public:
+  explicit TorusMap(int nodes);
+
+  int nodes() const { return nodes_; }
+  const std::array<int, 3>& dims() const { return dims_; }
+  std::array<int, 3> coords_of(int node) const;
+  int node_of(const std::array<int, 3>& coords) const;
+
+  /// Hop count of the dimension-ordered shortest-wrap route a -> b.
+  int hops(int a, int b) const;
+  /// Worst-case hop count between any two nodes.
+  int diameter_hops() const;
+
+  /// Directed link ids along the route a -> b, appended to `out` (not
+  /// cleared). A link id is node * 6 + dim * 2 + (dir > 0 ? 0 : 1), where
+  /// `node` is the link's source.
+  void route_links(int a, int b, std::vector<int>* out) const;
+  int link_count() const { return nodes_ * 6; }
+
+ private:
+  int nodes_ = 1;
+  std::array<int, 3> dims_ = {1, 1, 1};
+};
+
+/// Per-phase link contention: aggregate flows, seal, then query each pair's
+/// foreign bytes (the traffic it shares its busiest route link with).
+class LinkContention {
+ public:
+  explicit LinkContention(const TorusMap* torus) : torus_(torus) {}
+
+  /// Accumulate `bytes` flowing src_node -> dst_node (ignored when equal).
+  void add_flow(int src_node, int dst_node, std::uint64_t bytes);
+  /// Route every distinct pair once and build per-link loads.
+  void seal();
+  bool sealed() const { return sealed_; }
+
+  /// Bytes of *other* pairs' traffic on the busiest link of this pair's
+  /// route: max over route links of (link load - this pair's bytes).
+  /// Zero for self-flows, unknown pairs and single-node tori.
+  std::uint64_t foreign_bytes(int src_node, int dst_node) const;
+
+  /// Total load of the most loaded directed link (diagnostics).
+  std::uint64_t max_link_load() const { return max_link_load_; }
+
+ private:
+  const TorusMap* torus_;
+  std::map<std::pair<int, int>, std::uint64_t> flows_;
+  std::vector<std::uint64_t> link_load_;
+  std::uint64_t max_link_load_ = 0;
+  bool sealed_ = false;
+};
+
+}  // namespace fibersim::machine

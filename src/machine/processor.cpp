@@ -25,6 +25,10 @@ void ProcessorConfig::validate() const {
   FS_REQUIRE(l1.capacity_bytes > 0.0 && l2.capacity_bytes > 0.0,
              "cache capacities must be positive");
   FS_REQUIRE(fp_latency_cycles >= 1.0, "fp latency must be >= 1 cycle");
+  FS_REQUIRE(net.injection_bw > 0.0 && net.link_bw > 0.0,
+             "network bandwidths must be positive");
+  FS_REQUIRE(net.base_latency_us >= 0.0 && net.hop_latency_ns >= 0.0,
+             "network latencies must be non-negative");
 }
 
 const char* power_mode_name(PowerMode mode) {
@@ -81,8 +85,11 @@ ProcessorConfig a64fx() {
   cfg.inter_numa_bw = 115.0 * kGB;  // on-chip ring between CMGs
   cfg.inter_numa_latency_ns = 60.0;
   cfg.inter_socket_bw = 0.0;  // single socket
-  cfg.network_bw = 6.8e9 * 4;  // Tofu-D, 4 usable lanes
-  cfg.network_latency_us = 0.9;
+  // Tofu-D: 6.8 GB/s per link, 4 simultaneously usable lanes at injection.
+  cfg.net.injection_bw = 6.8e9 * 4;
+  cfg.net.link_bw = 6.8e9;
+  cfg.net.base_latency_us = 0.9;
+  cfg.net.hop_latency_ns = 100.0;
   cfg.barrier_hop_ns_same_numa = 45.0;   // hardware barrier assist
   cfg.barrier_hop_ns_cross_numa = 170.0;
   cfg.watts_base = 40.0;
@@ -113,8 +120,10 @@ ProcessorConfig skylake8168_dual() {
   cfg.inter_numa_latency_ns = 130.0;
   cfg.inter_socket_bw = 41.6 * kGB;
   cfg.inter_socket_latency_ns = 130.0;
-  cfg.network_bw = 12.5e9;  // EDR InfiniBand
-  cfg.network_latency_us = 1.2;
+  cfg.net.injection_bw = 12.5e9;  // EDR InfiniBand
+  cfg.net.link_bw = 12.5e9;
+  cfg.net.base_latency_us = 1.2;
+  cfg.net.hop_latency_ns = 100.0;
   cfg.barrier_hop_ns_same_numa = 60.0;
   cfg.barrier_hop_ns_cross_numa = 250.0;
   cfg.barrier_hop_ns_cross_socket = 250.0;
@@ -146,8 +155,10 @@ ProcessorConfig thunderx2_dual() {
   cfg.inter_numa_latency_ns = 150.0;
   cfg.inter_socket_bw = 38.0 * kGB;
   cfg.inter_socket_latency_ns = 150.0;
-  cfg.network_bw = 12.5e9;
-  cfg.network_latency_us = 1.2;
+  cfg.net.injection_bw = 12.5e9;
+  cfg.net.link_bw = 12.5e9;
+  cfg.net.base_latency_us = 1.2;
+  cfg.net.hop_latency_ns = 100.0;
   cfg.barrier_hop_ns_same_numa = 70.0;
   cfg.barrier_hop_ns_cross_numa = 280.0;
   cfg.barrier_hop_ns_cross_socket = 280.0;
@@ -179,8 +190,10 @@ ProcessorConfig broadwell_dual() {
   cfg.inter_numa_latency_ns = 135.0;
   cfg.inter_socket_bw = 38.4 * kGB;
   cfg.inter_socket_latency_ns = 135.0;
-  cfg.network_bw = 12.5e9;
-  cfg.network_latency_us = 1.3;
+  cfg.net.injection_bw = 12.5e9;
+  cfg.net.link_bw = 12.5e9;
+  cfg.net.base_latency_us = 1.3;
+  cfg.net.hop_latency_ns = 100.0;
   cfg.barrier_hop_ns_same_numa = 65.0;
   cfg.barrier_hop_ns_cross_numa = 260.0;
   cfg.barrier_hop_ns_cross_socket = 260.0;

@@ -29,6 +29,24 @@ struct CacheLevel {
   friend bool operator==(const CacheLevel&, const CacheLevel&) = default;
 };
 
+/// Hierarchical fabric parameters (Tofu-D / InfiniBand class). Nodes are
+/// laid out on a 3-D torus (machine::TorusMap); a message pays the base
+/// latency plus a per-hop latency along its dimension-ordered route, its
+/// bytes cross the node injection port, and shared torus links add
+/// contention (see machine::NetworkModel).
+struct NetworkConfig {
+  /// Node injection bandwidth, bytes/s (all lanes of the NIC/TNI combined).
+  double injection_bw = 6.8e9;
+  /// Bandwidth of one directed torus link, bytes/s.
+  double link_bw = 6.8e9;
+  /// End-to-end software + first-hop latency of a remote message.
+  double base_latency_us = 1.0;
+  /// Added latency per additional torus hop.
+  double hop_latency_ns = 100.0;
+
+  friend bool operator==(const NetworkConfig&, const NetworkConfig&) = default;
+};
+
 struct ProcessorConfig {
   std::string name;
   topo::NodeShape shape;
@@ -58,9 +76,9 @@ struct ProcessorConfig {
   /// Socket interconnect (only meaningful for multi-socket shapes).
   double inter_socket_bw = 0.0;
   double inter_socket_latency_ns = 0.0;
-  /// Node injection bandwidth / latency of the fabric (Tofu-D / IB class).
-  double network_bw = 6.8e9;
-  double network_latency_us = 1.0;
+  /// Hierarchical fabric model (replaces the old scalar network_bw /
+  /// network_latency_us pair).
+  NetworkConfig net;
   /// Base latency of an intra-node MPI message (matching + two copies);
   /// distance-specific hop latencies are added on top of this.
   double intra_node_msg_latency_ns = 300.0;

@@ -64,14 +64,18 @@ inline void mat_dag_vec_acc(const double* m, const double* v, double* out) {
   }
 }
 
-std::array<std::int64_t, 4> extents_for(const RunContext& ctx) {
+std::array<std::int64_t, 4> extents_for(Dataset dataset, int weak_scale) {
   // The weak-scale factor stretches the first lattice dimension, keeping
   // total work proportional to it.
   std::array<std::int64_t, 4> ext =
-      ctx.dataset == Dataset::kSmall ? std::array<std::int64_t, 4>{8, 8, 8, 8}
-                                     : std::array<std::int64_t, 4>{12, 12, 12, 12};
-  ext[0] *= ctx.weak_scale;
+      dataset == Dataset::kSmall ? std::array<std::int64_t, 4>{8, 8, 8, 8}
+                                 : std::array<std::int64_t, 4>{12, 12, 12, 12};
+  ext[0] *= weak_scale;
   return ext;
+}
+
+std::array<std::int64_t, 4> extents_for(const RunContext& ctx) {
+  return extents_for(ctx.dataset, ctx.weak_scale);
 }
 
 class CcsQcdMini final : public Miniapp {
@@ -79,6 +83,17 @@ class CcsQcdMini final : public Miniapp {
   std::string name() const override { return "ccs_qcd"; }
   std::string description() const override {
     return "4-D lattice Hermitian hopping-operator CG (CCS-QCD kernel)";
+  }
+
+  mp::CollapseSpec collapse_spec(Dataset dataset,
+                                 int weak_scale) const override {
+    const std::array<std::int64_t, 4> ext = extents_for(dataset, weak_scale);
+    mp::CollapseSpec spec;
+    spec.kind = mp::CollapseSpec::Kind::kCart;
+    spec.ndims = 4;
+    spec.periodic = true;
+    spec.global = ext;
+    return spec;
   }
 
   RunResult run(const RunContext& ctx) const override {

@@ -19,11 +19,15 @@ struct Extents {
   std::int64_t nx, ny, nz;
 };
 
-Extents extents_for(const RunContext& ctx) {
-  Extents ext = ctx.dataset == Dataset::kSmall ? Extents{24, 24, 24}
-                                               : Extents{48, 48, 40};
-  ext.nx *= ctx.weak_scale;
+Extents extents_for(Dataset dataset, int weak_scale) {
+  Extents ext = dataset == Dataset::kSmall ? Extents{24, 24, 24}
+                                           : Extents{48, 48, 40};
+  ext.nx *= weak_scale;
   return ext;
+}
+
+Extents extents_for(const RunContext& ctx) {
+  return extents_for(ctx.dataset, ctx.weak_scale);
 }
 
 constexpr int kCgIters = 6;
@@ -42,6 +46,17 @@ class FfbMini final : public Miniapp {
   std::string name() const override { return "ffb"; }
   std::string description() const override {
     return "unstructured CSR SpMV conjugate gradient (FFB-MINI kernel)";
+  }
+
+  mp::CollapseSpec collapse_spec(Dataset dataset,
+                                 int weak_scale) const override {
+    const Extents ext = extents_for(dataset, weak_scale);
+    mp::CollapseSpec spec;
+    spec.kind = mp::CollapseSpec::Kind::kCart;
+    spec.ndims = 3;
+    spec.periodic = false;
+    spec.global = {ext.nx, ext.ny, ext.nz, 0};
+    return spec;
   }
 
   RunResult run(const RunContext& ctx) const override {

@@ -18,14 +18,18 @@ struct Extents {
   std::int64_t nx, ny, nz;
 };
 
-Extents extents_for(const RunContext& ctx) {
+Extents extents_for(Dataset dataset, int weak_scale) {
   // "Small" is the as-is dataset: per-rank blocks become cache resident at
   // 48 ranks, exactly the regime the paper describes. Weak scaling
   // stretches the slowest-varying dimension.
-  Extents ext = ctx.dataset == Dataset::kSmall ? Extents{24, 24, 24}
-                                               : Extents{56, 48, 48};
-  ext.nx *= ctx.weak_scale;
+  Extents ext = dataset == Dataset::kSmall ? Extents{24, 24, 24}
+                                           : Extents{56, 48, 48};
+  ext.nx *= weak_scale;
   return ext;
+}
+
+Extents extents_for(const RunContext& ctx) {
+  return extents_for(ctx.dataset, ctx.weak_scale);
 }
 
 class FfvcMini final : public Miniapp {
@@ -34,6 +38,17 @@ class FfvcMini final : public Miniapp {
   std::string description() const override {
     return "3-D red/black SOR pressure Poisson + velocity projection "
            "(FFVC-MINI kernel)";
+  }
+
+  mp::CollapseSpec collapse_spec(Dataset dataset,
+                                 int weak_scale) const override {
+    const Extents ext = extents_for(dataset, weak_scale);
+    mp::CollapseSpec spec;
+    spec.kind = mp::CollapseSpec::Kind::kCart;
+    spec.ndims = 3;
+    spec.periodic = false;
+    spec.global = {ext.nx, ext.ny, ext.nz, 0};
+    return spec;
   }
 
   RunResult run(const RunContext& ctx) const override {

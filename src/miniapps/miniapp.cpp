@@ -58,7 +58,7 @@ void validate_context(const RunContext& ctx) {
   FS_REQUIRE(ctx.recorder != nullptr, "RunContext needs a recorder");
   FS_REQUIRE(ctx.iterations >= 1 && ctx.iterations <= 1000,
              "iteration count out of range");
-  FS_REQUIRE(ctx.weak_scale >= 1 && ctx.weak_scale <= 1024,
+  FS_REQUIRE(ctx.weak_scale >= 1 && ctx.weak_scale <= (1 << 20),
              "weak-scale factor out of range");
 }
 

@@ -20,6 +20,7 @@
 
 #include "isa/work_estimate.hpp"
 #include "mp/comm.hpp"
+#include "mp/symmetry.hpp"
 #include "rt/thread_team.hpp"
 #include "trace/recorder.hpp"
 
@@ -58,6 +59,16 @@ class Miniapp {
   virtual std::string description() const = 0;
   /// SPMD body; called concurrently on every rank. Must be re-entrant.
   virtual RunResult run(const RunContext& ctx) const = 0;
+  /// The app's rank decomposition rule for the given input, so the runner
+  /// can collapse structurally identical ranks. Must mirror exactly the
+  /// decomposition run() executes (same extents_for/params_for values);
+  /// the default declares none, which disables collapse for the app.
+  virtual mp::CollapseSpec collapse_spec(Dataset dataset,
+                                         int weak_scale) const {
+    (void)dataset;
+    (void)weak_scale;
+    return {};
+  }
 };
 
 /// Names of all registered miniapps, in the suite's canonical order.

@@ -24,11 +24,15 @@ struct Extents {
   std::int64_t nx, ny, nz;
 };
 
-Extents extents_for(const RunContext& ctx) {
-  Extents ext = ctx.dataset == Dataset::kSmall ? Extents{12, 12, 12}
-                                               : Extents{24, 20, 20};
-  ext.nx *= ctx.weak_scale;
+Extents extents_for(Dataset dataset, int weak_scale) {
+  Extents ext = dataset == Dataset::kSmall ? Extents{12, 12, 12}
+                                           : Extents{24, 20, 20};
+  ext.nx *= weak_scale;
   return ext;
+}
+
+Extents extents_for(const RunContext& ctx) {
+  return extents_for(ctx.dataset, ctx.weak_scale);
 }
 
 class ModylasMini final : public Miniapp {
@@ -36,6 +40,17 @@ class ModylasMini final : public Miniapp {
   std::string name() const override { return "modylas"; }
   std::string description() const override {
     return "cell-list Lennard-Jones molecular dynamics (MODYLAS kernel)";
+  }
+
+  mp::CollapseSpec collapse_spec(Dataset dataset,
+                                 int weak_scale) const override {
+    const Extents ext = extents_for(dataset, weak_scale);
+    mp::CollapseSpec spec;
+    spec.kind = mp::CollapseSpec::Kind::kCart;
+    spec.ndims = 3;
+    spec.periodic = true;
+    spec.global = {ext.nx, ext.ny, ext.nz, 0};
+    return spec;
   }
 
   RunResult run(const RunContext& ctx) const override {

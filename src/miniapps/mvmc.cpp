@@ -191,6 +191,15 @@ class MvmcMini final : public Miniapp {
            "(mVMC kernel)";
   }
 
+  mp::CollapseSpec collapse_spec(Dataset dataset,
+                                 int weak_scale) const override {
+    mp::CollapseSpec spec;
+    spec.kind = mp::CollapseSpec::Kind::kCounts;
+    spec.cyclic_total = static_cast<std::int64_t>(params_for(dataset).walkers) *
+                        weak_scale;
+    return spec;
+  }
+
   RunResult run(const RunContext& ctx) const override {
     validate_context(ctx);
     Params prm = params_for(ctx.dataset);

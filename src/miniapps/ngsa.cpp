@@ -73,6 +73,19 @@ class NgsaMini final : public Miniapp {
     return "banded Smith-Waterman + k-mer histogram (NGS Analyzer kernel)";
   }
 
+  mp::CollapseSpec collapse_spec(Dataset dataset,
+                                 int weak_scale) const override {
+    const Params prm = params_for(dataset);
+    mp::CollapseSpec spec;
+    spec.kind = mp::CollapseSpec::Kind::kCounts;
+    // Reads are distributed cyclically; the k-mer histogram pass slices the
+    // reference proportionally. Both must match for two ranks to collapse.
+    spec.cyclic_total =
+        static_cast<std::int64_t>(prm.reads_total) * weak_scale;
+    spec.slice_total = prm.reference_len;
+    return spec;
+  }
+
   RunResult run(const RunContext& ctx) const override {
     validate_context(ctx);
     Params prm = params_for(ctx.dataset);

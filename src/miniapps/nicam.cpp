@@ -18,11 +18,15 @@ struct Shape {
   int levels;           // vertical
 };
 
-Shape shape_for(const RunContext& ctx) {
-  Shape shp = ctx.dataset == Dataset::kSmall ? Shape{48, 48, 16}
-                                             : Shape{96, 96, 40};
-  shp.ni *= ctx.weak_scale;
+Shape shape_for(Dataset dataset, int weak_scale) {
+  Shape shp = dataset == Dataset::kSmall ? Shape{48, 48, 16}
+                                         : Shape{96, 96, 40};
+  shp.ni *= weak_scale;
   return shp;
+}
+
+Shape shape_for(const RunContext& ctx) {
+  return shape_for(ctx.dataset, ctx.weak_scale);
 }
 
 constexpr double kDiffusion = 0.05;
@@ -34,6 +38,17 @@ class NicamMini final : public Miniapp {
   std::string description() const override {
     return "layered horizontal diffusion + vertical implicit solve "
            "(NICAM-DC kernel)";
+  }
+
+  mp::CollapseSpec collapse_spec(Dataset dataset,
+                                 int weak_scale) const override {
+    const Shape shp = shape_for(dataset, weak_scale);
+    mp::CollapseSpec spec;
+    spec.kind = mp::CollapseSpec::Kind::kCart;
+    spec.ndims = 2;
+    spec.periodic = true;
+    spec.global = {shp.ni, shp.nj, 0, 0};
+    return spec;
   }
 
   RunResult run(const RunContext& ctx) const override {

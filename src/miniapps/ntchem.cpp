@@ -29,6 +29,15 @@ class NtchemMini final : public Miniapp {
     return "distributed blocked DGEMM contraction (NTChem RI-MP2 kernel)";
   }
 
+  mp::CollapseSpec collapse_spec(Dataset dataset,
+                                 int weak_scale) const override {
+    (void)weak_scale;  // repeats the contraction; the row split is over n
+    mp::CollapseSpec spec;
+    spec.kind = mp::CollapseSpec::Kind::kCounts;
+    spec.block_total = dims_for(dataset).n;
+    return spec;
+  }
+
   RunResult run(const RunContext& ctx) const override {
     validate_context(ctx);
     mp::Comm& comm = *ctx.comm;

@@ -9,6 +9,7 @@
 #include "common/string_util.hpp"
 #include "fault/fault.hpp"
 #include "mp/job.hpp"
+#include "mp/symmetry.hpp"
 
 namespace fibersim::mp {
 
@@ -73,20 +74,47 @@ void Comm::send_bytes(int dst, int tag, const void* data, std::size_t bytes) {
   FS_REQUIRE(tag >= 0 && tag < kCollectiveTagBase,
              "user tags must be in [0, 2^24)");
   FS_REQUIRE(bytes == 0 || data != nullptr, "null payload with nonzero size");
-  FS_REQUIRE(dst >= 0 && dst < size_, "peer rank out of range");
+  FS_REQUIRE(dst >= 0 && dst < vsize_, "peer rank out of range");
   fault_op(*state_, rank_);
+  log_.record_send(dst, bytes);
+  if (collapsed_) {
+    // The true destination only exists virtually; queue the payload for the
+    // self-tiling loopback instead. Symmetric exchanges keep every queue at
+    // most one deep per outstanding message; the cap only guards against a
+    // boundary rank's never-received direction growing without bound.
+    std::deque<Buffer>& q = loopback_[tag];
+    q.push_back(Buffer::copy_of(data, bytes));
+    if (q.size() > 8) q.pop_front();
+    return;
+  }
   Message m;
   m.source = rank_;
   m.tag = tag;
   m.payload = Buffer::copy_of(data, bytes);
   deliver(*state_, dst, std::move(m));
-  log_.record_send(dst, bytes);
 }
 
 void Comm::recv_bytes(int src, int tag, void* data, std::size_t bytes) {
-  FS_REQUIRE(src == kAnySource || (src >= 0 && src < size_),
+  FS_REQUIRE(src == kAnySource || (src >= 0 && src < vsize_),
              "source rank out of range");
   fault_op(*state_, rank_);
+  if (collapsed_) {
+    // Self-tiling: the structurally matching message is the one this rank
+    // itself sent under the same tag (its partners are copies of itself).
+    // No queued payload means the virtual partner is a non-periodic
+    // boundary ghost: zero-fill, a Dirichlet truncation.
+    const auto it = loopback_.find(tag);
+    if (it == loopback_.end() || it->second.empty()) {
+      std::memset(data, 0, bytes);
+      return;
+    }
+    Buffer payload = std::move(it->second.front());
+    it->second.pop_front();
+    FS_REQUIRE(payload.size() == bytes,
+               "recv size does not match the sent payload");
+    payload.copy_to(data);
+    return;
+  }
   Message m = mailbox_of(rank_).pop(src, tag);
   FS_REQUIRE(m.payload.size() == bytes,
              "recv size does not match the sent payload");
@@ -101,6 +129,10 @@ void Comm::sendrecv_bytes(int dst, int send_tag, const void* send_data,
 }
 
 bool Comm::probe(int src, int tag) const {
+  if (collapsed_) {
+    const auto it = loopback_.find(tag);
+    return it != loopback_.end() && !it->second.empty();
+  }
   return mailbox_of(rank_).probe(src, tag);
 }
 
@@ -157,7 +189,7 @@ void Comm::barrier() {
 }
 
 void Comm::bcast_bytes(void* data, std::size_t bytes, int root) {
-  FS_REQUIRE(root >= 0 && root < size_, "bcast root out of range");
+  FS_REQUIRE(root >= 0 && root < vsize_, "bcast root out of range");
   FS_REQUIRE(bytes == 0 || data != nullptr, "null payload with nonzero size");
   fault_op(*state_, rank_);
   log_.record_collective(CollectiveKind::kBcast, bytes);
@@ -165,14 +197,19 @@ void Comm::bcast_bytes(void* data, std::size_t bytes, int root) {
       static_cast<int>(log_.collectives[CollectiveKind::kBcast].calls %
                        kCollectiveSeqSlots);
   const int tag = kCollectiveTagBase + seq;
-  const int relrank = (rank_ - root + size_) % size_;
+  // A collapsed bcast runs the same binomial tree over the physical slots
+  // rooted at the root's class slot: the virtual root's buffer *is* its
+  // representative's, and every member of every class observes the data
+  // its full-run counterpart would (all ranks receive the root's bytes).
+  const int eff_root = collapsed_ ? root_slot(root) : root;
+  const int relrank = (rank_ - eff_root + size_) % size_;
   // Binomial tree: receive from parent, forward the received Buffer to all
   // children — the whole tree shares the root's single allocation.
   Buffer payload;
   int mask = 1;
   while (mask < size_) {
     if (relrank & mask) {
-      const int src = (relrank - mask + root) % size_;
+      const int src = (relrank - mask + eff_root) % size_;
       Message m = raw_recv_msg(*state_, rank_, src, tag, bytes);
       m.payload.copy_to(data);
       payload = std::move(m.payload);
@@ -184,7 +221,7 @@ void Comm::bcast_bytes(void* data, std::size_t bytes, int root) {
   mask >>= 1;
   while (mask > 0) {
     if (relrank + mask < size_) {
-      const int dst = (relrank + mask + root) % size_;
+      const int dst = (relrank + mask + eff_root) % size_;
       raw_send_buf(*state_, rank_, dst, tag, payload);
     }
     mask >>= 1;
@@ -248,7 +285,11 @@ void Comm::allreduce_op(std::span<double> data, Op op, CollectiveKind kind) {
 }
 
 void Comm::reduce_sum(std::span<double> data, int root) {
-  FS_REQUIRE(root >= 0 && root < size_, "reduce root out of range");
+  FS_REQUIRE(root >= 0 && root < vsize_, "reduce root out of range");
+  if (collapsed_) {
+    collapsed_reduce_sum(data, root);
+    return;
+  }
   fault_op(*state_, rank_);
   log_.record_collective(CollectiveKind::kReduce, data.size_bytes());
   const int seq =
@@ -277,6 +318,11 @@ void Comm::reduce_sum(std::span<double> data, int root) {
 }
 
 void Comm::allreduce_sum(std::span<double> data) {
+  if (collapsed_) {
+    collapsed_allreduce(data, ReduceMode::kWeightedSum,
+                        CollectiveKind::kAllreduce);
+    return;
+  }
   allreduce_op(data, [](double a, double b) { return a + b; },
                CollectiveKind::kAllreduce);
 }
@@ -287,6 +333,11 @@ double Comm::allreduce_sum(double value) {
 }
 
 double Comm::allreduce_max(double value) {
+  if (collapsed_) {
+    collapsed_allreduce(std::span<double>(&value, 1), ReduceMode::kMax,
+                        CollectiveKind::kAllreduce);
+    return value;
+  }
   allreduce_op(std::span<double>(&value, 1),
                [](double a, double b) { return std::max(a, b); },
                CollectiveKind::kAllreduce);
@@ -294,6 +345,11 @@ double Comm::allreduce_max(double value) {
 }
 
 double Comm::allreduce_min(double value) {
+  if (collapsed_) {
+    collapsed_allreduce(std::span<double>(&value, 1), ReduceMode::kMin,
+                        CollectiveKind::kAllreduce);
+    return value;
+  }
   allreduce_op(std::span<double>(&value, 1),
                [](double a, double b) { return std::min(a, b); },
                CollectiveKind::kAllreduce);
@@ -309,7 +365,11 @@ std::uint64_t Comm::allreduce_sum_u64(std::uint64_t value) {
 
 void Comm::gather_bytes(const void* send, std::size_t bytes, void* recv,
                         int root) {
-  FS_REQUIRE(root >= 0 && root < size_, "gather root out of range");
+  FS_REQUIRE(root >= 0 && root < vsize_, "gather root out of range");
+  if (collapsed_) {
+    collapsed_gather(send, bytes, recv, root);
+    return;
+  }
   fault_op(*state_, rank_);
   log_.record_collective(CollectiveKind::kGather, bytes);
   const int seq =
@@ -331,6 +391,10 @@ void Comm::gather_bytes(const void* send, std::size_t bytes, void* recv,
 }
 
 void Comm::allgather_bytes(const void* send, std::size_t bytes, void* recv) {
+  if (collapsed_) {
+    collapsed_allgather(send, bytes, recv);
+    return;
+  }
   fault_op(*state_, rank_);
   log_.record_collective(CollectiveKind::kAllgather, bytes);
   const int seq =
@@ -356,6 +420,10 @@ void Comm::allgather_bytes(const void* send, std::size_t bytes, void* recv) {
 }
 
 void Comm::alltoall_bytes(const void* send, std::size_t bytes, void* recv) {
+  if (collapsed_) {
+    collapsed_alltoall(send, bytes, recv);
+    return;
+  }
   fault_op(*state_, rank_);
   log_.record_collective(CollectiveKind::kAlltoall, bytes);
   const int seq =
@@ -381,8 +449,12 @@ void Comm::alltoall_bytes(const void* send, std::size_t bytes, void* recv) {
 void Comm::reduce_scatter_sum(std::span<const double> send,
                               std::span<double> recv) {
   const std::size_t block = recv.size();
-  FS_REQUIRE(send.size() == block * static_cast<std::size_t>(size_),
+  FS_REQUIRE(send.size() == block * static_cast<std::size_t>(vsize_),
              "reduce_scatter send buffer must hold size() blocks");
+  if (collapsed_) {
+    collapsed_reduce_scatter(send, recv);
+    return;
+  }
   fault_op(*state_, rank_);
   log_.record_collective(CollectiveKind::kReduceScatter, send.size_bytes());
   const int seq = static_cast<int>(
@@ -422,6 +494,7 @@ void Comm::reduce_scatter_sum(std::span<const double> send,
 }
 
 double Comm::scan_sum(double value) {
+  if (collapsed_) return collapsed_scan_sum(value);
   fault_op(*state_, rank_);
   log_.record_collective(CollectiveKind::kScan, sizeof(double));
   const int seq = static_cast<int>(
@@ -437,6 +510,287 @@ double Comm::scan_sum(double value) {
     raw_send(*state_, rank_, rank_ + 1, tag, &acc, sizeof(double));
   }
   return acc;
+}
+
+// ----- collapsed-mode collective data planes -----
+//
+// Logging above the data plane is identical to the full-run paths (same
+// CollectiveKind, same byte counts), so collapsed traces match full traces
+// bit for bit. The data movement itself runs over the physical slots (one
+// per symmetry class) and weights each slot's contribution by its class
+// population, producing the value the app would compute if every member of
+// the class contributed its representative's bits. The fold always runs at
+// one slot, in ascending class order, and the result is then broadcast —
+// every slot therefore observes identical bits regardless of scheduling.
+
+int Comm::root_slot(int root) const {
+  const RankSymmetry& sym = *state_->collapse;
+  const int cls = sym.class_of(root);
+  FS_REQUIRE(sym.representative(cls) == root,
+             "collapsed collective root must be a class representative");
+  return cls;
+}
+
+void Comm::collapsed_allreduce(std::span<double> data, ReduceMode mode,
+                               CollectiveKind kind) {
+  fault_op(*state_, rank_);
+  log_.record_collective(kind, data.size_bytes());
+  const int seq = static_cast<int>(log_.collectives[kind].calls %
+                                   (kCollectiveSeqSlots / 2));
+  const int tag =
+      kCollectiveTagBase + static_cast<int>(kind) * 100000 + seq * 2;
+  const int btag = tag + 1;
+  const RankSymmetry& sym = *state_->collapse;
+  if (rank_ == 0) {
+    std::vector<double> acc(data.begin(), data.end());
+    if (mode == ReduceMode::kWeightedSum) {
+      const double w0 = static_cast<double>(sym.weight(0));
+      for (double& v : acc) v *= w0;
+    }
+    std::vector<double> incoming(data.size());
+    for (int c = 1; c < size_; ++c) {
+      raw_recv(*state_, rank_, c, tag, incoming.data(), data.size_bytes());
+      switch (mode) {
+        case ReduceMode::kWeightedSum: {
+          const double w = static_cast<double>(sym.weight(c));
+          for (std::size_t i = 0; i < acc.size(); ++i) {
+            acc[i] += w * incoming[i];
+          }
+          break;
+        }
+        case ReduceMode::kMax:
+          for (std::size_t i = 0; i < acc.size(); ++i) {
+            acc[i] = std::max(acc[i], incoming[i]);
+          }
+          break;
+        case ReduceMode::kMin:
+          for (std::size_t i = 0; i < acc.size(); ++i) {
+            acc[i] = std::min(acc[i], incoming[i]);
+          }
+          break;
+      }
+    }
+    std::copy(acc.begin(), acc.end(), data.begin());
+    if (size_ > 1) {
+      Buffer result = Buffer::copy_of(data.data(), data.size_bytes());
+      for (int c = 1; c < size_; ++c) {
+        raw_send_buf(*state_, rank_, c, btag, result);
+      }
+    }
+  } else {
+    raw_send(*state_, rank_, 0, tag, data.data(), data.size_bytes());
+    raw_recv(*state_, rank_, 0, btag, data.data(), data.size_bytes());
+  }
+}
+
+void Comm::collapsed_reduce_sum(std::span<double> data, int root) {
+  fault_op(*state_, rank_);
+  log_.record_collective(CollectiveKind::kReduce, data.size_bytes());
+  const int seq =
+      static_cast<int>(log_.collectives[CollectiveKind::kReduce].calls %
+                       kCollectiveSeqSlots);
+  const int tag = kCollectiveTagBase + 900000 + seq;
+  const RankSymmetry& sym = *state_->collapse;
+  const int rslot = root_slot(root);
+  if (rank_ != rslot) {
+    raw_send(*state_, rank_, rslot, tag, data.data(), data.size_bytes());
+    return;
+  }
+  std::vector<double> acc(data.size(), 0.0);
+  std::vector<double> incoming(data.size());
+  for (int c = 0; c < size_; ++c) {
+    const double* v = data.data();
+    if (c != rslot) {
+      raw_recv(*state_, rank_, c, tag, incoming.data(), data.size_bytes());
+      v = incoming.data();
+    }
+    const double w = static_cast<double>(sym.weight(c));
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += w * v[i];
+  }
+  std::copy(acc.begin(), acc.end(), data.begin());
+}
+
+void Comm::collapsed_gather(const void* send, std::size_t bytes, void* recv,
+                            int root) {
+  fault_op(*state_, rank_);
+  log_.record_collective(CollectiveKind::kGather, bytes);
+  const int seq =
+      static_cast<int>(log_.collectives[CollectiveKind::kGather].calls %
+                       kCollectiveSeqSlots);
+  const int tag = kCollectiveTagBase + 1000000 + seq;
+  const RankSymmetry& sym = *state_->collapse;
+  const int rslot = root_slot(root);
+  if (rank_ != rslot) {
+    raw_send(*state_, rank_, rslot, tag, send, bytes);
+    return;
+  }
+  FS_REQUIRE(recv != nullptr || bytes == 0, "gather root needs a buffer");
+  // Collect one block per class, then expand to all virtual ranks: every
+  // member of a class contributes its representative's block.
+  std::vector<std::byte> blocks(static_cast<std::size_t>(size_) * bytes);
+  for (int c = 0; c < size_; ++c) {
+    std::byte* slot = blocks.data() + static_cast<std::size_t>(c) * bytes;
+    if (c == rslot) {
+      std::memcpy(slot, send, bytes);
+    } else {
+      raw_recv(*state_, rank_, c, tag, slot, bytes);
+    }
+  }
+  auto* out = static_cast<std::byte*>(recv);
+  for (int v = 0; v < vsize_; ++v) {
+    const int c = sym.class_of(v);
+    std::memcpy(out + static_cast<std::size_t>(v) * bytes,
+                blocks.data() + static_cast<std::size_t>(c) * bytes, bytes);
+  }
+}
+
+void Comm::collapsed_allgather(const void* send, std::size_t bytes,
+                               void* recv) {
+  fault_op(*state_, rank_);
+  log_.record_collective(CollectiveKind::kAllgather, bytes);
+  const int seq =
+      static_cast<int>(log_.collectives[CollectiveKind::kAllgather].calls %
+                       kCollectiveSeqSlots);
+  const int tag = kCollectiveTagBase + 2000000 + seq;
+  const int btag = tag + 1;  // directionally disjoint from the next call's tag
+  const RankSymmetry& sym = *state_->collapse;
+  // Gather one block per class at slot 0, broadcast the concatenation, then
+  // every slot expands it over the virtual ranks.
+  std::vector<std::byte> blocks(static_cast<std::size_t>(size_) * bytes);
+  if (rank_ == 0) {
+    for (int c = 0; c < size_; ++c) {
+      std::byte* slot = blocks.data() + static_cast<std::size_t>(c) * bytes;
+      if (c == 0) {
+        std::memcpy(slot, send, bytes);
+      } else {
+        raw_recv(*state_, rank_, c, tag, slot, bytes);
+      }
+    }
+    if (size_ > 1) {
+      Buffer all = Buffer::copy_of(blocks.data(), blocks.size());
+      for (int c = 1; c < size_; ++c) {
+        raw_send_buf(*state_, rank_, c, btag, all);
+      }
+    }
+  } else {
+    raw_send(*state_, rank_, 0, tag, send, bytes);
+    raw_recv(*state_, rank_, 0, btag, blocks.data(), blocks.size());
+  }
+  auto* out = static_cast<std::byte*>(recv);
+  for (int v = 0; v < vsize_; ++v) {
+    const int c = sym.class_of(v);
+    std::memcpy(out + static_cast<std::size_t>(v) * bytes,
+                blocks.data() + static_cast<std::size_t>(c) * bytes, bytes);
+  }
+}
+
+void Comm::collapsed_alltoall(const void* send, std::size_t bytes,
+                              void* recv) {
+  fault_op(*state_, rank_);
+  log_.record_collective(CollectiveKind::kAlltoall, bytes);
+  const int seq =
+      static_cast<int>(log_.collectives[CollectiveKind::kAlltoall].calls %
+                       kCollectiveSeqSlots);
+  const int tag = kCollectiveTagBase + 3000000 + seq;
+  const RankSymmetry& sym = *state_->collapse;
+  const auto* in = static_cast<const std::byte*>(send);
+  // Each slot exchanges with every other slot the block its representative
+  // addresses to that slot's representative, then expands: the block a
+  // virtual rank v would deliver is its class representative's.
+  std::vector<std::byte> blocks(static_cast<std::size_t>(size_) * bytes);
+  for (int c = 0; c < size_; ++c) {
+    if (c == rank_) continue;
+    const std::size_t off =
+        static_cast<std::size_t>(sym.representative(c)) * bytes;
+    raw_send(*state_, rank_, c, tag, in + off, bytes);
+  }
+  for (int c = 0; c < size_; ++c) {
+    std::byte* slot = blocks.data() + static_cast<std::size_t>(c) * bytes;
+    if (c == rank_) {
+      std::memcpy(slot, in + static_cast<std::size_t>(vrank_) * bytes, bytes);
+    } else {
+      raw_recv(*state_, rank_, c, tag, slot, bytes);
+    }
+  }
+  auto* out = static_cast<std::byte*>(recv);
+  for (int v = 0; v < vsize_; ++v) {
+    const int c = sym.class_of(v);
+    std::memcpy(out + static_cast<std::size_t>(v) * bytes,
+                blocks.data() + static_cast<std::size_t>(c) * bytes, bytes);
+  }
+}
+
+double Comm::collapsed_scan_sum(double value) {
+  fault_op(*state_, rank_);
+  log_.record_collective(CollectiveKind::kScan, sizeof(double));
+  const int seq = static_cast<int>(
+      log_.collectives[CollectiveKind::kScan].calls % kCollectiveSeqSlots);
+  const int tag = kCollectiveTagBase + 4000000 + seq;
+  const int btag = tag + 1;  // directionally disjoint from the next call's tag
+  const RankSymmetry& sym = *state_->collapse;
+  // Gather every class's value, broadcast the vector, then each slot forms
+  // its representative's inclusive prefix: members of class c with rank id
+  // at most vrank() each contribute vals[c].
+  std::vector<double> vals(static_cast<std::size_t>(size_));
+  if (rank_ == 0) {
+    vals[0] = value;
+    for (int c = 1; c < size_; ++c) {
+      raw_recv(*state_, rank_, c, tag, &vals[static_cast<std::size_t>(c)],
+               sizeof(double));
+    }
+    if (size_ > 1) {
+      Buffer all = Buffer::copy_of(vals.data(), vals.size() * sizeof(double));
+      for (int c = 1; c < size_; ++c) {
+        raw_send_buf(*state_, rank_, c, btag, all);
+      }
+    }
+  } else {
+    raw_send(*state_, rank_, 0, tag, &value, sizeof(double));
+    raw_recv(*state_, rank_, 0, btag, vals.data(),
+             vals.size() * sizeof(double));
+  }
+  double acc = 0.0;
+  for (int c = 0; c < size_; ++c) {
+    acc += vals[static_cast<std::size_t>(c)] *
+           static_cast<double>(sym.members_at_most(c, vrank_));
+  }
+  return acc;
+}
+
+void Comm::collapsed_reduce_scatter(std::span<const double> send,
+                                    std::span<double> recv) {
+  const std::size_t block = recv.size();
+  fault_op(*state_, rank_);
+  log_.record_collective(CollectiveKind::kReduceScatter, send.size_bytes());
+  const int seq = static_cast<int>(
+      log_.collectives[CollectiveKind::kReduceScatter].calls %
+      (kCollectiveSeqSlots / 2));
+  const int tag = kCollectiveTagBase + 5000000 + seq * 2;
+  const RankSymmetry& sym = *state_->collapse;
+  // Pairwise: every slot needs, from each class, the slice that class's
+  // representative addresses to this slot's representative; the weighted
+  // fold in class order replicates the remaining members' contributions.
+  for (int c = 0; c < size_; ++c) {
+    if (c == rank_) continue;
+    const std::size_t off =
+        static_cast<std::size_t>(sym.representative(c)) * block;
+    raw_send(*state_, rank_, c, tag, send.data() + off,
+             block * sizeof(double));
+  }
+  std::fill(recv.begin(), recv.end(), 0.0);
+  std::vector<double> incoming(block);
+  for (int c = 0; c < size_; ++c) {
+    const double* slice;
+    if (c == rank_) {
+      slice = send.data() + static_cast<std::size_t>(vrank_) * block;
+    } else {
+      raw_recv(*state_, rank_, c, tag, incoming.data(),
+               block * sizeof(double));
+      slice = incoming.data();
+    }
+    const double w = static_cast<double>(sym.weight(c));
+    for (std::size_t i = 0; i < block; ++i) recv[i] += w * slice[i];
+  }
 }
 
 }  // namespace fibersim::mp

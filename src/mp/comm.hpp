@@ -14,6 +14,8 @@
 
 #include <cstddef>
 #include <cstring>
+#include <deque>
+#include <map>
 #include <span>
 #include <vector>
 
@@ -28,8 +30,11 @@ struct JobState;  // shared between the ranks of one Job
 
 class Comm {
  public:
-  int rank() const { return rank_; }
-  int size() const { return size_; }
+  /// Under a collapsed run these are the *virtual* identity: the class
+  /// representative's rank in the full job and the full job's size. The
+  /// app never observes that only one rank per class physically runs.
+  int rank() const { return vrank_; }
+  int size() const { return vsize_; }
 
   // ----- point-to-point -----
   /// Buffered send of raw bytes; returns immediately.
@@ -104,16 +109,54 @@ class Comm {
  private:
   friend class Job;
   Comm(detail::JobState& state, int rank, int size)
-      : state_(&state), rank_(rank), size_(size) {}
+      : state_(&state), rank_(rank), size_(size), vrank_(rank), vsize_(size) {}
+  /// Collapsed-mode communicator: `rank`/`size` are the physical slot and
+  /// slot count (one per symmetry class); `vrank`/`vsize` the virtual
+  /// identity reported to the app.
+  Comm(detail::JobState& state, int rank, int size, int vrank, int vsize)
+      : state_(&state),
+        rank_(rank),
+        size_(size),
+        vrank_(vrank),
+        vsize_(vsize),
+        collapsed_(true) {}
 
   Mailbox& mailbox_of(int rank) const;
   /// Generic elementwise binary-op allreduce over doubles.
   template <typename Op>
   void allreduce_op(std::span<double> data, Op op, CollectiveKind kind);
 
+  // ----- collapsed-mode data planes -----
+  // Logging is identical to the full-run paths; only the data movement is
+  // replaced: p2p becomes a self-tiling loopback, reductions weight each
+  // physical slot by its class population (see job.hpp).
+  enum class ReduceMode { kWeightedSum, kMax, kMin };
+  /// Map a collective root (virtual rank) to its physical slot; the root
+  /// must be a class representative so root-only side effects execute.
+  int root_slot(int root) const;
+  void collapsed_allreduce(std::span<double> data, ReduceMode mode,
+                           CollectiveKind kind);
+  void collapsed_reduce_sum(std::span<double> data, int root);
+  void collapsed_gather(const void* send, std::size_t bytes, void* recv,
+                        int root);
+  void collapsed_allgather(const void* send, std::size_t bytes, void* recv);
+  void collapsed_alltoall(const void* send, std::size_t bytes, void* recv);
+  double collapsed_scan_sum(double value);
+  void collapsed_reduce_scatter(std::span<const double> send,
+                                std::span<double> recv);
+
   detail::JobState* state_;
   int rank_;
   int size_;
+  int vrank_;
+  int vsize_;
+  bool collapsed_ = false;
+  /// Self-tiling loopback: collapsed sends queue their payload here by tag
+  /// and collapsed recvs pop it (FIFO per tag). For symmetric exchange
+  /// patterns this makes the representative's world an exact periodic
+  /// tiling of itself; a recv with no queued payload (a non-periodic
+  /// boundary partner) zero-fills instead.
+  std::map<int, std::deque<Buffer>> loopback_;
   CommLog log_;
 };
 

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "fault/fault.hpp"
+#include "mp/symmetry.hpp"
 
 namespace fibersim::mp {
 
@@ -82,6 +83,69 @@ std::vector<CommLog> Job::run_logged(int ranks, const RankFn& fn,
     // Deterministic pick: best (lowest) ErrorClass, ties to the lowest rank.
     // Which *set* of ranks failed can vary run to run (poison cascades race),
     // but the root-cause classes are stable, so the winner's class is too.
+    std::exception_ptr best;
+    fault::ErrorClass best_class = fault::ErrorClass::kPoison;
+    for (const std::exception_ptr& error : errors) {
+      if (!error) continue;
+      const fault::ErrorClass c = classify_error(error);
+      if (!best || c < best_class) {
+        best = error;
+        best_class = c;
+      }
+    }
+    FS_ASSERT(best, "failed job recorded no rank error");
+    std::rethrow_exception(best);
+  }
+  return logs;
+}
+
+std::vector<CommLog> Job::run_collapsed(const RankSymmetry& symmetry,
+                                        const RankFn& fn) {
+  const int slots = symmetry.classes();
+  FS_REQUIRE(slots >= 1, "collapsed job needs at least one class");
+  FS_REQUIRE(slots <= 4096, "class count unreasonably large");
+  FS_REQUIRE(static_cast<bool>(fn), "rank function must be callable");
+
+  detail::JobState state;
+  state.ranks = slots;
+  state.job_id = g_next_job_id.fetch_add(1, std::memory_order_relaxed);
+  state.collapse = &symmetry;
+  state.mailboxes.reserve(static_cast<std::size_t>(slots));
+  for (int s = 0; s < slots; ++s) {
+    state.mailboxes.push_back(std::make_unique<Mailbox>());
+    state.mailboxes.back()->set_identity(state.job_id, s);
+  }
+
+  std::vector<CommLog> logs(static_cast<std::size_t>(slots));
+  std::mutex error_mutex;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(slots));
+  std::atomic<bool> failed{false};
+
+  auto body = [&](int slot) {
+    // Each slot runs under its class representative's virtual identity; the
+    // app observes rank()/size() of the full job.
+    Comm comm(state, slot, slots, symmetry.representative(slot),
+              symmetry.size());
+    try {
+      fn(comm);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        errors[static_cast<std::size_t>(slot)] = std::current_exception();
+      }
+      failed.store(true, std::memory_order_release);
+      for (auto& mbox : state.mailboxes) mbox->poison();
+    }
+    logs[static_cast<std::size_t>(slot)] = comm.log();
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(slots - 1));
+  for (int s = 1; s < slots; ++s) threads.emplace_back(body, s);
+  body(0);
+  for (std::thread& t : threads) t.join();
+
+  if (failed.load(std::memory_order_acquire)) {
     std::exception_ptr best;
     fault::ErrorClass best_class = fault::ErrorClass::kPoison;
     for (const std::exception_ptr& error : errors) {

@@ -27,6 +27,8 @@ class Session;
 
 namespace fibersim::mp {
 
+class RankSymmetry;
+
 namespace detail {
 struct JobState {
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
@@ -42,6 +44,10 @@ struct JobState {
   std::vector<std::uint64_t> send_seq;
   /// Per-rank communication-op counters (single writer: the rank itself).
   std::vector<std::uint64_t> op_seq;
+  /// Rank-symmetry partition when this is a collapsed run (one physical
+  /// slot per equivalence class), or null for a full run. Owned by the
+  /// caller of Job::run_collapsed.
+  const RankSymmetry* collapse = nullptr;
 };
 }  // namespace detail
 
@@ -58,6 +64,13 @@ class Job {
   static std::vector<CommLog> run_logged(int ranks, const RankFn& fn);
   static std::vector<CommLog> run_logged(int ranks, const RankFn& fn,
                                          const fault::Session* faults);
+
+  /// Collapsed run: executes one physical slot per symmetry class, each with
+  /// the virtual identity (representative rank, full size) of its class.
+  /// Returns one CommLog per class, indexed by class id. Fault injection is
+  /// not supported under collapse (the runner falls back to a full run).
+  static std::vector<CommLog> run_collapsed(const RankSymmetry& symmetry,
+                                            const RankFn& fn);
 };
 
 }  // namespace fibersim::mp

@@ -117,11 +117,18 @@ Binding Binding::make(const Topology& topology, int ranks, int threads_per_rank,
   }
   FS_ASSERT(rank == ranks, "rank distribution mismatch");
 
-  // A placement is only valid if no two threads share a core.
-  std::set<std::pair<int, int>> seen;
+  // A placement is only valid if no two threads share a core. Flat bitmap
+  // over all cores: placements reach 10^6+ ranks under collapsed
+  // simulation, where a node-by-node tree set dominated make() time.
+  std::vector<char> seen(static_cast<std::size_t>(nodes) *
+                             static_cast<std::size_t>(cores_per_node),
+                         0);
   for (const CoreId& c : binding.cores_) {
-    FS_ASSERT(seen.insert({c.node, c.core}).second,
-              "binding assigned two threads to one core");
+    char& slot = seen[static_cast<std::size_t>(c.node) *
+                          static_cast<std::size_t>(cores_per_node) +
+                      static_cast<std::size_t>(c.core)];
+    FS_ASSERT(slot == 0, "binding assigned two threads to one core");
+    slot = 1;
   }
   return binding;
 }

@@ -11,18 +11,71 @@ namespace fibersim::trace {
 
 namespace {
 
-/// Point-to-point communication seconds of one rank in one phase.
-double p2p_seconds(const machine::CommCostModel& model,
-                   const topo::Binding& binding, int rank,
-                   const mp::CommLog& comm) {
-  double seconds = 0.0;
-  for (const auto& [dst, traffic] : comm.sends) {
-    const topo::Distance d = binding.rank_distance(rank, dst);
-    seconds += static_cast<double>(traffic.messages) * model.latency_seconds(d) +
-               static_cast<double>(traffic.bytes) / model.bandwidth(d);
+/// Per-phase point-to-point communication model. Two passes: add_flow()
+/// aggregates every inter-node flow of the phase onto the torus (per
+/// node-pair, routed once by LinkContention), then after seal() each send is
+/// costed with its distance class — torus hop latency + injection bandwidth
+/// + contended-link share for remote sends, CMG-ring hop latency within a
+/// socket, the flat class latencies otherwise.
+class PhaseComm {
+ public:
+  PhaseComm(const machine::CommCostModel& model, const topo::Binding& binding)
+      : model_(model), binding_(binding), contention_(&model.torus()) {}
+
+  void add_flow(int rank, int dst, std::uint64_t bytes) {
+    if (binding_.rank_distance(rank, dst) == topo::Distance::kRemoteNode) {
+      contention_.add_flow(binding_.node_of(rank), binding_.node_of(dst),
+                           bytes);
+    }
   }
-  return seconds;
-}
+  void add_rank_flows(int rank, const mp::CommLog& comm) {
+    for (const auto& [dst, traffic] : comm.sends) {
+      add_flow(rank, dst, traffic.bytes);
+    }
+  }
+  void seal() { contention_.seal(); }
+
+  double send_seconds(int rank, int dst, std::uint64_t messages,
+                      std::uint64_t bytes) const {
+    const topo::Distance d = binding_.rank_distance(rank, dst);
+    switch (d) {
+      case topo::Distance::kRemoteNode: {
+        const int a = binding_.node_of(rank);
+        const int b = binding_.node_of(dst);
+        const int hops = model_.torus().hops(a, b);
+        const double foreign =
+            static_cast<double>(contention_.foreign_bytes(a, b));
+        return static_cast<double>(messages) *
+                   model_.remote_latency_seconds(hops) +
+               static_cast<double>(bytes) / model_.bandwidth(d) +
+               foreign / model_.link_bandwidth();
+      }
+      case topo::Distance::kSameSocket:
+        return static_cast<double>(messages) *
+                   model_.intra_socket_latency_seconds(
+                       binding_.thread_numa(rank, 0),
+                       binding_.thread_numa(dst, 0)) +
+               static_cast<double>(bytes) / model_.bandwidth(d);
+      default:
+        return static_cast<double>(messages) * model_.latency_seconds(d) +
+               static_cast<double>(bytes) / model_.bandwidth(d);
+    }
+  }
+
+  /// Point-to-point seconds of one rank (map iteration: ascending dst).
+  double rank_p2p_seconds(int rank, const mp::CommLog& comm) const {
+    double seconds = 0.0;
+    for (const auto& [dst, traffic] : comm.sends) {
+      seconds += send_seconds(rank, dst, traffic.messages, traffic.bytes);
+    }
+    return seconds;
+  }
+
+ private:
+  const machine::CommCostModel& model_;
+  const topo::Binding& binding_;
+  machine::LinkContention contention_;
+};
 
 /// One cost term per collective kind (per_call x calls, in map order).
 /// Collective cost depends only on the log and the job-wide geometry, so a
@@ -48,11 +101,11 @@ std::vector<double> collective_terms(const machine::CommCostModel& model,
 }
 
 /// Communication seconds of one rank in one phase (naive path).
-double rank_comm_seconds(const machine::CommCostModel& model,
-                         const topo::Binding& binding, int rank,
-                         const mp::CommLog& comm) {
-  double seconds = p2p_seconds(model, binding, rank, comm);
-  const topo::Distance span = binding.job_span();
+double rank_comm_seconds(const PhaseComm& phase_comm,
+                         const machine::CommCostModel& model,
+                         const topo::Binding& binding, topo::Distance span,
+                         int rank, const mp::CommLog& comm) {
+  double seconds = phase_comm.rank_p2p_seconds(rank, comm);
   for (const double term : collective_terms(model, binding.ranks(), span, comm)) {
     seconds += term;
   }
@@ -91,8 +144,9 @@ JobPrediction predict_job(const machine::ProcessorConfig& cfg,
   }
 
   const machine::ExecModel exec(cfg);
-  const machine::CommCostModel comm_model(cfg);
+  const machine::CommCostModel comm_model(cfg, binding.topology().nodes());
   const int threads = binding.threads_per_rank();
+  const topo::Distance job_span = binding.job_span();
 
   JobPrediction out;
   out.phases.reserve(n_phases);
@@ -100,6 +154,14 @@ JobPrediction predict_job(const machine::ProcessorConfig& cfg,
   for (std::size_t p = 0; p < n_phases; ++p) {
     const std::string& phase_name = trace.front()[p].name;
     const bool parallel = trace.front()[p].parallel;
+
+    // Pass A: aggregate the phase's inter-node traffic for contention.
+    PhaseComm phase_comm(comm_model, binding);
+    for (int rank = 0; rank < binding.ranks(); ++rank) {
+      phase_comm.add_rank_flows(rank,
+                                trace[static_cast<std::size_t>(rank)][p].comm);
+    }
+    phase_comm.seal();
 
     std::vector<machine::ThreadWork> thread_work;
     thread_work.reserve(trace.size() * static_cast<std::size_t>(threads));
@@ -138,7 +200,8 @@ JobPrediction predict_job(const machine::ProcessorConfig& cfg,
       }
 
       worst_comm_s = std::max(
-          worst_comm_s, rank_comm_seconds(comm_model, binding, rank, rec.comm));
+          worst_comm_s, rank_comm_seconds(phase_comm, comm_model, binding,
+                                          job_span, rank, rec.comm));
     }
 
     PhasePrediction phase;
@@ -175,7 +238,7 @@ JobPrediction predict_job(const machine::ProcessorConfig& cfg,
              "trace rank count does not match the binding");
 
   const machine::ExecModel exec(cfg);
-  const machine::CommCostModel comm_model(cfg);
+  const machine::CommCostModel comm_model(cfg, binding.topology().nodes());
   const int ranks = binding.ranks();
   const int threads = binding.threads_per_rank();
   const std::uint64_t proc_token =
@@ -237,6 +300,17 @@ JobPrediction predict_job(const machine::ProcessorConfig& cfg,
       class_evals.push_back(std::move(ce));
     }
 
+    // Pass A: aggregate the phase's inter-node traffic for contention, in
+    // the same rank-major order as the naive path (integer accumulation, so
+    // the order only matters for auditability).
+    PhaseComm phase_comm(comm_model, binding);
+    for (int rank = 0; rank < ranks; ++rank) {
+      const std::size_t ci =
+          static_cast<std::size_t>(ph.class_of[static_cast<std::size_t>(rank)]);
+      phase_comm.add_rank_flows(rank, ph.classes[ci].record.comm);
+    }
+    phase_comm.seal();
+
     // Stage 2 — cheap placement replay in the naive rank-major order, so the
     // accumulation sequence (and therefore every output bit) matches the
     // naive path exactly.
@@ -258,8 +332,141 @@ JobPrediction predict_job(const machine::ProcessorConfig& cfg,
             &ce.eval, numa_of[static_cast<std::size_t>(rank) * threads],
             home_of[static_cast<std::size_t>(rank)], 0.0});
       }
-      double comm_s = p2p_seconds(comm_model, binding, rank,
-                                  ph.classes[ci].record.comm);
+      double comm_s =
+          phase_comm.rank_p2p_seconds(rank, ph.classes[ci].record.comm);
+      for (const double term : ce.coll_terms) comm_s += term;
+      worst_comm_s = std::max(worst_comm_s, comm_s);
+    }
+
+    PhasePrediction phase;
+    phase.name = ph.name;
+    phase.timed = ph.timed;
+    phase.time = exec.evaluate_phase_refs(refs);
+    // Per-entry team barriers: one fork-join per phase entry.
+    if (ph.parallel && threads > 1 && ph.entries > 1) {
+      phase.time.barrier_s += static_cast<double>(ph.entries - 1) *
+                              exec.barrier_seconds(threads, widest);
+      phase.time.total_s += static_cast<double>(ph.entries - 1) *
+                            exec.barrier_seconds(threads, widest);
+    }
+    phase.comm_s = worst_comm_s;
+    phase.total_s = phase.time.total_s + phase.comm_s;
+
+    accumulate_phase(out, std::move(phase));
+  }
+  return out;
+}
+
+JobPrediction predict_job(const machine::ProcessorConfig& cfg,
+                          const cg::CompileOptions& opts,
+                          const topo::Binding& binding,
+                          const CollapsedTrace& trace,
+                          const PredictMemo& memo) {
+  FS_REQUIRE(trace.ranks() == binding.ranks(),
+             "collapsed trace rank count does not match the binding");
+
+  const machine::ExecModel exec(cfg);
+  const machine::CommCostModel comm_model(cfg, binding.topology().nodes());
+  const int ranks = binding.ranks();
+  const int threads = binding.threads_per_rank();
+  const std::uint64_t proc_token =
+      memo.exec ? memo.exec->processor_token(cfg) : 0;
+
+  const std::size_t nt = static_cast<std::size_t>(ranks) *
+                         static_cast<std::size_t>(threads);
+  std::vector<int> numa_of(nt);
+  std::vector<int> home_of(ranks);
+  std::vector<double> team_barrier(ranks);
+  topo::Distance widest = topo::Distance::kSameNuma;
+  for (int rank = 0; rank < ranks; ++rank) {
+    for (int t = 0; t < threads; ++t) {
+      numa_of[static_cast<std::size_t>(rank) * threads + t] =
+          binding.thread_numa(rank, t);
+    }
+    home_of[static_cast<std::size_t>(rank)] = binding.home_numa(rank);
+    const topo::Distance span = binding.team_span(rank);
+    team_barrier[static_cast<std::size_t>(rank)] =
+        exec.barrier_seconds(threads, span);
+    widest = std::max(widest, span);
+  }
+  const topo::Distance job_span = binding.job_span();
+
+  JobPrediction out;
+  out.phases.reserve(trace.phase_count());
+  std::vector<machine::ThreadRef> refs;
+  refs.reserve(nt);
+  std::vector<CollapsedTrace::RankSend> sends;  // per-rank scratch
+
+  struct ClassEval {
+    machine::WorkEval eval;
+    std::vector<double> coll_terms;
+  };
+  std::vector<ClassEval> class_evals;
+
+  const mp::RankSymmetry& symmetry = trace.symmetry();
+  for (std::size_t p = 0; p < trace.phase_count(); ++p) {
+    const CollapsedTrace::Phase& ph = trace.phases()[p];
+    const bool fan_out = ph.parallel && threads > 1;
+
+    // Stage 1 — per symmetry class: codegen transform, thread-share scaling,
+    // exec-model work evaluation, collective costs. Work and collective logs
+    // are structural, so the class record stands for every member bitwise.
+    class_evals.clear();
+    class_evals.reserve(ph.classes.size());
+    for (const CollapsedTrace::ClassRecord& cls : ph.classes) {
+      const isa::WorkEstimate generated =
+          memo.codegen ? memo.codegen->apply(opts, cls.record.work,
+                                             isa::work_hash(cls.record.work))
+                       : cg::apply(opts, cls.record.work);
+      const isa::WorkEstimate per_thread =
+          fan_out ? generated.scaled(1.0 / static_cast<double>(threads))
+                  : generated;
+      ClassEval ce;
+      ce.eval = memo.exec
+                    ? memo.exec->work_eval(exec, proc_token, per_thread,
+                                           isa::work_hash(per_thread))
+                    : exec.evaluate_work(per_thread);
+      ce.coll_terms =
+          collective_terms(comm_model, ranks, job_span, cls.record.comm);
+      class_evals.push_back(std::move(ce));
+    }
+
+    // Pass A: every virtual rank's remapped sends feed the contention map —
+    // integer accumulation, identical totals to a full run of the same job.
+    PhaseComm phase_comm(comm_model, binding);
+    for (int rank = 0; rank < ranks; ++rank) {
+      trace.rank_sends(p, rank, &sends);
+      for (const CollapsedTrace::RankSend& s : sends) {
+        phase_comm.add_flow(rank, s.dst, s.bytes);
+      }
+    }
+    phase_comm.seal();
+
+    // Stage 2 — rank-major placement replay. rank_sends() yields the same
+    // ascending-dst order a full run's per-rank send map iterates in, so the
+    // floating-point fold matches the full paths bit for bit.
+    refs.clear();
+    double worst_comm_s = 0.0;
+    for (int rank = 0; rank < ranks; ++rank) {
+      const std::size_t ci = static_cast<std::size_t>(symmetry.class_of(rank));
+      const ClassEval& ce = class_evals[ci];
+      if (fan_out) {
+        for (int t = 0; t < threads; ++t) {
+          refs.push_back(machine::ThreadRef{
+              &ce.eval, numa_of[static_cast<std::size_t>(rank) * threads + t],
+              home_of[static_cast<std::size_t>(rank)],
+              team_barrier[static_cast<std::size_t>(rank)]});
+        }
+      } else {
+        refs.push_back(machine::ThreadRef{
+            &ce.eval, numa_of[static_cast<std::size_t>(rank) * threads],
+            home_of[static_cast<std::size_t>(rank)], 0.0});
+      }
+      trace.rank_sends(p, rank, &sends);
+      double comm_s = 0.0;
+      for (const CollapsedTrace::RankSend& s : sends) {
+        comm_s += phase_comm.send_seconds(rank, s.dst, s.messages, s.bytes);
+      }
       for (const double term : ce.coll_terms) comm_s += term;
       worst_comm_s = std::max(worst_comm_s, comm_s);
     }

@@ -16,6 +16,7 @@
 #include "machine/processor.hpp"
 #include "topo/binding.hpp"
 #include "trace/canonical.hpp"
+#include "trace/collapsed.hpp"
 #include "trace/recorder.hpp"
 
 namespace fibersim::trace {
@@ -78,6 +79,17 @@ JobPrediction predict_job(const machine::ProcessorConfig& cfg,
                           const cg::CompileOptions& opts,
                           const topo::Binding& binding,
                           const CanonicalTrace& trace,
+                          const PredictMemo& memo = {});
+
+/// Predict from a collapsed trace without materialising the expansion:
+/// bit-identical to the full paths on the JobTrace that CollapsedTrace::
+/// expand() would yield, but native execution and stage-1 evaluation cost
+/// O(symmetry classes) while placement replay stays O(ranks x threads) —
+/// the path that makes 10^5-10^6-rank weak-scaling sweeps feasible.
+JobPrediction predict_job(const machine::ProcessorConfig& cfg,
+                          const cg::CompileOptions& opts,
+                          const topo::Binding& binding,
+                          const CollapsedTrace& trace,
                           const PredictMemo& memo = {});
 
 }  // namespace fibersim::trace

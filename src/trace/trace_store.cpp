@@ -27,8 +27,8 @@ namespace {
 //   magic[8]  "FSTRACE\0"
 //   u32       format version (kFormatVersion)
 //   u32       endianness/layout tag (kEndianTag)
-//   key       app, dataset, ranks, threads, iterations, weak_scale, seed,
-//             and the FNV key hash (redundant, checked)
+//   key       app, dataset, ranks, threads, iterations, weak_scale,
+//             collapse, seed, and the FNV key hash (redundant, checked)
 //   u8        verified
 //   f64       check_value            (bit pattern)
 //   str       check_description
@@ -38,7 +38,9 @@ namespace {
 //   u64       canonical fingerprint
 //   u64       FNV-1a of every preceding byte (truncation/corruption check)
 constexpr char kMagic[8] = {'F', 'S', 'T', 'R', 'A', 'C', 'E', '\0'};
-constexpr std::uint32_t kFormatVersion = 1;
+// v2: StoreKey gained the `collapse` discriminator (collapsed executions
+// store representative slots; their files must never satisfy full-run keys).
+constexpr std::uint32_t kFormatVersion = 2;
 constexpr std::uint32_t kEndianTag = 0xA64FC0DE;
 
 constexpr const char* kFilePrefix = "trace-";
@@ -231,6 +233,7 @@ void write_key(Writer& w, const StoreKey& key) {
   w.i32(key.threads);
   w.i32(key.iterations);
   w.i32(key.weak_scale);
+  w.i32(key.collapse);
   w.u64(key.seed);
   w.u64(key.hash());
 }
@@ -243,6 +246,7 @@ StoreKey read_key(Reader& r, std::uint64_t* stored_hash) {
   key.threads = r.i32();
   key.iterations = r.i32();
   key.weak_scale = r.i32();
+  key.collapse = r.i32();
   key.seed = r.u64();
   *stored_hash = r.u64();
   return key;
@@ -258,6 +262,7 @@ std::uint64_t StoreKey::hash() const {
       .i32(threads)
       .i32(iterations)
       .i32(weak_scale)
+      .i32(collapse)
       .u64(seed)
       .value();
 }

@@ -46,6 +46,10 @@ struct StoreKey {
   int threads = 0;
   int iterations = 0;
   int weak_scale = 0;
+  /// 1 when the execution ran collapsed (one representative per symmetry
+  /// class; the stored trace then holds the representative slots, not the
+  /// full virtual job). Collapsed and full executions never alias.
+  int collapse = 0;
   std::uint64_t seed = 0;
 
   bool operator==(const StoreKey&) const = default;

@@ -327,7 +327,7 @@ TEST(Cli, ReportAllJsonIsOneArray) {
 
 TEST(Cli, ReportIdsCoverTheDesignIndex) {
   const auto ids = cli_report_ids();
-  EXPECT_EQ(ids.size(), 16u);
+  EXPECT_EQ(ids.size(), 18u);
 }
 
 // ----- malformed numeric values: every flag, every command -----
@@ -435,6 +435,42 @@ TEST(Cli, BenchFlagParserRejectsMalformedValues) {
     EXPECT_TRUE(parse_report_flags({"--retries", "0"}, flags).empty());
     EXPECT_EQ(flags.ctx.max_retries, 0);
   }
+}
+
+// The rank/thread overrides and the collapse toggle enter sweeps through
+// the same checked parsers: zero, negative, overflow and garbage must come
+// back as one-line errors naming the flag, never as a crash or a silent 0.
+TEST(Cli, ReportRankThreadAndCollapseFlagsValidate) {
+  for (const char* flag : {"--ranks", "--threads"}) {
+    for (const char* bad : kBadInts) {
+      ReportFlags flags;
+      const std::string problem = parse_report_flags({flag, bad}, flags);
+      EXPECT_FALSE(problem.empty()) << flag << "='" << bad << "'";
+      EXPECT_NE(problem.find(flag), std::string::npos);
+    }
+    for (const char* bad : {"0", "-8"}) {
+      ReportFlags flags;
+      EXPECT_FALSE(parse_report_flags({flag, bad}, flags).empty())
+          << flag << "='" << bad << "'";
+    }
+  }
+  for (const char* bad : {"", "maybe", "2", "onn", "-1"}) {
+    ReportFlags flags;
+    const std::string problem =
+        parse_report_flags({"--collapse-ranks", bad}, flags);
+    EXPECT_FALSE(problem.empty()) << "collapse='" << bad << "'";
+    EXPECT_NE(problem.find("--collapse-ranks"), std::string::npos);
+  }
+  ReportFlags flags;
+  EXPECT_TRUE(parse_report_flags({"--ranks", "25600", "--threads", "12",
+                                  "--collapse-ranks", "on"},
+                                 flags)
+                  .empty());
+  EXPECT_EQ(flags.ctx.override_ranks, 25600);
+  EXPECT_EQ(flags.ctx.override_threads, 12);
+  EXPECT_TRUE(flags.ctx.collapse);
+  EXPECT_TRUE(parse_report_flags({"--collapse-ranks", "off"}, flags).empty());
+  EXPECT_FALSE(flags.ctx.collapse);
 }
 
 }  // namespace

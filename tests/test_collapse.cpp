@@ -1,0 +1,333 @@
+// The byte-identity contract of collapsed simulation (DESIGN.md "Collapsed
+// simulation and the hierarchical network model"): wherever a full
+// simulation is feasible, executing one representative rank per symmetry
+// class and replicating the rest analytically must reproduce the full run's
+// trace, its prediction and its report output bit for bit — across every
+// miniapp and dataset. These tests pin that contract at rank counts where
+// both paths run, which is what licenses trusting the collapsed path at
+// 10^5-10^6 ranks where the full path cannot.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/reports.hpp"
+#include "core/runner.hpp"
+#include "miniapps/miniapp.hpp"
+#include "mp/job.hpp"
+#include "mp/symmetry.hpp"
+#include "rt/thread_team.hpp"
+#include "trace/collapsed.hpp"
+#include "trace/predict.hpp"
+#include "trace/recorder.hpp"
+#include "trace/trace_store.hpp"
+
+namespace fibersim {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Unique scratch directory, removed on destruction.
+struct TempDir {
+  explicit TempDir(const std::string& tag) {
+    static std::atomic<int> counter{0};
+    path = fs::temp_directory_path() /
+           ("fibersim-test-" + tag + "-" +
+            std::to_string(static_cast<long>(::getpid())) + "-" +
+            std::to_string(counter.fetch_add(1)));
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  fs::path path;
+  std::string str() const { return path.string(); }
+};
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+// 16 ranks is the smallest count where every app in the suite collapses:
+// the 3-D cart apps (ffvc, ffb) land on a 4x2x2 grid with interior x
+// coordinates (12 classes), the 1-D counts apps all divide evenly (1 class).
+constexpr int kRanks = 16;
+constexpr int kThreads = 2;
+constexpr int kIterations = 1;
+constexpr std::uint64_t kSeed = 42;
+
+trace::JobTrace run_full(const std::string& name, apps::Dataset dataset,
+                         int ranks = kRanks) {
+  trace::JobTrace trace(static_cast<std::size_t>(ranks));
+  mp::Job::run(ranks, [&](mp::Comm& comm) {
+    rt::ThreadTeam team(kThreads);
+    trace::Recorder rec(&comm);
+    apps::RunContext ctx;
+    ctx.comm = &comm;
+    ctx.team = &team;
+    ctx.recorder = &rec;
+    ctx.dataset = dataset;
+    ctx.seed = kSeed;
+    ctx.iterations = kIterations;
+    const auto app = apps::create_miniapp(name);
+    (void)app->run(ctx);
+    trace[static_cast<std::size_t>(comm.rank())] = rec.phases();
+  });
+  return trace;
+}
+
+trace::CollapsedTrace run_collapsed(const std::string& name,
+                                    apps::Dataset dataset,
+                                    int ranks = kRanks) {
+  const mp::CollapseSpec spec =
+      apps::create_miniapp(name)->collapse_spec(dataset, /*weak_scale=*/1);
+  EXPECT_TRUE(spec.collapsible()) << name << " declares no collapse spec";
+  mp::RankSymmetry symmetry = mp::RankSymmetry::build(spec, ranks);
+  trace::JobTrace reps(static_cast<std::size_t>(symmetry.classes()));
+  mp::Job::run_collapsed(symmetry, [&](mp::Comm& comm) {
+    rt::ThreadTeam team(kThreads);
+    trace::Recorder rec(&comm);
+    apps::RunContext ctx;
+    ctx.comm = &comm;
+    ctx.team = &team;
+    ctx.recorder = &rec;
+    ctx.dataset = dataset;
+    ctx.seed = kSeed;
+    ctx.iterations = kIterations;
+    const auto app = apps::create_miniapp(name);
+    (void)app->run(ctx);
+    reps[static_cast<std::size_t>(symmetry.class_of(comm.rank()))] =
+        rec.phases();
+  });
+  return trace::CollapsedTrace::assemble(std::move(symmetry), reps);
+}
+
+struct CollapseCase {
+  std::string app;
+  apps::Dataset dataset;
+};
+
+void PrintTo(const CollapseCase& c, std::ostream* os) {
+  *os << c.app << "_"
+      << (c.dataset == apps::Dataset::kSmall ? "small" : "large");
+}
+
+std::vector<CollapseCase> all_cases() {
+  std::vector<CollapseCase> cases;
+  for (const auto& name : apps::registry_names()) {
+    cases.push_back({name, apps::Dataset::kSmall});
+    cases.push_back({name, apps::Dataset::kLarge});
+  }
+  return cases;
+}
+
+class CollapseByteIdentity : public ::testing::TestWithParam<CollapseCase> {};
+
+// The core contract: CollapsedTrace::expand() equals the JobTrace a full
+// run records, bit for bit, for every rank and phase.
+TEST_P(CollapseByteIdentity, ExpandEqualsFullRun) {
+  const CollapseCase c = GetParam();
+  const trace::JobTrace full = run_full(c.app, c.dataset);
+  const trace::CollapsedTrace collapsed = run_collapsed(c.app, c.dataset);
+  EXPECT_GT(collapsed.native_ranks(), 0);
+  EXPECT_LT(collapsed.native_ranks(), kRanks)
+      << c.app << " collapse saved nothing at " << kRanks << " ranks";
+  const trace::JobTrace expanded = collapsed.expand();
+  ASSERT_EQ(expanded.size(), full.size());
+  for (std::size_t r = 0; r < full.size(); ++r) {
+    ASSERT_EQ(expanded[r].size(), full[r].size()) << "rank " << r;
+    for (std::size_t p = 0; p < full[r].size(); ++p) {
+      EXPECT_TRUE(trace::records_equal(expanded[r][p], full[r][p]))
+          << c.app << " rank " << r << " phase " << full[r][p].name;
+    }
+  }
+}
+
+// The collapsed prediction path never materialises the expansion; it must
+// still produce bit-identical numbers to the naive and canonical paths.
+TEST_P(CollapseByteIdentity, PredictionBitsAgreeAcrossAllThreePaths) {
+  const CollapseCase c = GetParam();
+  const trace::JobTrace full = run_full(c.app, c.dataset);
+  const trace::CollapsedTrace collapsed = run_collapsed(c.app, c.dataset);
+
+  const auto cfg = machine::a64fx();
+  const auto opts = cg::CompileOptions::simd_sched();
+  const topo::Topology topo(cfg.shape);
+  const topo::Binding binding =
+      topo::Binding::make(topo, kRanks, kThreads,
+                          topo::RankAllocPolicy::kBlock,
+                          topo::ThreadBindPolicy::compact());
+
+  const auto naive = trace::predict_job(cfg, opts, binding, full);
+  const auto canonical = trace::predict_job(
+      cfg, opts, binding, trace::CanonicalTrace::build(full));
+  const auto coll = trace::predict_job(cfg, opts, binding, collapsed);
+
+  for (const auto* pred : {&canonical, &coll}) {
+    EXPECT_TRUE(same_bits(pred->total_s, naive.total_s));
+    EXPECT_TRUE(same_bits(pred->compute_s, naive.compute_s));
+    EXPECT_TRUE(same_bits(pred->memory_s, naive.memory_s));
+    EXPECT_TRUE(same_bits(pred->comm_s, naive.comm_s));
+    EXPECT_TRUE(same_bits(pred->barrier_s, naive.barrier_s));
+    EXPECT_TRUE(same_bits(pred->setup_s, naive.setup_s));
+    EXPECT_TRUE(same_bits(pred->flops, naive.flops));
+    ASSERT_EQ(pred->phases.size(), naive.phases.size());
+    for (std::size_t p = 0; p < naive.phases.size(); ++p) {
+      EXPECT_EQ(pred->phases[p].name, naive.phases[p].name);
+      EXPECT_TRUE(same_bits(pred->phases[p].comm_s, naive.phases[p].comm_s))
+          << c.app << " phase " << naive.phases[p].name;
+      EXPECT_TRUE(same_bits(pred->phases[p].total_s, naive.phases[p].total_s))
+          << c.app << " phase " << naive.phases[p].name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAppsAllDatasets, CollapseByteIdentity,
+                         ::testing::ValuesIn(all_cases()),
+                         ::testing::PrintToStringParamName());
+
+// rank_sends must agree with the per-rank maps of the expansion (same dsts,
+// same counts, ascending order) — the prediction path consumes it directly.
+TEST(CollapsedTrace, RankSendsMatchExpandedRecords) {
+  const trace::CollapsedTrace collapsed =
+      run_collapsed("ffvc", apps::Dataset::kSmall);
+  const trace::JobTrace expanded = collapsed.expand();
+  std::vector<trace::CollapsedTrace::RankSend> sends;
+  for (std::size_t p = 0; p < collapsed.phase_count(); ++p) {
+    for (int r = 0; r < collapsed.ranks(); ++r) {
+      collapsed.rank_sends(p, r, &sends);
+      const auto& map = expanded[static_cast<std::size_t>(r)][p].comm.sends;
+      ASSERT_EQ(sends.size(), map.size()) << "rank " << r << " phase " << p;
+      std::size_t i = 0;
+      for (const auto& [dst, flow] : map) {
+        EXPECT_EQ(sends[i].dst, dst);
+        EXPECT_EQ(sends[i].messages, flow.messages);
+        EXPECT_EQ(sends[i].bytes, flow.bytes);
+        ++i;
+      }
+    }
+  }
+}
+
+// ----- runner integration -----
+
+core::ExperimentConfig collapse_config(const std::string& app,
+                                       bool collapse) {
+  core::ExperimentConfig cfg;
+  cfg.app = app;
+  cfg.dataset = apps::Dataset::kSmall;
+  cfg.ranks = kRanks;
+  cfg.threads = kThreads;
+  cfg.iterations = kIterations;
+  cfg.collapse = collapse;
+  return cfg;
+}
+
+TEST(RunnerCollapse, PredictionMatchesFullRunBitForBit) {
+  core::Runner runner;
+  const auto full = runner.run(collapse_config("ffvc", false));
+  const auto coll = runner.run(collapse_config("ffvc", true));
+  EXPECT_TRUE(coll.verified);
+  EXPECT_TRUE(same_bits(coll.seconds(), full.seconds()));
+  EXPECT_TRUE(same_bits(coll.prediction.comm_s, full.prediction.comm_s));
+  EXPECT_TRUE(same_bits(coll.prediction.flops, full.prediction.flops));
+  // Distinct cache keys: the two runs must not have shared an execution.
+  EXPECT_EQ(runner.native_runs(), 2u);
+}
+
+TEST(RunnerCollapse, CountersReportClassesAndReplicatedRanks) {
+  core::Runner runner;
+  (void)runner.run(collapse_config("ffvc", true));
+  const std::size_t classes = runner.collapse_classes();
+  EXPECT_GT(classes, 0u);
+  EXPECT_LT(classes, static_cast<std::size_t>(kRanks));
+  EXPECT_EQ(runner.collapse_native_ranks(), classes);
+  EXPECT_EQ(runner.collapse_replicated_ranks(),
+            static_cast<std::size_t>(kRanks) - classes);
+  // A full run must not move the collapse counters.
+  (void)runner.run(collapse_config("ffvc", false));
+  EXPECT_EQ(runner.collapse_classes(), classes);
+}
+
+TEST(RunnerCollapse, StoreRoundTripRehydratesCollapsedExecution) {
+  TempDir dir("collapse-store");
+  const auto store = std::make_shared<trace::TraceStore>(dir.str());
+
+  core::Runner cold;
+  cold.set_trace_store(store);
+  const auto first = cold.run(collapse_config("modylas", true));
+  EXPECT_EQ(cold.native_runs(), 1u);
+  EXPECT_EQ(cold.disk_writes(), 1u);
+  const std::size_t classes = cold.collapse_classes();
+  EXPECT_GT(classes, 0u);
+
+  // A warm runner loads the representative traces from disk, re-derives the
+  // symmetry and replicates — no native execution, identical prediction.
+  core::Runner warm;
+  warm.set_trace_store(store);
+  const auto second = warm.run(collapse_config("modylas", true));
+  EXPECT_EQ(warm.native_runs(), 0u);
+  EXPECT_EQ(warm.disk_hits(), 1u);
+  EXPECT_TRUE(same_bits(second.seconds(), first.seconds()));
+  EXPECT_EQ(warm.collapse_classes(), classes);
+  EXPECT_EQ(warm.collapse_native_ranks(), 0u);  // nothing executed natively
+  EXPECT_EQ(warm.collapse_replicated_ranks(),
+            static_cast<std::size_t>(kRanks) - classes);
+}
+
+TEST(RunnerCollapse, CollapsedAndFullStoreEntriesAreDistinct) {
+  TempDir dir("collapse-key");
+  const auto store = std::make_shared<trace::TraceStore>(dir.str());
+  core::Runner runner;
+  runner.set_trace_store(store);
+  (void)runner.run(collapse_config("ffvc", true));
+  (void)runner.run(collapse_config("ffvc", false));
+  // The collapse flag is part of the store key: two writes, no false hit.
+  EXPECT_EQ(runner.disk_writes(), 2u);
+  EXPECT_EQ(runner.disk_hits(), 0u);
+}
+
+// ----- report byte-identity -----
+
+std::string render(const TextTable& t) {
+  std::ostringstream os;
+  t.print(os);
+  return os.str();
+}
+
+// The choke point every report funnels through (run_experiments_resilient)
+// flips ExperimentConfig::collapse; the rendered bytes must not move. CI
+// diffs full reports the same way — this is the in-process pin.
+TEST(ReportCollapse, RenderedBytesIdenticalWithAndWithoutCollapse) {
+  core::Runner runner;
+  core::ReportContext ctx;
+  ctx.runner = &runner;
+  ctx.app_names = {"ffvc", "modylas"};
+  ctx.dataset = apps::Dataset::kSmall;
+  ctx.iterations = 1;
+
+  const std::string full = render(core::multinode_scaling_table(ctx, {1, 2}));
+  ctx.collapse = true;
+  const std::string collapsed =
+      render(core::multinode_scaling_table(ctx, {1, 2}));
+  EXPECT_EQ(full, collapsed);
+  EXPECT_GT(runner.collapse_classes(), 0u);
+
+  ctx.collapse = false;
+  const std::string weak_full =
+      render(core::weak_scaling_table(ctx, {1, 2}));
+  ctx.collapse = true;
+  const std::string weak_collapsed =
+      render(core::weak_scaling_table(ctx, {1, 2}));
+  EXPECT_EQ(weak_full, weak_collapsed);
+}
+
+}  // namespace
+}  // namespace fibersim

@@ -431,6 +431,127 @@ TEST(Roofline, PointClassification) {
   EXPECT_FALSE(make_point(cfg, "y", c, 50.0).memory_bound);
 }
 
+// ----- hierarchical network model (torus, contention, CMG ring) -----
+
+TEST(Torus, BalancedDimsLargestFirst) {
+  EXPECT_EQ(balanced_dims3(1), (std::array<int, 3>{1, 1, 1}));
+  EXPECT_EQ(balanced_dims3(5), (std::array<int, 3>{5, 1, 1}));
+  EXPECT_EQ(balanced_dims3(6), (std::array<int, 3>{3, 2, 1}));
+  EXPECT_EQ(balanced_dims3(8), (std::array<int, 3>{2, 2, 2}));
+  EXPECT_EQ(balanced_dims3(12), (std::array<int, 3>{3, 2, 2}));
+  EXPECT_EQ(balanced_dims3(24), (std::array<int, 3>{4, 3, 2}));
+}
+
+TEST(Torus, CoordsRoundTripAndExactHops) {
+  const TorusMap t(8);  // 2 x 2 x 2, row-major, z fastest
+  EXPECT_EQ(t.coords_of(0), (std::array<int, 3>{0, 0, 0}));
+  EXPECT_EQ(t.coords_of(1), (std::array<int, 3>{0, 0, 1}));
+  EXPECT_EQ(t.coords_of(7), (std::array<int, 3>{1, 1, 1}));
+  for (int n = 0; n < t.nodes(); ++n) {
+    EXPECT_EQ(t.node_of(t.coords_of(n)), n);
+  }
+  EXPECT_EQ(t.hops(0, 1), 1);
+  EXPECT_EQ(t.hops(0, 7), 3);
+  EXPECT_EQ(t.hops(7, 0), 3);
+  EXPECT_EQ(t.diameter_hops(), 3);
+
+  // Shortest-wrap on a 5-ring: 0 -> 4 goes backwards around the wrap.
+  const TorusMap ring(5);
+  EXPECT_EQ(ring.hops(0, 4), 1);
+  EXPECT_EQ(ring.hops(0, 2), 2);
+  EXPECT_EQ(ring.diameter_hops(), 2);
+}
+
+TEST(Torus, RouteLinksAreDimensionOrdered) {
+  const TorusMap t(8);
+  // 0 -> 1 is one +z hop out of node 0: link id 0*6 + 2*2 + 0 = 4.
+  std::vector<int> direct;
+  t.route_links(0, 1, &direct);
+  ASSERT_EQ(direct.size(), 1u);
+  EXPECT_EQ(direct[0], 4);
+  // 4 -> 1 corrects x first (link 4*6 + 0 = 24), then shares node 0's +z
+  // link with the 0 -> 1 route — the shared-bottleneck case contention sees.
+  std::vector<int> indirect;
+  t.route_links(4, 1, &indirect);
+  ASSERT_EQ(indirect.size(), 2u);
+  EXPECT_EQ(indirect[0], 24);
+  EXPECT_EQ(indirect[1], 4);
+}
+
+TEST(Contention, ChargesOnlyForeignBytesOnSharedLinks) {
+  const TorusMap t(8);
+  {
+    LinkContention lone(&t);
+    lone.add_flow(0, 1, 1000);
+    lone.seal();
+    EXPECT_EQ(lone.foreign_bytes(0, 1), 0u);   // nothing shares the link
+    EXPECT_EQ(lone.foreign_bytes(2, 3), 0u);   // unknown pair
+    EXPECT_EQ(lone.foreign_bytes(5, 5), 0u);   // self flow
+    EXPECT_EQ(lone.max_link_load(), 1000u);
+  }
+  // 0->1 and 4->1 share node 0's +z link (see RouteLinksAreDimensionOrdered):
+  // each pair is charged exactly the *other's* bytes on that link.
+  LinkContention shared(&t);
+  shared.add_flow(0, 1, 1000);
+  shared.add_flow(4, 1, 700);
+  shared.seal();
+  EXPECT_EQ(shared.foreign_bytes(0, 1), 700u);
+  EXPECT_EQ(shared.foreign_bytes(4, 1), 1000u);
+  EXPECT_EQ(shared.max_link_load(), 1700u);
+}
+
+TEST(Contention, MoreTrafficOnASharedLinkNeverGetsCheaper) {
+  const TorusMap t(8);
+  std::uint64_t prev = 0;
+  for (const std::uint64_t rival : {0u, 500u, 700u, 1400u, 5000u}) {
+    LinkContention c(&t);
+    c.add_flow(0, 1, 1000);
+    if (rival > 0) c.add_flow(4, 1, rival);
+    c.seal();
+    const std::uint64_t foreign = c.foreign_bytes(0, 1);
+    EXPECT_GE(foreign, prev) << "rival=" << rival;
+    prev = foreign;
+  }
+  EXPECT_EQ(prev, 5000u);  // the full rival load lands on the shared link
+}
+
+TEST(CommModel, RemoteLatencyIsExactPerHop) {
+  const ProcessorConfig cfg = a64fx();
+  const CommCostModel model(cfg, 8);
+  EXPECT_DOUBLE_EQ(model.remote_latency_seconds(0),
+                   cfg.net.base_latency_us * 1e-6);
+  EXPECT_DOUBLE_EQ(model.remote_latency_seconds(3),
+                   cfg.net.base_latency_us * 1e-6 +
+                       3.0 * cfg.net.hop_latency_ns * 1e-9);
+  EXPECT_DOUBLE_EQ(model.link_bandwidth(), cfg.net.link_bw);
+  // The distance-class API assumes the diameter (3 hops on 2x2x2).
+  EXPECT_DOUBLE_EQ(model.latency_seconds(topo::Distance::kRemoteNode),
+                   model.remote_latency_seconds(3));
+  EXPECT_GT(model.latency_seconds(topo::Distance::kRemoteNode),
+            model.latency_seconds(topo::Distance::kSameNode));
+}
+
+TEST(CommModel, SingleNodeTorusDegeneratesToFlatFabric) {
+  const CommCostModel model(a64fx());  // nodes = 1: pre-hierarchical model
+  EXPECT_EQ(model.torus().diameter_hops(), 0);
+  EXPECT_DOUBLE_EQ(model.latency_seconds(topo::Distance::kRemoteNode),
+                   model.remote_latency_seconds(0));
+}
+
+TEST(CommModel, CmgRingLatencyIsShortestWayAround) {
+  const ProcessorConfig cfg = a64fx();  // 1 socket x 4 CMGs
+  const CommCostModel model(cfg);
+  const double base = cfg.intra_node_msg_latency_ns * 1e-9;
+  const double hop = cfg.inter_numa_latency_ns * 1e-9;
+  EXPECT_DOUBLE_EQ(model.intra_socket_latency_seconds(0, 0), base);
+  EXPECT_DOUBLE_EQ(model.intra_socket_latency_seconds(0, 1), base + hop);
+  EXPECT_DOUBLE_EQ(model.intra_socket_latency_seconds(0, 2), base + 2 * hop);
+  // 0 -> 3 wraps around the ring: one hop, not three.
+  EXPECT_DOUBLE_EQ(model.intra_socket_latency_seconds(0, 3), base + hop);
+  EXPECT_DOUBLE_EQ(model.intra_socket_latency_seconds(3, 1),
+                   model.intra_socket_latency_seconds(1, 3));
+}
+
 TEST(Roofline, AsciiRenderContainsPointsAndLegend) {
   const ProcessorConfig cfg = a64fx();
   isa::WorkEstimate w;

@@ -100,6 +100,13 @@ TEST(ServeCodec, RejectsMalformedRequests) {
       {R"({"verb":"report","report":"T1","format":"yaml"})", "format"},
       {R"({"verb":"ping","id":42})", "'id' must be a string"},
       {R"({"verb":"ping","verb":"ping"})", "duplicate"},
+      {R"({"verb":"predict","collapse":"maybe"})", "expected on|off"},
+      {R"({"verb":"predict","collapse":true})", "must be a string or number"},
+      {R"({"verb":"report","report":"T1","collapse":"2"})",
+       "expected on|off"},
+      {R"({"verb":"predict","ranks":-4})", "must be >= 1"},
+      {R"({"verb":"predict","threads":"9999999999999999999"})",
+       "expected an integer"},
   };
   for (const auto& [line, expect] : cases) {
     ServeRequest req;
@@ -116,6 +123,26 @@ TEST(ServeCodec, RejectsMalformedRequests) {
                                 req)
                 .find("exceeds"),
             std::string::npos);
+}
+
+TEST(ServeCodec, CollapseFieldMirrorsTheCliFlag) {
+  ServeRequest req;
+  EXPECT_EQ(parse_serve_request(
+                R"({"verb":"predict","app":"ffvc","ranks":4,"collapse":"on"})",
+                req),
+            "");
+  EXPECT_TRUE(req.config.collapse);
+  req = ServeRequest{};
+  EXPECT_EQ(parse_serve_request(
+                R"({"verb":"predict","collapse":"off"})", req),
+            "");
+  EXPECT_FALSE(req.config.collapse);
+  // Report collapse toggles the sweep, not the payload (byte-identity).
+  req = ServeRequest{};
+  EXPECT_EQ(parse_serve_request(
+                R"({"verb":"report","report":"T1","collapse":"1"})", req),
+            "");
+  EXPECT_TRUE(req.collapse);
 }
 
 TEST(ServeCodec, ResponseShapes) {

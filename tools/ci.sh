@@ -49,6 +49,28 @@ diff "$CACHE_DIR/report.cold.txt" "$CACHE_DIR/report.j4.txt"
       }
     done
 
+echo "== collapse: every report byte-identical with --collapse-ranks on =="
+# report.cold.txt above ran with the default (--collapse-ranks off). The
+# rank-symmetry contract says collapsed execution changes wall time only,
+# never a trace, prediction, or rendered table — so the same sweep with
+# collapse forced on must produce the same bytes for every registered
+# experiment (E1X/E2X force collapse internally and are identical trivially).
+"$FIBERSIM" $REPORT_ARGS --collapse-ranks on > "$CACHE_DIR/report.collapse.txt"
+diff "$CACHE_DIR/report.cold.txt" "$CACHE_DIR/report.collapse.txt"
+# The scale bench re-checks the structural invariant (one native rank per
+# symmetry class at every point) and the >= 20x trend bar, and exits
+# nonzero on any violation. --max-nodes keeps the CI leg at 16384 ranks.
+"$BUILD_DIR/bench/perf_scale" --out "$CACHE_DIR/BENCH_scale.json" \
+    --max-nodes 4096
+if grep -q '"native_equals_classes": false' "$CACHE_DIR/BENCH_scale.json"; then
+  echo "BENCH_scale.json: a collapsed pass ran native ranks != classes" >&2
+  exit 1
+fi
+grep -q '"ok": true' "$CACHE_DIR/BENCH_scale.json" || {
+  echo "BENCH_scale.json: bench did not report ok" >&2
+  exit 1
+}
+
 echo "== serve: daemon smoke (predict parity, chaos, clean shutdown) =="
 SERVE_SOCK="$CACHE_DIR/serve.sock"
 SERVE_CACHE="$CACHE_DIR/serve-cache"
