@@ -25,8 +25,9 @@
 //
 // --connect <socket> turns the binary into a plain client for an externally
 // started daemon (the CI smoke leg): with --send '<json line>' it performs
-// one request and prints the response; without, it runs a small load pass
-// and summarizes.
+// one request and prints the response (--retries/--backoff-ms ride through
+// typed sheds and restart windows); without, it runs a small load pass and
+// summarizes.
 #include <algorithm>
 #include <cstdlib>
 #include <filesystem>
@@ -170,6 +171,8 @@ int main(int argc, char** argv) {
   std::string cache_root;
   std::string connect_path;
   std::string send_line;
+  int retries = 1;          // --send attempts; > 1 rides through restarts
+  int retry_backoff_ms = 50;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto value = [&]() -> std::string {
@@ -207,6 +210,24 @@ int main(int argc, char** argv) {
       connect_path = value();
     } else if (a == "--send") {
       send_line = value();
+    } else if (a == "--retries") {
+      const std::string v = value();
+      const std::optional<int> n = fibersim::parse_i32(v);
+      if (!n || *n < 1) {
+        std::cerr << "--retries: expected an integer >= 1, got '" << v
+                  << "'\n";
+        std::exit(2);
+      }
+      retries = *n;
+    } else if (a == "--backoff-ms") {
+      const std::string v = value();
+      const std::optional<int> n = fibersim::parse_i32(v);
+      if (!n || *n < 1) {
+        std::cerr << "--backoff-ms: expected an integer >= 1, got '" << v
+                  << "'\n";
+        std::exit(2);
+      }
+      retry_backoff_ms = *n;
     } else {
       std::cerr << "unknown argument: " << a << "\n";
       std::exit(2);
@@ -217,8 +238,17 @@ int main(int argc, char** argv) {
   if (!connect_path.empty()) {
     try {
       if (!send_line.empty()) {
-        core::ServeClient client(connect_path);
-        std::cout << client.request(send_line) << "\n";
+        // --retries > 1 retries typed BUSY / SHUTDOWN / CIRCUIT_OPEN sheds
+        // and connect failures (a supervised server mid-restart) with
+        // jittered exponential backoff, so callers stop hand-rolling
+        // sleep-and-poll loops around this client.
+        core::RetryPolicy policy;
+        policy.attempts = retries;
+        policy.backoff_ms = retry_backoff_ms;
+        policy.max_backoff_ms =
+            std::max<std::int64_t>(retry_backoff_ms, 2000);
+        std::cout << core::request_with_retry(connect_path, send_line, policy)
+                  << "\n";
         return 0;
       }
       const PassStats pass = run_load(connect_path, clients, requests);

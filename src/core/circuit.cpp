@@ -1,0 +1,131 @@
+#include "core/circuit.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace fibersim::core {
+
+void CircuitOptions::validate() const {
+  FS_REQUIRE(failure_threshold >= 1, "circuit failure_threshold must be >= 1");
+  FS_REQUIRE(window >= failure_threshold,
+             "circuit window must be >= failure_threshold");
+  FS_REQUIRE(open_ms >= 1, "circuit open_ms must be >= 1");
+}
+
+CircuitBreaker::CircuitBreaker(CircuitOptions options)
+    : options_(options) {
+  options_.validate();
+}
+
+void CircuitBreaker::push_outcome(Entry& e, bool failure) {
+  e.window.push_back(failure);
+  if (failure) ++e.failures;
+  while (static_cast<int>(e.window.size()) > options_.window) {
+    if (e.window.front()) --e.failures;
+    e.window.pop_front();
+  }
+}
+
+void CircuitBreaker::trip(Entry& e, Clock::time_point now) {
+  e.state = State::kOpen;
+  e.opened_at = now;
+  e.probe_in_flight = false;
+  ++trips_;
+}
+
+CircuitDecision CircuitBreaker::admit(const std::string& key,
+                                      Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return {};
+  Entry& e = it->second;
+  if (e.state == State::kClosed) return {};
+
+  const auto open_for = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            now - e.opened_at)
+                            .count();
+  if (e.state == State::kOpen && open_for >= options_.open_ms) {
+    e.state = State::kHalfOpen;
+    e.probe_in_flight = false;
+  }
+  if (e.state == State::kHalfOpen && !e.probe_in_flight) {
+    e.probe_in_flight = true;
+    ++half_opens_;
+    CircuitDecision d;
+    d.admit = true;
+    d.probe = true;
+    return d;
+  }
+  ++rejected_;
+  CircuitDecision d;
+  d.admit = false;
+  d.retry_after_ms = std::max<std::int64_t>(1, options_.open_ms - open_for);
+  return d;
+}
+
+void CircuitBreaker::record_success(const std::string& key, bool probe,
+                                    Clock::time_point /*now*/) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entries_[key];
+  if (probe || e.state != State::kClosed) {
+    // A successful probe (or any success observed while not closed — e.g. a
+    // request admitted before the trip) resets the circuit entirely.
+    e.state = State::kClosed;
+    e.window.clear();
+    e.failures = 0;
+    e.probe_in_flight = false;
+    return;
+  }
+  push_outcome(e, false);
+}
+
+void CircuitBreaker::record_failure(const std::string& key, bool probe,
+                                    Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entries_[key];
+  if (probe) {
+    // Failed probe: straight back to open for another full open_ms.
+    trip(e, now);
+    return;
+  }
+  if (e.state != State::kClosed) {
+    // Late failure from a request admitted before the trip; the circuit is
+    // already open, just refresh nothing.
+    return;
+  }
+  push_outcome(e, true);
+  if (e.failures >= options_.failure_threshold) trip(e, now);
+}
+
+bool CircuitBreaker::is_open(const std::string& key, Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.state == State::kClosed) return false;
+  Entry& e = it->second;
+  if (e.state == State::kOpen) {
+    const auto open_for =
+        std::chrono::duration_cast<std::chrono::milliseconds>(now -
+                                                              e.opened_at)
+            .count();
+    if (open_for >= options_.open_ms) return false;  // probe would be let in
+  } else if (!e.probe_in_flight) {
+    return false;
+  }
+  return true;
+}
+
+CircuitStats CircuitBreaker::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CircuitStats s;
+  s.trips = trips_;
+  s.half_opens = half_opens_;
+  s.rejected = rejected_;
+  for (const auto& [key, e] : entries_) {
+    (void)key;
+    if (e.state != State::kClosed) ++s.open_now;
+  }
+  return s;
+}
+
+}  // namespace fibersim::core

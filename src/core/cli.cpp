@@ -12,6 +12,7 @@
 #include "core/reports.hpp"
 #include "core/runner.hpp"
 #include "core/serve.hpp"
+#include "core/supervise.hpp"
 #include "core/sweep_pool.hpp"
 #include "fault/fault.hpp"
 
@@ -61,9 +62,19 @@ constexpr const char* kUsage =
     "        [--workers N]       socket (default fibersim.sock): line-\n"
     "        [--queue N]         delimited JSON requests (ping | stats |\n"
     "        [--trace-cache D]   predict | report), N workers over one\n"
-    "                            bounded queue (full -> typed BUSY), warm\n"
-    "                            trace store shared across requests and\n"
-    "                            restarts; SIGINT/SIGTERM drain and exit\n"
+    "        [--journal path]    bounded queue (full -> typed BUSY), warm\n"
+    "        [--supervise]       trace store shared across requests and\n"
+    "                            restarts; SIGINT/SIGTERM drain and exit.\n"
+    "                            --journal fsyncs completed predict results\n"
+    "                            before the ack (answered tier=journal after\n"
+    "                            a crash); --supervise forks the server and\n"
+    "                            restarts it on abnormal exit with backoff\n"
+    "                            [--max-restarts N] [--restart-backoff-ms M]\n"
+    "                            and a per-config-class circuit breaker\n"
+    "                            [--breaker-failures N] [--breaker-window W]\n"
+    "                            [--breaker-open-ms M] sheds poisoned work\n"
+    "                            (typed CIRCUIT_OPEN; requests may also set\n"
+    "                            deadline_ms -> typed DEADLINE)\n"
     "    resilience: [--fault-plan spec] install a deterministic fault plan\n"
     "                (also read from env FIBERSIM_FAULT_PLAN)\n"
     "                [--retries N] retry failed sweep tasks up to N times\n"
@@ -289,14 +300,23 @@ int cmd_report(const std::vector<std::string>& args, std::ostream& out,
 int cmd_serve(const std::vector<std::string>& args, std::ostream& out,
               std::ostream& err) {
   ServeOptions opts;
+  SuperviseOptions sup;
+  bool supervise = false;
   std::string problem;
-  for (std::size_t i = 0; i < args.size(); i += 2) {
+  for (std::size_t i = 0; i < args.size();) {
     const std::string& key = args[i];
+    if (key == "--supervise") {  // the one valueless serve flag
+      supervise = true;
+      ++i;
+      continue;
+    }
     if (i + 1 >= args.size()) {
       err << "missing value for " << key << "\n";
       return 2;
     }
     const std::string& value = args[i + 1];
+    i += 2;
+    int ms = 0;
     if (key == "--socket") {
       opts.socket_path = value;
     } else if (key == "--workers") {
@@ -305,6 +325,23 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out,
       problem = flag_int(key, value, 1, &opts.queue_capacity);
     } else if (key == "--trace-cache") {
       opts.trace_cache_dir = value;
+    } else if (key == "--journal") {
+      opts.journal_path = value;
+    } else if (key == "--breaker-failures") {
+      problem = flag_int(key, value, 1, &opts.circuit.failure_threshold);
+    } else if (key == "--breaker-window") {
+      problem = flag_int(key, value, 1, &opts.circuit.window);
+    } else if (key == "--breaker-open-ms") {
+      problem = flag_int(key, value, 1, &ms);
+      opts.circuit.open_ms = ms;
+    } else if (key == "--max-restarts") {
+      problem = flag_int(key, value, 0, &sup.max_restarts);
+    } else if (key == "--restart-backoff-ms") {
+      problem = flag_int(key, value, 1, &ms);
+      sup.initial_backoff_ms = ms;
+      if (sup.max_backoff_ms < sup.initial_backoff_ms) {
+        sup.max_backoff_ms = sup.initial_backoff_ms;
+      }
     } else {
       err << "unknown serve flag: " << key << "\n";
       return 2;
@@ -314,14 +351,32 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out,
       return 2;
     }
   }
-  Server server(std::move(opts));
-  server.start();
-  server.install_signal_handlers();
-  // Readiness line: CI and the load generator wait for it before connecting.
-  out << "serving on " << server.socket_path() << "\n" << std::flush;
-  server.wait();
-  out << "server stopped\n";
-  return 0;
+  const auto serve_once = [&]() -> int {
+    Server server(opts);
+    server.start();
+    server.install_signal_handlers();
+    // Readiness line: CI and the load generator wait for it before
+    // connecting. In supervise mode every (re)started child prints one.
+    out << "serving on " << server.socket_path() << "\n" << std::flush;
+    server.wait();
+    out << "server stopped\n" << std::flush;
+    return 0;
+  };
+  if (supervise) {
+    // The child must not inherit the parent's idea of an error path: report
+    // its own failures and exit nonzero so the supervisor backs off.
+    return run_supervised(
+        [&]() -> int {
+          try {
+            return serve_once();
+          } catch (const std::exception& e) {
+            err << "error: " << e.what() << "\n" << std::flush;
+            return 1;
+          }
+        },
+        sup, out, err);
+  }
+  return serve_once();
 }
 
 }  // namespace

@@ -1,7 +1,12 @@
 #include "core/journal.hpp"
 
 #include <bit>
+#include <cerrno>
+#include <sstream>
 #include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "common/error.hpp"
 #include "common/hash.hpp"
@@ -196,9 +201,27 @@ std::uint64_t SweepJournal::fingerprint(const ExperimentConfig& config) {
 
 SweepJournal::SweepJournal(std::string path) : path_(std::move(path)) {
   FS_REQUIRE(!path_.empty(), "journal path must not be empty");
-  std::ifstream in(path_);
-  std::string line;
-  while (in && std::getline(in, line)) {
+  // Read the whole file and find the durable prefix: everything up to and
+  // including the last newline. Bytes past it are a torn tail from a kill
+  // mid-append; only complete lines are trusted.
+  std::string content;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      content = buf.str();
+    }
+  }
+  std::size_t durable = content.rfind('\n');
+  durable = (durable == std::string::npos) ? 0 : durable + 1;
+  tail_bytes_ = content.size() - durable;
+
+  std::size_t pos = 0;
+  while (pos < durable) {
+    const std::size_t eol = content.find('\n', pos);
+    std::string_view line(content.data() + pos, eol - pos);
+    pos = eol + 1;
     Scanner s(line);
     std::uint64_t key = 0;
     Stored stored;
@@ -254,10 +277,21 @@ SweepJournal::SweepJournal(std::string path) : path_(std::move(path)) {
     entries_[key] = std::move(stored);
     ++loaded_;
   }
-  in.close();
 
-  out_.open(path_, std::ios::app);
-  FS_REQUIRE(out_.good(), "cannot open journal for append: " + path_);
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  FS_REQUIRE(fd_ >= 0, "cannot open journal for append: " + path_);
+  if (tail_bytes_ > 0) {
+    // Truncate the torn tail so the next append starts on a fresh line —
+    // appending after torn bytes would glue the new record onto them,
+    // corrupting it for the next resume.
+    FS_REQUIRE(::ftruncate(fd_, static_cast<off_t>(durable)) == 0,
+               "cannot truncate torn journal tail: " + path_);
+    ::fsync(fd_);
+  }
+}
+
+SweepJournal::~SweepJournal() {
+  if (fd_ >= 0) ::close(fd_);
 }
 
 // ----- lookup / record -----------------------------------------------------
@@ -279,7 +313,7 @@ bool SweepJournal::lookup(const ExperimentConfig& config,
   return true;
 }
 
-void SweepJournal::record(const ExperimentConfig& config,
+bool SweepJournal::record(const ExperimentConfig& config,
                           const ExperimentResult& result) {
   const std::uint64_t key = fingerprint(config);
 
@@ -328,10 +362,26 @@ void SweepJournal::record(const ExperimentConfig& config,
   stored.check_value = result.check_value;
   stored.check_description = result.check_description;
 
+  line += '\n';
+
   std::lock_guard<std::mutex> lock(mutex_);
-  if (!entries_.emplace(key, std::move(stored)).second) return;
-  out_ << line << '\n';
-  out_.flush();
+  if (!entries_.emplace(key, std::move(stored)).second) {
+    return true;  // already durable from the earlier record
+  }
+  // write() the full line, then fsync before returning: callers may ack the
+  // result to a client once record() returns true, so durability must be
+  // established here, not at some later flush.
+  std::size_t written = 0;
+  while (written < line.size()) {
+    const ssize_t n =
+        ::write(fd_, line.data() + written, line.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return ::fsync(fd_) == 0;
 }
 
 std::size_t SweepJournal::hits() const {

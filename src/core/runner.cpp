@@ -1,7 +1,9 @@
 #include "core/runner.hpp"
 
+#include <chrono>
 #include <mutex>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "common/hash.hpp"
 #include "common/log.hpp"
@@ -273,13 +275,21 @@ std::shared_ptr<const Runner::Execution> Runner::execute(
       return {entry, &entry->exec};
     }
     if (entry->running) {
-      entry->cv.wait(lock);
+      // Bounded wait so a waiter with an expired cancellation token can
+      // leave the queue instead of blocking forever behind a slow leader.
+      // Throwing here (checkpoint) is safe: this caller holds no claim.
+      entry->cv.wait_for(lock, std::chrono::milliseconds(100));
+      cancel::checkpoint();
       continue;
     }
     entry->running = true;
     const int attempt = entry->attempts++;
     lock.unlock();
     try {
+      // A cancelled leader must not start the run; throwing inside the try
+      // releases the claim below, so waiters retry instead of hanging — a
+      // cancelled leader never poisons the coalescing entry.
+      cancel::checkpoint();
       Execution exec;
       bool from_disk = false;
       if (use_store) {
@@ -352,6 +362,7 @@ std::shared_ptr<const Runner::Execution> Runner::execute(
 ExperimentResult Runner::run(const ExperimentConfig& config, int attempt,
                              RunTier* tier) {
   config.validate();
+  cancel::checkpoint();
 
   // Deterministic prediction-failure injection: fires for the first
   // plan.predict_fail attempts of any task, before the native run so a

@@ -93,10 +93,13 @@ struct Server::Counters {
   std::atomic<std::uint64_t> shutdown{0};
   std::atomic<std::uint64_t> failed{0};
   std::atomic<std::uint64_t> internal{0};
+  std::atomic<std::uint64_t> deadline{0};
+  std::atomic<std::uint64_t> circuit_open{0};
   std::atomic<std::uint64_t> dropped_responses{0};
   std::atomic<std::uint64_t> tier_memo{0};
   std::atomic<std::uint64_t> tier_disk{0};
   std::atomic<std::uint64_t> tier_native{0};
+  std::atomic<std::uint64_t> tier_journal{0};
 };
 
 /// One accepted connection. The reader thread owns the fd's lifetime: it is
@@ -120,6 +123,13 @@ struct Server::Task {
   ServeRequest req;
   std::shared_ptr<Conn> conn;
   std::chrono::steady_clock::time_point t0;
+  /// Cancellation/deadline token ("deadline_ms" requests only).
+  std::shared_ptr<cancel::Token> token;
+  /// Circuit-breaker class key; always set for predict/report.
+  std::string breaker_key;
+  /// This task is the breaker's half-open probe; its outcome must be
+  /// reported back (see CircuitDecision::probe).
+  bool probe = false;
 };
 
 /// Work queue between connection readers and the worker pool. Admission
@@ -166,6 +176,7 @@ class Server::Queue {
 
 Server::Server(ServeOptions options)
     : options_(std::move(options)),
+      breaker_(options_.circuit),
       queue_(std::make_unique<Queue>()),
       counters_(std::make_unique<Counters>()) {
   // The self-pipe exists for the Server's whole lifetime so stop() and
@@ -256,6 +267,15 @@ void Server::start() {
   }
 
   attach_trace_store(runner_, options_.trace_cache_dir);
+  if (!options_.journal_path.empty()) {
+    journal_ = std::make_shared<SweepJournal>(options_.journal_path);
+    FS_LOG(kInfo) << "serve: journal " << options_.journal_path << " ("
+                  << journal_->loaded() << " entries loaded"
+                  << (journal_->recovered_tail_bytes() > 0
+                          ? ", torn tail truncated"
+                          : "")
+                  << ")";
+  }
 
   int workers = options_.workers;
   if (workers <= 0) workers = SweepPool::default_jobs();
@@ -480,6 +500,21 @@ void Server::dispatch_line(const std::shared_ptr<Conn>& conn,
                                               "server is shutting down"));
     return;
   }
+  // Circuit breaker: a config class that keeps failing answers fast here —
+  // before the admission counter — so poisoned configs cannot occupy queue
+  // slots or workers while the circuit is open.
+  const std::string breaker_key = breaker_key_of(req);
+  const CircuitDecision decision =
+      breaker_.admit(breaker_key, std::chrono::steady_clock::now());
+  if (!decision.admit) {
+    counters_->circuit_open.fetch_add(1, std::memory_order_relaxed);
+    write_response(
+        conn, serve_error_response(
+                  kCodeCircuitOpen, req.id,
+                  "circuit open for " + breaker_key + "; retry later",
+                  decision.retry_after_ms));
+    return;
+  }
   // Admission control: pending_ counts admitted-but-unanswered requests
   // (queued + executing). At capacity the request is shed immediately with
   // a typed BUSY — a client is never left hanging on a silent queue.
@@ -487,6 +522,11 @@ void Server::dispatch_line(const std::shared_ptr<Conn>& conn,
     std::lock_guard<std::mutex> lock(pending_mutex_);
     if (pending_ >= static_cast<std::size_t>(options_.queue_capacity)) {
       counters_->busy.fetch_add(1, std::memory_order_relaxed);
+      if (decision.probe) {
+        // The probe never ran; re-open so the next one can be admitted.
+        breaker_.record_failure(breaker_key, true,
+                                std::chrono::steady_clock::now());
+      }
       write_response(
           conn, serve_error_response(
                     kCodeBusy, req.id,
@@ -505,6 +545,12 @@ void Server::dispatch_line(const std::shared_ptr<Conn>& conn,
   task.req = std::move(req);
   task.conn = conn;
   task.t0 = std::chrono::steady_clock::now();
+  task.breaker_key = breaker_key;
+  task.probe = decision.probe;
+  if (task.req.deadline_ms > 0) {
+    task.token = std::make_shared<cancel::Token>();
+    task.token->set_deadline_ms(task.req.deadline_ms);
+  }
   queue_->push(std::move(task));
 }
 
@@ -512,38 +558,71 @@ void Server::dispatch_line(const std::shared_ptr<Conn>& conn,
 // request execution
 
 void Server::execute(Task task) {
+  enum class Outcome { kOk, kDeadline, kFailed, kInternal };
+  Outcome outcome = Outcome::kOk;
   std::string response;
-  try {
-    if (task.req.verb == ServeRequest::Verb::kPredict) {
-      counters_->predict.fetch_add(1, std::memory_order_relaxed);
-      RunTier tier = RunTier::kNative;
-      response = execute_predict(task.req, &tier);
-      switch (tier) {
-        case RunTier::kMemo:
-          counters_->tier_memo.fetch_add(1, std::memory_order_relaxed);
-          break;
-        case RunTier::kDisk:
-          counters_->tier_disk.fetch_add(1, std::memory_order_relaxed);
-          break;
-        case RunTier::kNative:
-          counters_->tier_native.fetch_add(1, std::memory_order_relaxed);
-          break;
+  if (task.token != nullptr && task.token->expired()) {
+    // Already-expired queued work is shed without executing: the client has
+    // (or should have) given up, so burning a worker on it only delays
+    // requests that can still meet their deadlines.
+    outcome = Outcome::kDeadline;
+    counters_->deadline.fetch_add(1, std::memory_order_relaxed);
+    response = serve_error_response(kCodeDeadline, task.req.id,
+                                    "deadline expired before execution");
+  } else {
+    // Install the request's cancellation token for this worker thread; the
+    // Runner and predict path checkpoint it at phase boundaries.
+    cancel::Scope scope(task.token);
+    try {
+      if (task.req.verb == ServeRequest::Verb::kPredict) {
+        counters_->predict.fetch_add(1, std::memory_order_relaxed);
+        response = execute_predict(task.req);
+      } else {
+        counters_->report.fetch_add(1, std::memory_order_relaxed);
+        response = execute_report(task.req);
       }
-    } else {
-      counters_->report.fetch_add(1, std::memory_order_relaxed);
-      response = execute_report(task.req);
+    } catch (const Error& e) {
+      if (cancel::is_cancelled(e.what())) {
+        // Deadline hit mid-execution: the Runner released its coalescing
+        // claim on the way out, so waiters on the same key are not harmed.
+        outcome = Outcome::kDeadline;
+        counters_->deadline.fetch_add(1, std::memory_order_relaxed);
+        response = serve_error_response(kCodeDeadline, task.req.id, e.what());
+      } else {
+        // Domain failures (fault injection included) are data for the
+        // client: typed FAILED, tagged with the fault taxonomy's class.
+        outcome = Outcome::kFailed;
+        counters_->failed.fetch_add(1, std::memory_order_relaxed);
+        const fault::ErrorClass c = fault::classify(e.what());
+        response = serve_error_response(
+            kCodeFailed, task.req.id,
+            strfmt("%s [class=%s]", e.what(), fault::error_class_name(c)));
+      }
+    } catch (const std::exception& e) {
+      outcome = Outcome::kInternal;
+      counters_->internal.fetch_add(1, std::memory_order_relaxed);
+      response = serve_error_response(kCodeInternal, task.req.id, e.what());
     }
-  } catch (const Error& e) {
-    // Domain failures (fault injection included) are data for the client:
-    // typed FAILED, tagged with the fault taxonomy's error class.
-    counters_->failed.fetch_add(1, std::memory_order_relaxed);
-    const fault::ErrorClass c = fault::classify(e.what());
-    response = serve_error_response(
-        kCodeFailed, task.req.id,
-        strfmt("%s [class=%s]", e.what(), fault::error_class_name(c)));
-  } catch (const std::exception& e) {
-    counters_->internal.fetch_add(1, std::memory_order_relaxed);
-    response = serve_error_response(kCodeInternal, task.req.id, e.what());
+  }
+
+  // Tell the breaker how the config class behaved. Deadline sheds carry no
+  // signal about the config (a slow-but-healthy config must not trip the
+  // circuit) — except a shed probe, which must re-open the circuit so the
+  // probe slot is not leaked.
+  const auto breaker_now = std::chrono::steady_clock::now();
+  switch (outcome) {
+    case Outcome::kOk:
+      breaker_.record_success(task.breaker_key, task.probe, breaker_now);
+      break;
+    case Outcome::kFailed:
+    case Outcome::kInternal:
+      breaker_.record_failure(task.breaker_key, task.probe, breaker_now);
+      break;
+    case Outcome::kDeadline:
+      if (task.probe) {
+        breaker_.record_failure(task.breaker_key, true, breaker_now);
+      }
+      break;
   }
 
   const double micros =
@@ -575,14 +654,52 @@ void Server::execute(Task task) {
   if (left == 0) pending_cv_.notify_all();
 }
 
-std::string Server::execute_predict(const ServeRequest& req, RunTier* tier) {
-  const ExperimentResult res = runner_.run(req.config, 0, tier);
+std::string Server::execute_predict(const ServeRequest& req) {
+  const char* tier_name = nullptr;
+  ExperimentResult res;
+  if (journal_ != nullptr && journal_->lookup(req.config, &res)) {
+    // Journal fast path: the result was fsync()ed before a previous ack, so
+    // a restarted server answers it without re-running anything. Doubles
+    // round-trip bit-exactly, so the payload is byte-identical.
+    journal_hits_.fetch_add(1, std::memory_order_relaxed);
+    counters_->tier_journal.fetch_add(1, std::memory_order_relaxed);
+    tier_name = "journal";
+  } else {
+    RunTier tier = RunTier::kNative;
+    res = runner_.run(req.config, 0, &tier);
+    if (journal_ != nullptr && !journal_->record(req.config, res)) {
+      // Not fatal — the simulator is deterministic, so a crash just costs a
+      // re-run — but the durability promise is weakened; say so.
+      FS_LOG(kWarn) << "serve: journal append failed for "
+                    << req.config.label();
+    }
+    switch (tier) {
+      case RunTier::kMemo:
+        counters_->tier_memo.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case RunTier::kDisk:
+        counters_->tier_disk.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case RunTier::kNative:
+        counters_->tier_native.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    tier_name = run_tier_name(tier);
+  }
   // Payload contract: the raw prediction JSON, byte-identical to the line
   // `fibersim run --json` prints for the same config.
-  return serve_ok_prefix("predict", req.id) + ",\"tier\":\"" +
-         run_tier_name(*tier) + "\",\"verified\":" +
-         (res.verified ? "true" : "false") +
+  return serve_ok_prefix("predict", req.id) + ",\"tier\":\"" + tier_name +
+         "\",\"verified\":" + (res.verified ? "true" : "false") +
          ",\"payload\":" + trace::to_json(res.prediction) + "}";
+}
+
+std::string Server::breaker_key_of(const ServeRequest& req) {
+  if (req.verb == ServeRequest::Verb::kReport) {
+    return "report/" + req.report_id;
+  }
+  return strfmt("predict/%s/%s/%dx%d", req.config.app.c_str(),
+                apps::dataset_name(req.config.dataset), req.config.ranks,
+                req.config.threads);
 }
 
 std::string Server::execute_report(const ServeRequest& req) {
@@ -652,10 +769,17 @@ ServeStats Server::stats_snapshot() const {
   s.shutdown = c.shutdown.load(std::memory_order_relaxed);
   s.failed = c.failed.load(std::memory_order_relaxed);
   s.internal = c.internal.load(std::memory_order_relaxed);
+  s.deadline = c.deadline.load(std::memory_order_relaxed);
+  s.circuit_open = c.circuit_open.load(std::memory_order_relaxed);
   s.dropped_responses = c.dropped_responses.load(std::memory_order_relaxed);
   s.tier_memo = c.tier_memo.load(std::memory_order_relaxed);
   s.tier_disk = c.tier_disk.load(std::memory_order_relaxed);
   s.tier_native = c.tier_native.load(std::memory_order_relaxed);
+  s.tier_journal = c.tier_journal.load(std::memory_order_relaxed);
+  const CircuitStats cs = breaker_.stats();
+  s.breaker_trips = cs.trips;
+  s.breaker_half_opens = cs.half_opens;
+  s.breaker_open_now = cs.open_now;
   std::vector<double> latencies;
   {
     std::lock_guard<std::mutex> lock(latency_mutex_);
@@ -684,10 +808,26 @@ std::string Server::stats_json() const {
          u64_field("shutdown", s.shutdown) + "," +
          u64_field("failed", s.failed) + "," +
          u64_field("internal", s.internal) + "," +
+         u64_field("deadline", s.deadline) + "," +
+         u64_field("circuit_open", s.circuit_open) + "," +
          u64_field("dropped_responses", s.dropped_responses) + "},";
   out += "\"tiers\":{" + u64_field("memo", s.tier_memo) + "," +
          u64_field("disk", s.tier_disk) + "," +
-         u64_field("native", s.tier_native) + "},";
+         u64_field("native", s.tier_native) + "," +
+         u64_field("journal", s.tier_journal) + "},";
+  out += "\"breaker\":{" + u64_field("trips", s.breaker_trips) + "," +
+         u64_field("half_opens", s.breaker_half_opens) + "," +
+         u64_field("open_now", s.breaker_open_now) + "},";
+  if (journal_ != nullptr) {
+    out += "\"journal\":{" +
+           u64_field("loaded", journal_->loaded()) + "," +
+           u64_field("hits",
+                     journal_hits_.load(std::memory_order_relaxed)) + "," +
+           u64_field("recovered_tail_bytes",
+                     journal_->recovered_tail_bytes()) + "},";
+  } else {
+    out += "\"journal\":null,";
+  }
   out += "\"latency_us\":{" + u64_field("samples", s.latency_samples) +
          strfmt(",\"p50\":%.1f,\"p99\":%.1f", s.latency_p50_us,
                 s.latency_p99_us) +
@@ -810,6 +950,67 @@ void ServeClient::abort() {
     ::close(fd_);
     fd_ = -1;
   }
+}
+
+// ---------------------------------------------------------------------------
+// retry
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Typed responses that mean "try again later" — the server is healthy but
+/// shedding (BUSY), draining before a supervisor restart (SHUTDOWN), or
+/// protecting a config class (CIRCUIT_OPEN). Everything else is terminal.
+bool retryable_response(const std::string& response) {
+  return response.find("\"code\":\"BUSY\"") != std::string::npos ||
+         response.find("\"code\":\"SHUTDOWN\"") != std::string::npos ||
+         response.find("\"code\":\"CIRCUIT_OPEN\"") != std::string::npos;
+}
+
+}  // namespace
+
+std::string request_with_retry(const std::string& socket_path,
+                               const std::string& line,
+                               const RetryPolicy& policy) {
+  FS_REQUIRE(policy.attempts >= 1, "retry policy needs attempts >= 1");
+  FS_REQUIRE(policy.backoff_ms >= 1, "retry policy needs backoff_ms >= 1");
+  std::string last_shed;
+  std::int64_t backoff = policy.backoff_ms;
+  for (int attempt = 0; attempt < policy.attempts; ++attempt) {
+    if (attempt > 0) {
+      // Deterministic jitter in [backoff/2, backoff]: spreads a thundering
+      // herd without making bench runs irreproducible.
+      const std::uint64_t h =
+          splitmix64(policy.seed ^ (static_cast<std::uint64_t>(attempt)
+                                    << 32));
+      const std::int64_t half = backoff / 2;
+      const std::int64_t sleep_ms =
+          half + static_cast<std::int64_t>(
+                     h % static_cast<std::uint64_t>(half + 1));
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      backoff = backoff * 2 < policy.max_backoff_ms ? backoff * 2
+                                                    : policy.max_backoff_ms;
+    }
+    try {
+      // Fresh connection per attempt: a SHUTDOWN answer or a supervisor
+      // restart invalidates the old one.
+      ServeClient client(socket_path);
+      std::string response = client.request(line);
+      if (!retryable_response(response)) return response;
+      last_shed = std::move(response);
+    } catch (const Error&) {
+      // Connect/transport failure — the restart window. Retry; rethrow only
+      // if every attempt failed this way (no typed response to hand back).
+      if (attempt + 1 == policy.attempts && last_shed.empty()) throw;
+    }
+  }
+  return last_shed;  // attempts exhausted: the last typed shed response
 }
 
 }  // namespace fibersim::core

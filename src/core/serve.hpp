@@ -25,6 +25,18 @@
 //   * SIGINT/SIGTERM (or stop()) drain: no new work is admitted, queued and
 //     in-flight requests complete and get their responses, the TraceStore
 //     finishes its atomic publications, and the socket file is unlinked.
+//
+// Resilience layer (this file + circuit.hpp + supervise.hpp):
+//   * requests may carry "deadline_ms"; expired work — still queued or at a
+//     phase boundary mid-execution — is shed with a typed DEADLINE response
+//     and the Runner's coalescing claim is released so waiters never block
+//     behind a cancelled leader;
+//   * a per-config-class circuit breaker answers CIRCUIT_OPEN fast for
+//     configs that keep failing, half-opening with probe requests;
+//   * an optional write-ahead result journal (SweepJournal, fsync-before-
+//     ack) makes acknowledged predict results durable across kill -9: a
+//     restarted server answers them from the journal (tier "journal"),
+//     byte-identically.
 #pragma once
 
 #include <atomic>
@@ -37,6 +49,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.hpp"
+#include "core/circuit.hpp"
+#include "core/journal.hpp"
 #include "core/runner.hpp"
 #include "core/serve_codec.hpp"
 
@@ -55,6 +70,13 @@ struct ServeOptions {
   std::size_t max_line_bytes = 1 << 20;
   /// Attach a persistent TraceStore ("" = honour FIBERSIM_TRACE_CACHE).
   std::string trace_cache_dir;
+  /// Write-ahead result journal ("" = none). Completed predict results are
+  /// fsync()ed here before the response is written, so an acknowledged
+  /// result survives kill -9 and is answered from the journal (tier
+  /// "journal") after a restart.
+  std::string journal_path;
+  /// Circuit-breaker tuning (failure threshold / window / open time).
+  CircuitOptions circuit;
 };
 
 /// Monotonic counters plus a latency summary; one coherent-enough snapshot
@@ -72,10 +94,16 @@ struct ServeStats {
   std::uint64_t shutdown = 0;
   std::uint64_t failed = 0;
   std::uint64_t internal = 0;
+  std::uint64_t deadline = 0;      ///< shed with a typed DEADLINE
+  std::uint64_t circuit_open = 0;  ///< shed with a typed CIRCUIT_OPEN
   std::uint64_t dropped_responses = 0;  ///< client gone before the write
   std::uint64_t tier_memo = 0;
   std::uint64_t tier_disk = 0;
   std::uint64_t tier_native = 0;
+  std::uint64_t tier_journal = 0;  ///< predict answered from the journal
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t breaker_half_opens = 0;
+  std::uint64_t breaker_open_now = 0;
   std::uint64_t latency_samples = 0;
   double latency_p50_us = 0.0;
   double latency_p99_us = 0.0;
@@ -131,8 +159,13 @@ class Server {
   void dispatch_line(const std::shared_ptr<Conn>& conn,
                      const std::string& line);
   void execute(Task task);
-  std::string execute_predict(const ServeRequest& req, RunTier* tier);
+  /// Executes one predict (journal fast path included) and bumps the tier
+  /// counter for the tier that answered.
+  std::string execute_predict(const ServeRequest& req);
   std::string execute_report(const ServeRequest& req);
+  /// Breaker key for a request: its config class, not the exact config —
+  /// "predict/<app>/<dataset>/<ranks>x<threads>" or "report/<id>".
+  static std::string breaker_key_of(const ServeRequest& req);
   bool write_response(const std::shared_ptr<Conn>& conn,
                       const std::string& line);
   void record_latency(double micros);
@@ -140,6 +173,9 @@ class Server {
 
   ServeOptions options_;
   Runner runner_;
+  CircuitBreaker breaker_;
+  std::shared_ptr<SweepJournal> journal_;  // null when journaling is off
+  std::atomic<std::uint64_t> journal_hits_{0};
 
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
@@ -195,5 +231,25 @@ class ServeClient {
   int fd_ = -1;
   std::string buffer_;
 };
+
+/// Client-side retry policy for typed shed responses (BUSY / SHUTDOWN /
+/// CIRCUIT_OPEN) and connection failures (server restarting under a
+/// supervisor). Backoff is exponential with deterministic jitter hashed
+/// from (seed, attempt), so bench runs are reproducible.
+struct RetryPolicy {
+  int attempts = 5;  ///< total tries (first + retries)
+  std::int64_t backoff_ms = 50;
+  std::int64_t max_backoff_ms = 2000;
+  std::uint64_t seed = 1;
+};
+
+/// Send `line`, reconnecting per attempt, retrying typed BUSY / SHUTDOWN /
+/// CIRCUIT_OPEN responses and connect/transport errors with jittered
+/// exponential backoff. Returns the first non-retryable response (ok or a
+/// terminal typed error). After exhausting attempts, returns the last typed
+/// shed response if one was received, else throws the last transport error.
+std::string request_with_retry(const std::string& socket_path,
+                               const std::string& line,
+                               const RetryPolicy& policy = {});
 
 }  // namespace fibersim::core

@@ -67,6 +67,11 @@ std::string parse_serve_request(std::string_view line, ServeRequest& req) {
       }
       const std::string token = field_token(value, key, &problem);
       if (!problem.empty()) return problem;
+      if (key == "deadline_ms" && (predict || report)) {
+        problem = flag_int(key, token, 1, &req.deadline_ms);
+        if (!problem.empty()) return problem;
+        continue;
+      }
       if (predict) {
         if (key == "app") {
           req.config.app = token;
@@ -132,14 +137,20 @@ std::string parse_serve_request(std::string_view line, ServeRequest& req) {
 }
 
 std::string serve_error_response(std::string_view code, std::string_view id,
-                                 std::string_view message) {
+                                 std::string_view message,
+                                 std::int64_t retry_after_ms) {
   std::string out = "{\"ok\":false";
   if (!id.empty()) {
     out += ",\"id\":\"" + json_escape(id) + "\"";
   }
   out += ",\"code\":\"";
   out += code;
-  out += "\",\"error\":\"" + json_escape(message) + "\"}";
+  out += "\",\"error\":\"" + json_escape(message) + "\"";
+  if (retry_after_ms > 0) {
+    out += strfmt(",\"retry_after_ms\":%lld",
+                  static_cast<long long>(retry_after_ms));
+  }
+  out += "}";
   return out;
 }
 

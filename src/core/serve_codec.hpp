@@ -10,6 +10,7 @@
 //   {"verb":"stats"}
 //   {"verb":"predict","app":"ffvc","dataset":"small","ranks":4,"threads":2}
 //   {"verb":"predict","app":"ffvc","ranks":4,"collapse":"on"}
+//   {"verb":"predict","app":"ffvc","deadline_ms":500}
 //   {"verb":"report","report":"T1","apps":"ffvc","dataset":"small",
 //    "iterations":1,"format":"json"}
 //
@@ -29,6 +30,7 @@
 // so clients may pipeline requests on one connection and match replies.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -44,12 +46,20 @@ inline constexpr const char* kCodeBusy = "BUSY";
 inline constexpr const char* kCodeShutdown = "SHUTDOWN";
 inline constexpr const char* kCodeFailed = "FAILED";
 inline constexpr const char* kCodeInternal = "INTERNAL";
+/// Request deadline expired (in queue or mid-execution); work was shed.
+inline constexpr const char* kCodeDeadline = "DEADLINE";
+/// Circuit breaker open for this config class; retry after the hinted delay.
+inline constexpr const char* kCodeCircuitOpen = "CIRCUIT_OPEN";
 
 struct ServeRequest {
   enum class Verb { kPing, kStats, kPredict, kReport };
   Verb verb = Verb::kPing;
   /// Client correlation token, echoed in the response ("" = absent).
   std::string id;
+  /// Optional request deadline in milliseconds from receipt (predict and
+  /// report verbs). <= 0 = none. Expired work — still queued or already
+  /// executing — is shed with a typed DEADLINE response.
+  int deadline_ms = 0;
 
   // -- predict --------------------------------------------------------------
   /// Starts from ExperimentConfig defaults; request keys override, exactly
@@ -78,9 +88,11 @@ struct ServeRequest {
 std::string parse_serve_request(std::string_view line, ServeRequest& req);
 
 /// One-line ok:false response: {"ok":false,"id":...,"code":...,"error":...}
-/// (id omitted when empty). No trailing newline.
+/// (id omitted when empty). No trailing newline. `retry_after_ms` > 0 adds
+/// a "retry_after_ms" hint (CIRCUIT_OPEN rejections carry one).
 std::string serve_error_response(std::string_view code, std::string_view id,
-                                 std::string_view message);
+                                 std::string_view message,
+                                 std::int64_t retry_after_ms = 0);
 
 /// Prefix of an ok:true response up to and excluding the final
 /// `"payload":...}` — callers append the payload (raw JSON for predict,

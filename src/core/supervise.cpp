@@ -1,0 +1,141 @@
+#include "core/supervise.hpp"
+
+#include <csignal>
+#include <cstring>
+#include <ostream>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+
+namespace fibersim::core {
+namespace {
+
+// Child pid for the forwarding handler. A plain sig_atomic_t is enough: the
+// supervisor is single-threaded and only the handler reads it.
+volatile sig_atomic_t g_child_pid = 0;
+volatile sig_atomic_t g_stop_requested = 0;
+
+void forward_signal(int sig) {
+  g_stop_requested = 1;
+  const pid_t child = g_child_pid;
+  if (child > 0) kill(child, sig);
+}
+
+struct ScopedHandlers {
+  struct sigaction old_term {};
+  struct sigaction old_int {};
+  ScopedHandlers() {
+    struct sigaction sa {};
+    sa.sa_handler = forward_signal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // no SA_RESTART: waitpid must wake on the signal
+    sigaction(SIGTERM, &sa, &old_term);
+    sigaction(SIGINT, &sa, &old_int);
+  }
+  ~ScopedHandlers() {
+    sigaction(SIGTERM, &old_term, nullptr);
+    sigaction(SIGINT, &old_int, nullptr);
+    g_child_pid = 0;
+    g_stop_requested = 0;
+  }
+};
+
+// Interruptible sleep: wakes early (returning true) when a stop signal
+// arrives so `kill -TERM supervisor` during backoff exits promptly instead
+// of restarting a child just to drain it.
+bool backoff_sleep(std::int64_t ms) {
+  const std::int64_t slice_ms = 50;
+  for (std::int64_t waited = 0; waited < ms; waited += slice_ms) {
+    if (g_stop_requested) return true;
+    usleep(static_cast<useconds_t>(
+        (ms - waited < slice_ms ? ms - waited : slice_ms) * 1000));
+  }
+  return g_stop_requested != 0;
+}
+
+}  // namespace
+
+void SuperviseOptions::validate() const {
+  FS_REQUIRE(max_restarts >= 0, "supervise max_restarts must be >= 0");
+  FS_REQUIRE(initial_backoff_ms >= 1,
+             "supervise initial_backoff_ms must be >= 1");
+  FS_REQUIRE(max_backoff_ms >= initial_backoff_ms,
+             "supervise max_backoff_ms must be >= initial_backoff_ms");
+}
+
+int run_supervised(const std::function<int()>& child_main,
+                   const SuperviseOptions& options, std::ostream& out,
+                   std::ostream& err) {
+  options.validate();
+  ScopedHandlers handlers;
+
+  int restarts = 0;
+  std::int64_t backoff_ms = options.initial_backoff_ms;
+  for (;;) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      err << "supervisor: fork failed: " << std::strerror(errno) << "\n";
+      return 1;
+    }
+    if (pid == 0) {
+      // Child: restore default signal handling so the server installs its
+      // own, run the server, and _exit so no parent-side teardown repeats.
+      signal(SIGTERM, SIG_DFL);
+      signal(SIGINT, SIG_DFL);
+      int status = 1;
+      try {
+        status = child_main();
+      } catch (...) {
+        status = 1;
+      }
+      _exit(status);
+    }
+
+    g_child_pid = pid;
+    out << "supervisor: worker pid=" << pid << "\n" << std::flush;
+    // A stop that raced the fork: forward it now so the new child drains.
+    if (g_stop_requested) kill(pid, SIGTERM);
+
+    int status = 0;
+    pid_t waited;
+    do {
+      waited = waitpid(pid, &status, 0);
+    } while (waited < 0 && errno == EINTR);
+    g_child_pid = 0;
+    if (waited < 0) {
+      err << "supervisor: waitpid failed: " << std::strerror(errno) << "\n";
+      return 1;
+    }
+
+    const bool signalled = WIFSIGNALED(status);
+    const int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    if (signalled) {
+      out << "supervisor: worker exited signal=" << WTERMSIG(status) << "\n"
+          << std::flush;
+    } else {
+      out << "supervisor: worker exited status=" << code << "\n"
+          << std::flush;
+    }
+
+    if (g_stop_requested) return signalled ? 1 : code;
+    if (!signalled && code == 0) return 0;  // clean drain without a stop
+
+    ++restarts;
+    if (restarts > options.max_restarts) {
+      err << "supervisor: giving up after " << restarts
+          << " abnormal exits (restart storm)\n";
+      return 1;
+    }
+    out << "supervisor: restarting in " << backoff_ms << " ms (restart "
+        << restarts << "/" << options.max_restarts << ")\n"
+        << std::flush;
+    if (backoff_sleep(backoff_ms)) return 1;
+    backoff_ms = backoff_ms * 2 < options.max_backoff_ms
+                     ? backoff_ms * 2
+                     : options.max_backoff_ms;
+  }
+}
+
+}  // namespace fibersim::core

@@ -1,0 +1,49 @@
+// fibersim::core — crash-only supervision for the serve daemon.
+//
+// `fibersim serve --supervise` runs the server in a forked child and keeps
+// it alive: the parent loops fork → waitpid → restart, backing off
+// exponentially between abnormal exits and giving up after a restart-storm
+// cap. Combined with the write-ahead request journal (fsync-before-ack) and
+// the trace store's atomic publication, a SIGKILLed server restarts with a
+// warm cache and every acknowledged result replayable — crash-only
+// semantics: the recovery path IS the startup path.
+//
+// Signal contract:
+//   * SIGTERM/SIGINT to the supervisor are forwarded to the child, then the
+//     supervisor waits for it and exits with the child's status — a clean
+//     drain, not a restart.
+//   * A child that exits 0 (drained) ends supervision with status 0.
+//   * Any abnormal exit (signal, nonzero status) triggers a restart after
+//     backoff: initial_backoff_ms * 2^k, capped at max_backoff_ms.
+//   * More than max_restarts abnormal exits aborts supervision with a
+//     diagnostic — a config that can never boot must not flap forever.
+//
+// The child never returns from run_supervised: it calls `child_main` and
+// _exit()s with its result, so no parent-side state (streams, atexit
+// handlers) runs twice.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+
+namespace fibersim::core {
+
+struct SuperviseOptions {
+  int max_restarts = 5;              ///< abnormal exits before giving up
+  std::int64_t initial_backoff_ms = 100;
+  std::int64_t max_backoff_ms = 5000;
+
+  void validate() const;
+};
+
+/// Fork/monitor/restart loop around `child_main`. Returns the supervisor's
+/// exit status: the child's status after a clean stop, or nonzero after the
+/// restart-storm cap. Emits one parseable line per lifecycle event to `out`
+/// ("supervisor: worker pid=<pid>", "supervisor: worker exited ...",
+/// "supervisor: restarting in <ms> ms (restart <k>/<max>)").
+int run_supervised(const std::function<int()>& child_main,
+                   const SuperviseOptions& options, std::ostream& out,
+                   std::ostream& err);
+
+}  // namespace fibersim::core

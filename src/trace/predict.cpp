@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "cg/codegen_model.hpp"
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "machine/comm_model.hpp"
 
@@ -152,6 +153,7 @@ JobPrediction predict_job(const machine::ProcessorConfig& cfg,
   out.phases.reserve(n_phases);
 
   for (std::size_t p = 0; p < n_phases; ++p) {
+    cancel::checkpoint();  // deadline shed between phases, not mid-phase
     const std::string& phase_name = trace.front()[p].name;
     const bool parallel = trace.front()[p].parallel;
 
@@ -277,6 +279,7 @@ JobPrediction predict_job(const machine::ProcessorConfig& cfg,
   std::vector<ClassEval> class_evals;
 
   for (const CanonicalTrace::Phase& ph : trace.phases()) {
+    cancel::checkpoint();  // deadline shed between phases, not mid-phase
     const bool fan_out = ph.parallel && threads > 1;
 
     // Stage 1 — per equivalence class, not per rank: codegen transform,
@@ -405,6 +408,7 @@ JobPrediction predict_job(const machine::ProcessorConfig& cfg,
 
   const mp::RankSymmetry& symmetry = trace.symmetry();
   for (std::size_t p = 0; p < trace.phase_count(); ++p) {
+    cancel::checkpoint();  // deadline shed between phases, not mid-phase
     const CollapsedTrace::Phase& ph = trace.phases()[p];
     const bool fan_out = ph.parallel && threads > 1;
 

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -21,6 +22,7 @@
 #include "core/runner.hpp"
 #include "core/serve.hpp"
 #include "core/serve_codec.hpp"
+#include "fault/fault.hpp"
 #include "trace/serialize.hpp"
 
 namespace fibersim::core {
@@ -502,6 +504,258 @@ TEST(Serve, StopDrainsAdmittedWorkBeforeExit) {
   EXPECT_EQ(field_of(client.request(R"({"verb":"ping"})"), "ok"), "true");
   server.wait();
   EXPECT_FALSE(client.read_line().has_value()) << "expected EOF after wait";
+  EXPECT_EQ(::access(server.socket_path().c_str(), F_OK), -1);
+}
+
+// ----- resilience: deadlines, breaker, journal, drain edge cases -----
+
+TEST(ServeCodec, DeadlineFieldParsesAndRejectsNonsense) {
+  ServeRequest req;
+  EXPECT_EQ(parse_serve_request(
+                R"({"verb":"predict","app":"ffvc","deadline_ms":250})", req),
+            "");
+  EXPECT_EQ(req.deadline_ms, 250);
+  req = ServeRequest{};
+  EXPECT_NE(parse_serve_request(
+                R"({"verb":"predict","deadline_ms":0})", req)
+                .find("must be >= 1"),
+            std::string::npos);
+  EXPECT_NE(parse_serve_request(R"({"verb":"ping","deadline_ms":5})", req)
+                .find("unknown field"),
+            std::string::npos);
+}
+
+TEST(Serve, ExpiredQueuedWorkIsShedWithTypedDeadline) {
+  ServeOptions opts;
+  opts.socket_path = test_socket_path();
+  opts.workers = 1;
+  Server server(std::move(opts));
+  server.start();
+
+  // Pipeline: a cold run occupies the single worker, so the 1 ms deadline
+  // on the second request expires while it queues — it must be shed with a
+  // typed DEADLINE, never executed, never hung.
+  ServeClient client(server.socket_path());
+  client.send_line(
+      R"({"verb":"predict","app":"ffvc","dataset":"small","ranks":2,)"
+      R"("threads":1,"iterations":1,"seed":9001,"id":"occupier"})");
+  client.send_line(
+      R"({"verb":"predict","app":"ffvc","dataset":"small","ranks":2,)"
+      R"("threads":1,"iterations":1,"seed":9002,"deadline_ms":1,)"
+      R"("id":"doomed"})");
+  const auto first = client.read_line();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(field_of(*first, "ok"), "true") << *first;
+  const auto second = client.read_line();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(field_of(*second, "code"), kCodeDeadline) << *second;
+  // Shed in-queue ("deadline expired before execution") or unwound at a
+  // checkpoint ("cancelled: deadline exceeded"), depending on scheduling —
+  // either way the error names the deadline.
+  EXPECT_NE(field_of(*second, "error").find("deadline"), std::string::npos)
+      << *second;
+
+  // A generous deadline on an idle server sails through.
+  const std::string ok_response = client.request(
+      R"({"verb":"predict","app":"ffvc","dataset":"small","ranks":2,)"
+      R"("threads":1,"iterations":1,"seed":9003,"deadline_ms":30000})");
+  EXPECT_EQ(field_of(ok_response, "ok"), "true") << ok_response;
+  EXPECT_EQ(server.stats_snapshot().deadline, 1u);
+}
+
+TEST(Serve, CancelledRequestDoesNotPoisonCoalescingWaiters) {
+  ServeOptions opts;
+  opts.socket_path = test_socket_path();
+  opts.workers = 2;
+  Server server(std::move(opts));
+  server.start();
+
+  // Two clients race on the SAME config: one with a 1 ms deadline, one
+  // without. Whatever the cancelled one ends up as (DEADLINE if it lost the
+  // race, ok if it finished first), the undeadlined waiter must always get
+  // the real answer — a cancelled coalescing leader releases its claim.
+  std::string plain_response;
+  std::string doomed_response;
+  std::thread plain([&] {
+    ServeClient c(server.socket_path());
+    plain_response = c.request(
+        R"({"verb":"predict","app":"ffb","dataset":"small","ranks":2,)"
+        R"("threads":1,"iterations":1,"seed":777})");
+  });
+  std::thread doomed([&] {
+    ServeClient c(server.socket_path());
+    doomed_response = c.request(
+        R"({"verb":"predict","app":"ffb","dataset":"small","ranks":2,)"
+        R"("threads":1,"iterations":1,"seed":777,"deadline_ms":1})");
+  });
+  plain.join();
+  doomed.join();
+  EXPECT_EQ(field_of(plain_response, "ok"), "true") << plain_response;
+  const bool doomed_ok = field_of(doomed_response, "ok") == "true";
+  if (!doomed_ok) {
+    EXPECT_EQ(field_of(doomed_response, "code"), kCodeDeadline)
+        << doomed_response;
+  }
+  // And the config is not poisoned for later requests either.
+  ServeClient after(server.socket_path());
+  const std::string retry = after.request(
+      R"({"verb":"predict","app":"ffb","dataset":"small","ranks":2,)"
+      R"("threads":1,"iterations":1,"seed":777})");
+  EXPECT_EQ(field_of(retry, "ok"), "true") << retry;
+  EXPECT_EQ(payload_of(retry), payload_of(plain_response));
+}
+
+TEST(Serve, BreakerTripsOverTheWireAndProbesClosed) {
+  ServeOptions opts;
+  opts.socket_path = test_socket_path();
+  opts.workers = 1;
+  opts.circuit.failure_threshold = 2;
+  opts.circuit.window = 4;
+  opts.circuit.open_ms = 200;
+  Server server(std::move(opts));
+  server.start();
+
+  const auto line_with_seed = [](int seed) {
+    return R"({"verb":"predict","app":"ffvc","dataset":"small","ranks":2,)"
+           R"("threads":1,"iterations":1,"seed":)" +
+           std::to_string(seed) + "}";
+  };
+  ServeClient client(server.socket_path());
+  {
+    // Every native run fails: distinct seeds dodge the memo but share the
+    // breaker key (the config class), so failure #2 trips the circuit and
+    // #3 is rejected fast with a typed CIRCUIT_OPEN + retry hint.
+    fault::ScopedPlan scoped(fault::Plan::parse("run.fail=1000000"));
+    EXPECT_EQ(field_of(client.request(line_with_seed(1)), "code"),
+              kCodeFailed);
+    EXPECT_EQ(field_of(client.request(line_with_seed(2)), "code"),
+              kCodeFailed);
+    const std::string rejected = client.request(line_with_seed(3));
+    EXPECT_EQ(field_of(rejected, "code"), kCodeCircuitOpen) << rejected;
+    const std::string hint = field_of(rejected, "retry_after_ms");
+    EXPECT_FALSE(hint.empty()) << rejected;
+  }
+  // Plan lifted + open_ms elapsed: the half-open probe runs, succeeds and
+  // closes the circuit for everyone.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  EXPECT_EQ(field_of(client.request(line_with_seed(4)), "ok"), "true");
+  EXPECT_EQ(field_of(client.request(line_with_seed(5)), "ok"), "true");
+  const ServeStats snap = server.stats_snapshot();
+  EXPECT_EQ(snap.circuit_open, 1u);
+  EXPECT_GE(snap.breaker_trips, 1u);
+  EXPECT_GE(snap.breaker_half_opens, 1u);
+  EXPECT_EQ(snap.breaker_open_now, 0u);
+  EXPECT_NE(server.stats_json().find("\"breaker\""), std::string::npos);
+}
+
+std::string test_journal_path() {
+  static std::atomic<int> counter{0};
+  return "/tmp/fibersim_test_journal_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".jsonl";
+}
+
+TEST(Serve, JournaledResultSurvivesRestartByteIdentically) {
+  const std::string journal = test_journal_path();
+  std::remove(journal.c_str());
+  std::string first_payload;
+  {
+    ServeOptions opts;
+    opts.socket_path = test_socket_path();
+    opts.workers = 1;
+    opts.journal_path = journal;
+    Server server(std::move(opts));
+    server.start();
+    ServeClient client(server.socket_path());
+    const std::string response = client.request(kPredictLine);
+    ASSERT_EQ(field_of(response, "ok"), "true") << response;
+    EXPECT_EQ(field_of(response, "tier"), "native");
+    first_payload = payload_of(response);
+  }  // ~Server: the acknowledged result is already fsync()ed in the journal
+  {
+    // No trace cache: the journal alone must answer, byte-identically.
+    ServeOptions opts;
+    opts.socket_path = test_socket_path();
+    opts.workers = 1;
+    opts.journal_path = journal;
+    Server server(std::move(opts));
+    server.start();
+    ServeClient client(server.socket_path());
+    const std::string response = client.request(kPredictLine);
+    EXPECT_EQ(field_of(response, "tier"), "journal") << response;
+    EXPECT_EQ(payload_of(response), first_payload);
+    const ServeStats snap = server.stats_snapshot();
+    EXPECT_EQ(snap.tier_journal, 1u);
+    EXPECT_EQ(snap.tier_native, 0u);
+    EXPECT_NE(server.stats_json().find("\"journal\""), std::string::npos);
+  }
+  std::remove(journal.c_str());
+}
+
+TEST(Serve, DisconnectAfterJournalWriteDoesNotPoisonReplay) {
+  const std::string journal = test_journal_path();
+  std::remove(journal.c_str());
+  ServeOptions opts;
+  opts.socket_path = test_socket_path();
+  opts.workers = 1;
+  opts.journal_path = journal;
+  Server server(std::move(opts));
+  server.start();
+
+  // The rude client is gone before the response write: the result is still
+  // journaled (journal write precedes the response) and the config class
+  // must stay perfectly serviceable for everyone else.
+  {
+    ServeClient rude(server.socket_path());
+    rude.send_line(kPredictLine);
+    rude.abort();
+  }
+  ServeClient polite(server.socket_path());
+  std::string response = polite.request(kPredictLine);
+  EXPECT_EQ(field_of(response, "ok"), "true") << response;
+  // Whether the abandoned run finished before or after our request, replay
+  // (memo or journal) and a fresh run agree; ask once more to hit a replay
+  // tier deterministically.
+  response = polite.request(kPredictLine);
+  EXPECT_EQ(field_of(response, "ok"), "true") << response;
+  server.stop();
+  server.wait();
+  std::remove(journal.c_str());
+}
+
+TEST(Serve, SigtermMidRunStillAnswersAndStatsServeDuringDrain) {
+  ServeOptions opts;
+  opts.socket_path = test_socket_path();
+  opts.workers = 1;
+  Server server(std::move(opts));
+  server.start();
+  server.install_signal_handlers();
+
+  ServeClient client(server.socket_path());
+  client.send_line(
+      R"({"verb":"predict","app":"ffb","dataset":"small","ranks":4,)"
+      R"("threads":1,"iterations":1,"seed":31337,"id":"mid-run"})");
+  // Wait until the worker owns the cold native run, then deliver a real
+  // SIGTERM through the installed handler (self-pipe -> stop()).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (server.stats_snapshot().predict == 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(::kill(::getpid(), SIGTERM), 0);
+  // The in-flight cold run must complete and answer ok — SIGTERM drains, it
+  // never abandons acknowledged-admitted work.
+  const auto response = client.read_line();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(field_of(*response, "id"), "mid-run");
+  EXPECT_EQ(field_of(*response, "ok"), "true") << *response;
+  // The observability plane stays up during the drain: stats still answers
+  // (and reports the drained predict), while new work is refused typed.
+  const std::string stats = client.request(R"({"verb":"stats"})");
+  EXPECT_EQ(field_of(stats, "ok"), "true") << stats;
+  EXPECT_NE(stats.find("\"predict\":1"), std::string::npos) << stats;
+  EXPECT_EQ(field_of(client.request(kPredictLine), "code"), kCodeShutdown);
+  server.wait();
   EXPECT_EQ(::access(server.socket_path().c_str(), F_OK), -1);
 }
 

@@ -79,11 +79,10 @@ PERF_SERVE="$BUILD_DIR/bench/perf_serve"
 "$FIBERSIM" serve --socket "$SERVE_SOCK" --workers 2 \
     --trace-cache "$SERVE_CACHE" > "$SERVE_LOG" 2>&1 &
 SERVE_PID=$!
-i=0
-until grep -q "serving on" "$SERVE_LOG" 2>/dev/null; do
-  i=$((i + 1)); [ "$i" -le 100 ] || { echo "serve never came up" >&2; exit 1; }
-  sleep 0.1
-done
+# Readiness via the retrying client (connect failures back off and retry —
+# no hand-rolled sleep/grep polling).
+"$PERF_SERVE" --connect "$SERVE_SOCK" --send '{"verb":"ping"}' \
+    --retries 20 --backoff-ms 50 > /dev/null
 PREDICT='{"verb":"predict","app":"ffvc","dataset":"small","ranks":4,"threads":2}'
 # Cold then warm: the daemon's payload must be byte-identical to the CLI's
 # `run --json` for the same config, and the warm repeat must agree.
@@ -102,11 +101,8 @@ CLI_JSON="$("$FIBERSIM" run --app ffvc --dataset small --ranks 4 --threads 2 --j
 FIBERSIM_FAULT_PLAN="seed=7;run.fail=1000000" "$FIBERSIM" serve \
     --socket "$SERVE_SOCK.chaos" > "$SERVE_LOG.chaos" 2>&1 &
 CHAOS_PID=$!
-i=0
-until grep -q "serving on" "$SERVE_LOG.chaos" 2>/dev/null; do
-  i=$((i + 1)); [ "$i" -le 100 ] || { echo "chaos serve never came up" >&2; exit 1; }
-  sleep 0.1
-done
+"$PERF_SERVE" --connect "$SERVE_SOCK.chaos" --send '{"verb":"ping"}' \
+    --retries 20 --backoff-ms 50 > /dev/null
 CHAOS_RESP="$("$PERF_SERVE" --connect "$SERVE_SOCK.chaos" --send "$PREDICT")"
 case "$CHAOS_RESP" in
   *'"code":"FAILED"'*'class=injected'*) ;;
@@ -121,6 +117,31 @@ grep -q "server stopped" "$SERVE_LOG"
 grep -q "server stopped" "$SERVE_LOG.chaos"
 [ ! -e "$SERVE_SOCK" ] && [ ! -e "$SERVE_SOCK.chaos" ]
 [ "$(find "$SERVE_CACHE" -name '.tmp-*' | wc -l)" -eq 0 ]
+
+echo "== resilience: chaos soak (SIGKILL + supervised recovery, zero loss) =="
+# The soak harness runs a supervised external server under live load while
+# SIGKILLing the serving child, then re-checks every acknowledged config
+# after the final recovery. Bounded for CI: 2 kills, 2 clients.
+RES_DIR="$CACHE_DIR/resilience"
+RES_JSON="$CACHE_DIR/BENCH_resilience.json"
+"$BUILD_DIR/bench/perf_resilience" --server "$FIBERSIM" --out "$RES_JSON" \
+    --work-dir "$RES_DIR" --kills 2 --clients 2 --requests 24
+for invariant in '"zero_loss": true' '"byte_identical": true' \
+    '"supervisor_clean_exit": true' '"journal_newline_clean": true' \
+    '"typed_timeout": true' '"recovered": true' '"terminal_errors": 0' \
+    '"ok": true'; do
+  grep -q "$invariant" "$RES_JSON" || {
+    echo "BENCH_resilience.json missing invariant: $invariant" >&2
+    exit 1
+  }
+done
+# Post-soak cleanliness, re-checked from outside the harness: socket
+# unlinked, journal newline-terminated (no torn tail), no half-published
+# .tmp entries in the trace store.
+[ ! -e "$RES_DIR/resilience.sock" ]
+[ -s "$RES_DIR/resilience.journal" ]
+[ "$(tail -c 1 "$RES_DIR/resilience.journal" | wc -l)" -eq 1 ]
+[ "$(find "$RES_DIR/resilience-cache" -name '.tmp-*' | wc -l)" -eq 0 ]
 
 echo "== sanitize: concurrency + fault suites under TSan =="
 cmake -B "$TSAN_DIR" -S . -DFIBERSIM_SANITIZE=thread
