@@ -6,7 +6,10 @@
 // first-order calibrations against the behaviour reported for the Fujitsu
 // compiler on A64FX (basic auto-vectorisation bails on indirect/conditional
 // loops; directives plus predication recover most of it; software pipelining
-// hides a large part of the FP latency chain).
+// hides a large part of the FP latency chain). CompileOptions::compiler
+// selects a per-compiler coefficient set (Fujitsu / GNU / Arm-LLVM class);
+// the Fujitsu profile is the calibration baseline and reproduces the
+// pre-profile model bit-exactly.
 #pragma once
 
 #include "cg/compile_options.hpp"

@@ -13,6 +13,20 @@ const char* vectorize_level_name(VectorizeLevel level) {
   return "?";
 }
 
+const char* compiler_profile_name(CompilerProfile profile) {
+  switch (profile) {
+    case CompilerProfile::kFujitsu: return "fujitsu";
+    case CompilerProfile::kGnu: return "gnu";
+    case CompilerProfile::kArmLlvm: return "arm-llvm";
+  }
+  return "?";
+}
+
+std::vector<CompilerProfile> compiler_profiles() {
+  return {CompilerProfile::kFujitsu, CompilerProfile::kGnu,
+          CompilerProfile::kArmLlvm};
+}
+
 CompileOptions CompileOptions::as_is() { return CompileOptions{}; }
 
 CompileOptions CompileOptions::simd_enhanced() {
@@ -33,25 +47,59 @@ std::string CompileOptions::name() const {
   if (software_pipelining) n += ",swp";
   if (unroll > 1) n += ",unroll" + std::to_string(unroll);
   if (loop_fission) n += ",fission";
+  // The Fujitsu profile is the historical default; only deviations print,
+  // so every pre-profile label stays byte-identical.
+  if (compiler != CompilerProfile::kFujitsu) {
+    n += std::string(",") + compiler_profile_name(compiler);
+  }
   return n;
 }
 
 void CompileOptions::validate() const {
   FS_REQUIRE(unroll >= 1 && unroll <= 64, "unroll factor out of range");
+  FS_REQUIRE(compiler == CompilerProfile::kFujitsu ||
+                 compiler == CompilerProfile::kGnu ||
+                 compiler == CompilerProfile::kArmLlvm,
+             "unknown compiler profile");
 }
 
 std::uint64_t CompileOptions::fingerprint() const {
   validate();
-  // unroll <= 64 fits in 7 bits; the whole option set fits in 11.
+  // unroll <= 64 fits in 7 bits; vectorize 2, swp 1, fission 1, compiler 2:
+  // the whole option set fits in 13 bits. kFujitsu == 0 keeps every
+  // pre-profile fingerprint unchanged.
   return static_cast<std::uint64_t>(vectorize) |
          (software_pipelining ? 1ull << 2 : 0) |
          (static_cast<std::uint64_t>(unroll) << 3) |
-         (loop_fission ? 1ull << 10 : 0);
+         (loop_fission ? 1ull << 10 : 0) |
+         (static_cast<std::uint64_t>(compiler) << 11);
 }
 
 std::vector<CompileOptions> tuning_ladder() {
-  return {CompileOptions::as_is(), CompileOptions::simd_enhanced(),
-          CompileOptions::simd_sched()};
+  std::vector<CompileOptions> ladder = {CompileOptions::as_is(),
+                                        CompileOptions::simd_enhanced(),
+                                        CompileOptions::simd_sched()};
+  for (const CompileOptions& preset : ladder) preset.validate();
+  return ladder;
+}
+
+std::vector<CompileOptions> search_presets() {
+  std::vector<CompileOptions> presets;
+  for (const CompilerProfile profile : compiler_profiles()) {
+    for (const CompileOptions& base : tuning_ladder()) {
+      for (const int unroll : {1, 4}) {
+        for (const bool fission : {false, true}) {
+          CompileOptions o = base;
+          o.compiler = profile;
+          o.unroll = unroll;
+          o.loop_fission = fission;
+          o.validate();
+          presets.push_back(o);
+        }
+      }
+    }
+  }
+  return presets;
 }
 
 }  // namespace fibersim::cg

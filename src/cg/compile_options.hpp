@@ -5,7 +5,8 @@
 // vectorisation of conditional loops, Fujitsu -Ksimd=2 class) and changing
 // instruction scheduling (software pipelining, -Kswp class). CompileOptions
 // captures exactly those knobs plus the unroll/loop-fission options used for
-// the ablation study.
+// the ablation study, and — following "A64FX: Your Compiler You Must
+// Decide!" — which compiler's code generator produced the binary.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +23,25 @@ enum class VectorizeLevel {
 
 const char* vectorize_level_name(VectorizeLevel level);
 
+/// Per-compiler codegen profile: the same source and flag set comes out of
+/// different compilers as measurably different code (integer-factor swings
+/// on A64FX kernels per the compiler-comparison study in PAPERS.md). The
+/// profile scales the codegen model's vectorisation efficacy, software-
+/// pipelining gain, branch predication and unroll effectiveness
+/// (cg/codegen_model.cpp). kFujitsu is the calibration baseline — it
+/// reproduces the pre-profile model bit-exactly and is the default, so
+/// every existing fingerprint, cache key and report stays unchanged.
+enum class CompilerProfile {
+  kFujitsu = 0,  ///< trad-mode -K class: strongest SWP and SVE predication
+  kGnu,          ///< GCC class: conservative vectoriser, weak modulo sched
+  kArmLlvm,      ///< Arm Compiler for Linux (LLVM) class
+};
+
+const char* compiler_profile_name(CompilerProfile profile);
+
+/// Every modelled profile, Fujitsu (the default/baseline) first.
+std::vector<CompilerProfile> compiler_profiles();
+
 struct CompileOptions {
   VectorizeLevel vectorize = VectorizeLevel::kBasic;
   /// Software pipelining / aggressive instruction scheduling: overlaps
@@ -32,6 +52,8 @@ struct CompileOptions {
   /// Loop fission: splits fat loops to enable vectorisation / shorten chains
   /// at the price of extra streamed traffic for the intermediates.
   bool loop_fission = false;
+  /// Which compiler's code generator the model emulates.
+  CompilerProfile compiler = CompilerProfile::kFujitsu;
 
   // The three presets of experiment T3.
   static CompileOptions as_is();
@@ -43,13 +65,22 @@ struct CompileOptions {
 
   /// Exact (collision-free) value fingerprint: every field bit-packed into
   /// one word. Keys the codegen memo cache — equal fingerprints imply equal
-  /// options, so no verification compare is needed on lookup.
+  /// options, so no verification compare is needed on lookup. The compiler
+  /// profile packs into previously-unused high bits with kFujitsu == 0, so
+  /// every pre-profile option set keeps its exact historical fingerprint
+  /// (no cache-key aliasing across the feature boundary).
   std::uint64_t fingerprint() const;
 
   friend bool operator==(const CompileOptions&, const CompileOptions&) = default;
 };
 
 /// The preset sequence used by the T3 table (ordered: as-is, +SIMD, +sched).
+/// Every returned preset is validated at construction.
 std::vector<CompileOptions> tuning_ladder();
+
+/// The full compile axis the autotuner searches: the T3 ladder crossed with
+/// every compiler profile, unroll in {1, 4} and loop fission off/on —
+/// validated, deterministic order, pairwise-distinct fingerprints (tested).
+std::vector<CompileOptions> search_presets();
 
 }  // namespace fibersim::cg

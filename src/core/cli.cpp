@@ -14,6 +14,7 @@
 #include "core/serve.hpp"
 #include "core/supervise.hpp"
 #include "core/sweep_pool.hpp"
+#include "core/tuner.hpp"
 #include "fault/fault.hpp"
 
 namespace fibersim::core {
@@ -58,6 +59,22 @@ constexpr const char* kUsage =
     "                            to D, warm runs replay with zero native\n"
     "                            executions and byte-identical output (env\n"
     "                            FIBERSIM_TRACE_CACHE also enables it)\n"
+    "  tune [--app name]         successive-halving autotune over the full\n"
+    "       [--dataset d]        MPI x OMP / stride / alloc / compile-preset\n"
+    "       [--iterations N]     / compiler-profile / processor cross-\n"
+    "       [--seed N]           product; races every candidate at a small\n"
+    "       [--jobs N]           budget and re-races survivors at the\n"
+    "       [--eta N]            target budget, then refines the elites\n"
+    "       [--min-survivors N]  with a seeded evolutionary stage\n"
+    "       [--generations N]    (--generations 0 disables it). Output is\n"
+    "       [--population N]     the budget schedule, the best-config\n"
+    "       [--processors a,b]   recommendation and the time-vs-BW-pressure\n"
+    "       [--presets full|ladder]  Pareto front, byte-identical for any\n"
+    "       [--combos full|representative]  --jobs N at a fixed seed.\n"
+    "       [--unbounded on|off] --unbounded keeps every candidate at every\n"
+    "       [--collapse-ranks on|off]  rung (exhaustive argmin, for\n"
+    "       [--format text|csv|json]   verification); --trace-cache D\n"
+    "       [--trace-cache D]    reuses native runs across tune runs\n"
     "  serve [--socket path]     long-lived prediction daemon on a Unix\n"
     "        [--workers N]       socket (default fibersim.sock): line-\n"
     "        [--queue N]         delimited JSON requests (ping | stats |\n"
@@ -297,6 +314,96 @@ int cmd_report(const std::vector<std::string>& args, std::ostream& out,
   return 0;
 }
 
+int cmd_tune(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  TunerOptions topts;
+  topts.jobs = SweepPool::default_jobs();
+  ReportFormat format = ReportFormat::kText;
+  std::string trace_cache_dir;
+  std::string problem;
+  for (std::size_t i = 0; i < args.size(); i += 2) {
+    const std::string& key = args[i];
+    if (i + 1 >= args.size()) {
+      err << "missing value for " << key << "\n";
+      return 2;
+    }
+    const std::string& value = args[i + 1];
+    bool flag = false;
+    if (key == "--app") {
+      topts.app = value;
+    } else if (key == "--dataset") {
+      topts.dataset = parse_dataset(value);
+    } else if (key == "--iterations") {
+      problem = flag_int(key, value, 1, &topts.iterations);
+    } else if (key == "--seed") {
+      problem = flag_u64(key, value, &topts.seed);
+    } else if (key == "--jobs") {
+      problem = flag_int(key, value, 1, &topts.jobs);
+    } else if (key == "--eta") {
+      problem = flag_int(key, value, 2, &topts.eta);
+    } else if (key == "--min-survivors") {
+      problem = flag_int(key, value, 1, &topts.min_survivors);
+    } else if (key == "--generations") {
+      problem = flag_int(key, value, 0, &topts.generations);
+    } else if (key == "--population") {
+      problem = flag_int(key, value, 1, &topts.population);
+    } else if (key == "--processors") {
+      topts.processors.clear();
+      for (const std::string& name : split(value, ',')) {
+        topts.processors.push_back(parse_processor(name));
+      }
+    } else if (key == "--presets") {
+      const std::string t = to_lower(trim(value));
+      if (t == "full") {
+        topts.presets = cg::search_presets();
+      } else if (t == "ladder") {
+        topts.presets = cg::tuning_ladder();
+      } else {
+        err << "unknown --presets value: " << value
+            << " (expected full | ladder)\n";
+        return 2;
+      }
+    } else if (key == "--combos") {
+      const std::string t = to_lower(trim(value));
+      if (t == "full") {
+        topts.full_mpi_omp = true;
+      } else if (t == "representative") {
+        topts.full_mpi_omp = false;
+      } else {
+        err << "unknown --combos value: " << value
+            << " (expected full | representative)\n";
+        return 2;
+      }
+    } else if (key == "--unbounded") {
+      problem = flag_bool(key, value, &flag);
+      topts.unbounded = flag;
+    } else if (key == "--collapse-ranks") {
+      problem = flag_bool(key, value, &flag);
+      topts.collapse = flag;
+    } else if (key == "--format") {
+      format = parse_report_format(value);
+    } else if (key == "--trace-cache") {
+      trace_cache_dir = value;
+    } else {
+      err << "unknown tune flag: " << key << "\n";
+      return 2;
+    }
+    if (!problem.empty()) {
+      err << problem << "\n";
+      return 2;
+    }
+  }
+  Runner runner;
+  attach_trace_store(runner, trace_cache_dir);
+  Tuner tuner(runner, topts);
+  const TuneOutcome outcome = tuner.run();
+  EmitOptions opts;
+  opts.format = format;
+  opts.framed = false;
+  emit_report(tune_artifact(outcome, topts), opts, out);
+  return 0;
+}
+
 int cmd_serve(const std::vector<std::string>& args, std::ostream& out,
               std::ostream& err) {
   ServeOptions opts;
@@ -401,6 +508,7 @@ int cli_main(const std::vector<std::string>& args, std::ostream& out,
     if (command == "describe") return cmd_describe(rest, out, err);
     if (command == "run") return cmd_run(rest, out, err);
     if (command == "report") return cmd_report(rest, out, err);
+    if (command == "tune") return cmd_tune(rest, out, err);
     if (command == "serve") return cmd_serve(rest, out, err);
     if (command == "help" || command == "--help" || command == "-h") {
       out << kUsage;

@@ -50,6 +50,17 @@ cg::CompileOptions parse_compile(std::string_view text) {
               "' (expected as-is | simd | simd+ | simd+swp | nosimd)");
 }
 
+cg::CompilerProfile parse_compiler_profile(std::string_view text) {
+  const std::string t = to_lower(trim(text));
+  if (t == "fujitsu") return cg::CompilerProfile::kFujitsu;
+  if (t == "gnu" || t == "gcc") return cg::CompilerProfile::kGnu;
+  if (t == "arm-llvm" || t == "arm_llvm" || t == "llvm") {
+    return cg::CompilerProfile::kArmLlvm;
+  }
+  throw Error("unknown compiler profile: '" + std::string(text) +
+              "' (expected fujitsu | gnu | arm-llvm)");
+}
+
 machine::ProcessorConfig parse_processor(std::string_view text) {
   const std::string t = to_lower(trim(text));
   if (t == "a64fx") return machine::a64fx();
@@ -147,6 +158,8 @@ ExperimentConfig parse_experiment_config(std::string_view text) {
       cfg.compile.unroll = parse_int(key, value);
     } else if (key == "fission") {
       cfg.compile.loop_fission = parse_bool(key, value);
+    } else if (key == "compiler") {
+      cfg.compile.compiler = parse_compiler_profile(value);
     } else if (key == "processor") {
       cfg.processor = parse_processor(value);
     } else if (key == "iterations") {

@@ -14,6 +14,7 @@
 //   compile    = simd+swp       # as-is | simd | simd+ | simd+swp
 //   unroll     = 1
 //   fission    = false
+//   compiler   = fujitsu        # fujitsu | gnu | arm-llvm
 //   processor  = a64fx          # a64fx | a64fx-boost | a64fx-eco |
 //                               # skylake | thunderx2 | broadwell
 //   iterations = 3
@@ -35,6 +36,9 @@ topo::RankAllocPolicy parse_alloc(std::string_view text);
 
 /// "as-is"/"as_is", "simd", "simd+", "simd+swp"/"simd-swp", "nosimd".
 cg::CompileOptions parse_compile(std::string_view text);
+
+/// "fujitsu", "gnu"/"gcc", "arm-llvm"/"llvm".
+cg::CompilerProfile parse_compiler_profile(std::string_view text);
 
 /// "a64fx", "a64fx-boost", "a64fx-eco", "skylake", "thunderx2", "broadwell".
 machine::ProcessorConfig parse_processor(std::string_view text);

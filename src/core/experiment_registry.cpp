@@ -13,6 +13,7 @@ ExperimentRegistry& ExperimentRegistry::instance() {
     register_sweep_experiments(*r);
     register_compare_experiments(*r);
     register_ablation_experiments(*r);
+    register_tune_experiments(*r);
     return r;
   }();
   return *registry;

@@ -64,5 +64,6 @@ class ExperimentRegistry {
 void register_sweep_experiments(ExperimentRegistry& registry);
 void register_compare_experiments(ExperimentRegistry& registry);
 void register_ablation_experiments(ExperimentRegistry& registry);
+void register_tune_experiments(ExperimentRegistry& registry);  // tuner.cpp
 
 }  // namespace fibersim::core

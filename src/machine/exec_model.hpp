@@ -53,6 +53,11 @@ struct PhaseTime {
   double remote_bytes = 0.0;  ///< DRAM traffic that crossed domains
   double chain_s = 0.0;       ///< dependency-chain bound of the slowest thread
   double gflops() const { return total_s > 0.0 ? flops / total_s * 1e-9 : 0.0; }
+  /// Memory-bandwidth pressure: the fraction of the phase's modelled wall
+  /// time its most-loaded DRAM/interconnect channel is busy. The autotuner
+  /// treats this as a co-equal objective beside time (ECM-style BW-pressure
+  /// axis); a config at pressure ~1 has no headroom for co-scheduled work.
+  double bw_pressure() const { return total_s > 0.0 ? memory_s / total_s : 0.0; }
 };
 
 /// The placement-independent part of one thread's phase evaluation: a pure

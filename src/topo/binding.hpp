@@ -36,6 +36,9 @@ struct ThreadBindPolicy {
   /// Effective stride on a node with the given shape.
   int effective_stride(const NodeShape& shape) const;
   std::string name() const;
+
+  friend bool operator==(const ThreadBindPolicy&,
+                         const ThreadBindPolicy&) = default;
 };
 
 /// The MPI process allocation policy.

@@ -43,6 +43,11 @@ struct JobPrediction {
   double setup_s = 0.0;  ///< predicted time of the untimed phases
 
   double gflops() const { return total_s > 0.0 ? flops * 1e-9 / total_s : 0.0; }
+  /// Job-level memory-bandwidth pressure: fraction of the predicted wall
+  /// time spent on the most-loaded memory channel (see
+  /// machine::PhaseTime::bw_pressure). Computed, never serialised — the
+  /// JSON payload shape is part of the serve parity contract.
+  double bw_pressure() const { return total_s > 0.0 ? memory_s / total_s : 0.0; }
 };
 
 /// Predict the execution time of a recorded job.

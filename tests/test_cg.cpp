@@ -1,4 +1,10 @@
 // Unit and property tests for the code-generation model.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "cg/codegen_model.hpp"
@@ -146,6 +152,64 @@ TEST(Apply, OutputAlwaysValidates) {
       EXPECT_NO_THROW(apply(o, w).validate());
     }
   }
+}
+
+TEST(CompileOptions, EveryPresetValidatesAndFingerprintsUniquely) {
+  // tuning_ladder() + search_presets(): all constructed pre-validated, and
+  // fingerprint() must be injective over the union (it keys the codegen
+  // memo cache — a collision would silently alias two option sets).
+  std::vector<CompileOptions> all = tuning_ladder();
+  const std::vector<CompileOptions> searched = search_presets();
+  all.insert(all.end(), searched.begin(), searched.end());
+  std::map<std::uint64_t, std::string> seen;
+  for (const CompileOptions& o : all) {
+    EXPECT_NO_THROW(o.validate()) << o.name();
+    const auto [it, fresh] = seen.emplace(o.fingerprint(), o.name());
+    EXPECT_TRUE(fresh || it->second == o.name())
+        << "fingerprint collision: " << o.name() << " vs " << it->second;
+  }
+  // Distinct names imply distinct fingerprints across the whole union.
+  std::set<std::string> names;
+  for (const CompileOptions& o : all) names.insert(o.name());
+  EXPECT_EQ(seen.size(), names.size());
+}
+
+TEST(CompileOptions, CompilerProfileChangesFingerprint) {
+  for (const CompileOptions& base : tuning_ladder()) {
+    for (const CompilerProfile profile : compiler_profiles()) {
+      CompileOptions o = base;
+      o.compiler = profile;
+      if (profile == base.compiler) {
+        EXPECT_EQ(o.fingerprint(), base.fingerprint());
+      } else {
+        EXPECT_NE(o.fingerprint(), base.fingerprint()) << o.name();
+      }
+    }
+  }
+}
+
+TEST(CompileOptions, FujitsuProfileKeepsHistoricalFingerprints) {
+  // kFujitsu == 0 packs into previously-unused high bits, so every
+  // pre-profile option set keeps its exact historical cache key. simd_sched
+  // is vectorize=2 | swp<<2 | unroll=1<<3 == 14; pin it so an accidental
+  // re-layout of the bit packing cannot alias warm on-disk cache tiers.
+  EXPECT_EQ(CompileOptions::simd_sched().fingerprint(), 14u);
+  EXPECT_EQ(CompileOptions::as_is().fingerprint(),
+            (CompileOptions{.vectorize = VectorizeLevel::kBasic}).fingerprint());
+}
+
+TEST(CodegenModel, ProfilesDisagreeOnGeneratedCode) {
+  // The three compiler back-ends must actually produce different code for
+  // a vectorizable loop — otherwise the searched dimension is dead weight.
+  isa::WorkEstimate w = clean_loop();
+  w.branches = 0.5 * w.iterations;
+  CompileOptions o = CompileOptions::simd_enhanced();
+  std::set<double> fractions;
+  for (const CompilerProfile profile : compiler_profiles()) {
+    o.compiler = profile;
+    fractions.insert(apply(o, w).vectorizable_fraction);
+  }
+  EXPECT_EQ(fractions.size(), compiler_profiles().size());
 }
 
 struct LadderCase {

@@ -327,7 +327,7 @@ TEST(Cli, ReportAllJsonIsOneArray) {
 
 TEST(Cli, ReportIdsCoverTheDesignIndex) {
   const auto ids = cli_report_ids();
-  EXPECT_EQ(ids.size(), 18u);
+  EXPECT_EQ(ids.size(), 19u);
 }
 
 // ----- malformed numeric values: every flag, every command -----

@@ -130,6 +130,27 @@ TEST(Sweep, RepresentativeCombosValid) {
   }
 }
 
+TEST(Sweep, RepresentativeCombosDedupeSingleNumaProcessors) {
+  // With one NUMA domain the heuristic anchor points collide (all-MPI ==
+  // domains*N for small core counts, domains == 1 == all-threads ranks);
+  // the dedupe must collapse them so the tuner's candidate space — and the
+  // no-duplicates contract above — holds for any shape.
+  machine::ProcessorConfig proc = machine::a64fx();
+  proc.shape = {1, 1, 48};
+  for (const int cores_per_numa : {48, 8, 4, 2, 1}) {
+    proc.shape.cores_per_numa = cores_per_numa;
+    const auto combos = representative_combos(proc);
+    ASSERT_FALSE(combos.empty()) << cores_per_numa;
+    std::set<std::pair<int, int>> unique(combos.begin(), combos.end());
+    EXPECT_EQ(unique.size(), combos.size()) << cores_per_numa;
+    for (const auto& [p, t] : combos) {
+      EXPECT_EQ(p * t, proc.cores()) << cores_per_numa;
+    }
+    EXPECT_TRUE(unique.count({proc.cores(), 1}));
+    EXPECT_TRUE(unique.count({1, proc.cores()}));
+  }
+}
+
 TEST(Sweep, StridePoliciesStartCompactEndScatter) {
   const auto policies = stride_policies(machine::a64fx().shape);
   ASSERT_GE(policies.size(), 3u);

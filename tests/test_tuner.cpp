@@ -1,0 +1,177 @@
+// core::Tuner property tests.
+//
+// The load-bearing contracts:
+//   * unbounded budget degenerates to exhaustive search: for every miniapp
+//     the recommended config's predicted time is bit-identical to the
+//     brute-force argmin over the same space at the target budget;
+//   * seeded determinism: the rendered tune report is byte-identical for
+//     --jobs 1 and --jobs 4 (evolution on), per the contract in tuner.hpp;
+//   * the Pareto front is a genuine non-dominated set containing the best;
+//   * dedupe accounting: proposals that repeat a (candidate, budget) pair
+//     are counted, never re-predicted.
+#include <bit>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/report_emit.hpp"
+#include "core/sweep_pool.hpp"
+#include "core/tuner.hpp"
+#include "miniapps/miniapp.hpp"
+
+namespace fibersim::core {
+namespace {
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+// A trimmed but still multi-axis space: one processor, representative
+// MPI x OMP combos, the T3 ladder presets. Small enough that exhaustive
+// enumeration stays cheap inside a unit test.
+TunerOptions trimmed_options(const std::string& app) {
+  TunerOptions opts;
+  opts.app = app;
+  opts.dataset = apps::Dataset::kSmall;
+  opts.iterations = 2;
+  opts.seed = 7;
+  opts.processors = {machine::a64fx()};
+  opts.presets = cg::tuning_ladder();
+  opts.full_mpi_omp = false;
+  return opts;
+}
+
+TEST(Tuner, UnboundedBudgetEqualsExhaustiveArgminForEveryApp) {
+  for (const std::string& app : apps::registry_names()) {
+    TunerOptions opts = trimmed_options(app);
+    opts.unbounded = true;
+
+    Runner tuner_runner;
+    Tuner tuner(tuner_runner, opts);
+    const TuneOutcome outcome = tuner.run();
+
+    // Brute force on a fresh runner: every candidate at the target budget.
+    Runner brute_runner;
+    Tuner enumerator(brute_runner, opts);
+    const std::vector<TuneCandidate> space = enumerator.space();
+    ASSERT_FALSE(space.empty()) << app;
+    EXPECT_EQ(outcome.space_size, space.size()) << app;
+    const TuneBudget target{opts.dataset, opts.iterations};
+    std::vector<ExperimentConfig> configs;
+    configs.reserve(space.size());
+    for (const TuneCandidate& candidate : space) {
+      configs.push_back(enumerator.make_config(candidate, target));
+    }
+    const std::vector<ExperimentResult> results =
+        SweepPool(2).run(brute_runner, configs);
+    ASSERT_EQ(results.size(), space.size()) << app;
+    // Same tie-break as the tuner's argmin: seconds, then BW pressure, then
+    // enumeration order.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      const double s = results[i].seconds();
+      const double bw = results[i].prediction.bw_pressure();
+      if (s < results[best].seconds() ||
+          (s == results[best].seconds() &&
+           bw < results[best].prediction.bw_pressure())) {
+        best = i;
+      }
+    }
+
+    EXPECT_TRUE(same_bits(outcome.best.seconds, results[best].seconds()))
+        << app << ": tuner " << outcome.best.seconds << " vs exhaustive "
+        << results[best].seconds();
+    EXPECT_EQ(outcome.best.candidate, space[best]) << app;
+    // Unbounded halving never drops anyone: the final rung races everyone.
+    ASSERT_FALSE(outcome.rungs.empty()) << app;
+    EXPECT_EQ(outcome.rungs.back().candidates, space.size()) << app;
+  }
+}
+
+std::string render(const TuneOutcome& outcome, const TunerOptions& opts,
+                   ReportFormat format) {
+  std::ostringstream os;
+  EmitOptions emit;
+  emit.format = format;
+  emit_report(tune_artifact(outcome, opts), emit, os);
+  return os.str();
+}
+
+TEST(Tuner, SeededRunsAreByteIdenticalAcrossJobsCounts) {
+  TunerOptions opts = trimmed_options("ffvc");
+  opts.generations = 2;  // exercise the evolutionary stage too
+  opts.population = 6;
+
+  TunerOptions serial = opts;
+  serial.jobs = 1;
+  Runner serial_runner;
+  const TuneOutcome a = Tuner(serial_runner, serial).run();
+
+  TunerOptions threaded = opts;
+  threaded.jobs = 4;
+  Runner threaded_runner;
+  const TuneOutcome b = Tuner(threaded_runner, threaded).run();
+
+  // Render both under the same options label so only results can differ.
+  EXPECT_EQ(render(a, opts, ReportFormat::kText),
+            render(b, opts, ReportFormat::kText));
+  EXPECT_EQ(render(a, opts, ReportFormat::kJson),
+            render(b, opts, ReportFormat::kJson));
+  EXPECT_TRUE(same_bits(a.best.seconds, b.best.seconds));
+  EXPECT_TRUE(same_bits(a.baseline.seconds, b.baseline.seconds));
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.deduped, b.deduped);
+  EXPECT_EQ(a.pareto.size(), b.pareto.size());
+}
+
+TEST(Tuner, ParetoFrontIsNonDominatedAndContainsBest) {
+  TunerOptions opts = trimmed_options("ffvc");
+  Runner runner;
+  const TuneOutcome outcome = Tuner(runner, opts).run();
+
+  ASSERT_FALSE(outcome.pareto.empty());
+  // Sorted by seconds ascending; bw pressure strictly improving along it.
+  for (std::size_t i = 1; i < outcome.pareto.size(); ++i) {
+    EXPECT_LE(outcome.pareto[i - 1].seconds, outcome.pareto[i].seconds);
+    EXPECT_GT(outcome.pareto[i - 1].bw_pressure,
+              outcome.pareto[i].bw_pressure);
+  }
+  // The fastest point on the front is the recommended best.
+  EXPECT_TRUE(same_bits(outcome.pareto.front().seconds, outcome.best.seconds));
+  // Nothing on the front is dominated by the best (it IS the seconds-min).
+  for (const TuneEvaluation& eval : outcome.pareto) {
+    EXPECT_GE(eval.seconds, outcome.best.seconds);
+  }
+}
+
+TEST(Tuner, EvolutionDedupesRepeatProposals) {
+  TunerOptions opts = trimmed_options("ffvc");
+  opts.generations = 3;
+  opts.population = 6;
+  Runner runner;
+  const TuneOutcome outcome = Tuner(runner, opts).run();
+
+  // Mutations over a trimmed space collide with already-evaluated points;
+  // the memo must swallow them instead of re-predicting.
+  EXPECT_GT(outcome.deduped, 0u);
+  // Every evaluation is a distinct (candidate, budget) pair, so the count
+  // can never exceed rungs' proposals + evolution proposals; at minimum the
+  // full space was raced once at the first rung.
+  EXPECT_GE(outcome.evaluations, outcome.space_size);
+}
+
+TEST(Tuner, BaselineIsAlwaysEvaluatedAndNeverBeatsBest) {
+  for (const std::string& app : apps::registry_names()) {
+    TunerOptions opts = trimmed_options(app);
+    Runner runner;
+    const TuneOutcome outcome = Tuner(runner, opts).run();
+    EXPECT_GT(outcome.baseline.seconds, 0.0) << app;
+    EXPECT_LE(outcome.best.seconds, outcome.baseline.seconds) << app;
+  }
+}
+
+}  // namespace
+}  // namespace fibersim::core

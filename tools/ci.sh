@@ -118,6 +118,35 @@ grep -q "server stopped" "$SERVE_LOG.chaos"
 [ ! -e "$SERVE_SOCK" ] && [ ! -e "$SERVE_SOCK.chaos" ]
 [ "$(find "$SERVE_CACHE" -name '.tmp-*' | wc -l)" -eq 0 ]
 
+echo "== tune: seeded determinism across jobs + halving vs exhaustive =="
+# The autotuner's contract: byte-identical reports for any --jobs N at a
+# fixed seed, and a recommendation that beats the paper's as-is baseline.
+TUNE_ARGS="tune --app ffvc --dataset small --iterations 2 --seed 42 \
+    --processors a64fx --combos representative --generations 2"
+"$FIBERSIM" $TUNE_ARGS --jobs 1 > "$CACHE_DIR/tune.j1.txt"
+"$FIBERSIM" $TUNE_ARGS --jobs 4 > "$CACHE_DIR/tune.j4.txt"
+diff "$CACHE_DIR/tune.j1.txt" "$CACHE_DIR/tune.j4.txt"
+grep -q 'best beats as-is baseline: yes' "$CACHE_DIR/tune.j1.txt" || {
+  echo "tune: recommended config does not beat the as-is baseline" >&2
+  exit 1
+}
+# The bench races the tuner against exhaustive enumeration of the full
+# cross-product and exits nonzero unless the argmin matches bitwise, the
+# native/codegen eval counts shrink >= 50x, and jobs 1 == jobs 4.
+"$BUILD_DIR/bench/perf_tune" --out "$CACHE_DIR/BENCH_tune.json"
+for invariant in '"argmin_match": true' '"jobs_identical": true' \
+    '"reduction_ok": true' '"best_beats_baseline": true' '"ok": true'; do
+  grep -q "$invariant" "$CACHE_DIR/BENCH_tune.json" || {
+    echo "BENCH_tune.json missing invariant: $invariant" >&2
+    exit 1
+  }
+done
+
+echo "== bench artifacts: every committed BENCH_*.json must parse =="
+# Hand-rolled JSON writers drift; gate every repo-root artifact through the
+# repo's own strict parser (duplicate keys, grammar, depth all enforced).
+"$BUILD_DIR/tools/json_check" BENCH_*.json
+
 echo "== resilience: chaos soak (SIGKILL + supervised recovery, zero loss) =="
 # The soak harness runs a supervised external server under live load while
 # SIGKILLing the serving child, then re-checks every acknowledged config

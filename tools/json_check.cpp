@@ -1,0 +1,40 @@
+// json_check — validate files against the repo's own strict JSON parser.
+//
+// CI runs this over every repo-root BENCH_*.json so a bench that emits a
+// malformed artifact (hand-rolled writers, precision(17) doubles, trailing
+// commas) fails the gate with a position-stamped message instead of
+// shipping a file downstream tooling cannot read. The parser is the same
+// hardened common/json used by the serve daemon: strict grammar, duplicate
+// keys rejected, depth-capped.
+//
+// Usage: json_check FILE [FILE...]   — exits nonzero on the first failure.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/json.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: json_check FILE [FILE...]\n";
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "json_check: cannot open " << path << "\n";
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    if (!fibersim::json::parse(buf.str(), &error)) {
+      std::cerr << "json_check: " << path << ": " << error << "\n";
+      return 1;
+    }
+    std::cout << path << ": ok\n";
+  }
+  return 0;
+}
