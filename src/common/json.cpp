@@ -119,28 +119,41 @@ class Parser {
       fail("unexpected end of input");
       return std::nullopt;
     }
+    const std::size_t start = pos_;
+    std::optional<Value> v;
     switch (text_[pos_]) {
       case 'n':
         if (!literal("null")) return std::nullopt;
-        return Value::make_null();
+        v = Value::make_null();
+        break;
       case 't':
         if (!literal("true")) return std::nullopt;
-        return Value::make_bool(true);
+        v = Value::make_bool(true);
+        break;
       case 'f':
         if (!literal("false")) return std::nullopt;
-        return Value::make_bool(false);
+        v = Value::make_bool(false);
+        break;
       case '"': {
         std::string s;
         if (!parse_string(&s)) return std::nullopt;
-        return Value::make_string(std::move(s));
+        v = Value::make_string(std::move(s));
+        break;
       }
       case '{':
-        return parse_object(depth);
+        v = parse_object(depth);
+        break;
       case '[':
-        return parse_array(depth);
+        v = parse_array(depth);
+        break;
       default:
-        return parse_number();
+        v = parse_number();
+        break;
     }
+    // Stamp where the value began so semantic validators downstream can
+    // report byte offsets with the same convention as grammar errors.
+    if (v) v->set_offset(start);
+    return v;
   }
 
   std::optional<Value> parse_object(int depth) {

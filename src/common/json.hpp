@@ -62,6 +62,13 @@ class Value {
   /// Object member by key, or null when absent (or not an object).
   const Value* find(std::string_view key) const;
 
+  /// Byte offset of this value's first character in the parsed text (0 for
+  /// values built via make_*). Lets semantic validators — e.g. the processor
+  /// descriptor loader — report "field X out of range (at byte N)" with the
+  /// same offset convention as the parser's own grammar errors.
+  std::size_t offset() const { return offset_; }
+  void set_offset(std::size_t off) { offset_ = off; }
+
   static Value make_null();
   static Value make_bool(bool b);
   static Value make_number(double v, std::string raw);
@@ -71,6 +78,7 @@ class Value {
 
  private:
   Kind kind_ = Kind::kNull;
+  std::size_t offset_ = 0;
   bool bool_ = false;
   double number_ = 0.0;
   std::string string_;  ///< string value, or a number's raw token

@@ -2,11 +2,15 @@
 
 #include <fstream>
 #include <ostream>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "trace/serialize.hpp"
 #include "common/string_util.hpp"
 #include "core/config_parse.hpp"
+#include "machine/calibrate.hpp"
+#include "machine/descriptor.hpp"
+#include "machine/registry.hpp"
 #include "core/experiment_registry.hpp"
 #include "core/report_flags.hpp"
 #include "core/reports.hpp"
@@ -26,10 +30,14 @@ constexpr const char* kUsage =
     "\n"
     "commands:\n"
     "  list                      apps, processors and report ids\n"
-    "  describe <app>            one miniapp's description\n"
+    "  describe <app|processor>  one miniapp's description, or a registered\n"
+    "                            processor dumped as a canonical descriptor\n"
+    "                            (round-trips bit-exactly through --processor)\n"
     "  run [--key value ...]     run one experiment; keys: --app --dataset\n"
     "                            --ranks --threads --nodes --bind --alloc\n"
-    "                            --compile --processor --iterations --seed\n"
+    "                            --compile --processor (a registered name or\n"
+    "                            a descriptor .json path, loaded and\n"
+    "                            registered on first use) --iterations --seed\n"
     "                            --weak-scale; --collapse-ranks executes one\n"
     "                            representative rank per symmetry class and\n"
     "                            replicates the rest analytically (byte-\n"
@@ -59,6 +67,20 @@ constexpr const char* kUsage =
     "                            to D, warm runs replay with zero native\n"
     "                            executions and byte-identical output (env\n"
     "                            FIBERSIM_TRACE_CACHE also enables it)\n"
+    "         [--processor-dir D]  load every descriptor in D/*.json into\n"
+    "                            the processor registry first; a descriptor\n"
+    "                            whose name matches a built-in replaces it\n"
+    "                            in every comparison table\n"
+    "  calibrate [--out FILE]    measure this host (clock, L1/L2/DRAM\n"
+    "            [--name N]      bandwidth, FMA peak, NUMA penalty, barrier\n"
+    "            [--seed S]      cost) with seeded micro-kernels and fit a\n"
+    "            [--trials N]    processor descriptor to it; --out writes\n"
+    "            [--quick]       the descriptor (default: stdout), --quick\n"
+    "            [--measurements F]       shrinks the kernels for CI,\n"
+    "            [--from-measurements F]  --measurements saves the raw\n"
+    "                            kernel results, --from-measurements skips\n"
+    "                            the kernels and refits deterministically\n"
+    "                            from a saved measurement file\n"
     "  tune [--app name]         successive-halving autotune over the full\n"
     "       [--dataset d]        MPI x OMP / stride / alloc / compile-preset\n"
     "       [--iterations N]     / compiler-profile / processor cross-\n"
@@ -107,8 +129,16 @@ int cmd_list(std::ostream& out) {
     out << "  " << name << " - " << apps::create_miniapp(name)->description()
         << "\n";
   }
-  out << "processors: a64fx, a64fx-boost, a64fx-eco, skylake, thunderx2, "
-         "broadwell\n";
+  out << "processors: ";
+  bool first = true;
+  for (const auto& entry : machine::ProcessorRegistry::instance().entries()) {
+    if (!first) out << ", ";
+    first = false;
+    out << entry.key;
+    if (entry.config.boost_freq_hz > 0.0) out << ", " << entry.key << "-boost";
+    if (entry.config.eco_fp_pipes > 0) out << ", " << entry.key << "-eco";
+  }
+  out << "\n";
   out << "reports:\n";
   print_experiment_list(out);
   return 0;
@@ -117,11 +147,121 @@ int cmd_list(std::ostream& out) {
 int cmd_describe(const std::vector<std::string>& args, std::ostream& out,
                  std::ostream& err) {
   if (args.size() != 1) {
-    err << "describe takes exactly one app name\n";
+    err << "describe takes exactly one app or processor name\n";
     return 2;
   }
-  const auto app = apps::create_miniapp(args[0]);
-  out << app->name() << ": " << app->description() << "\n";
+  // Miniapps first (historical behaviour), then the processor registry: any
+  // resolvable token — built-in, loaded name, -boost/-eco variant or a
+  // descriptor path — dumps as a canonical descriptor that round-trips
+  // bit-exactly through --processor.
+  try {
+    const auto app = apps::create_miniapp(args[0]);
+    out << app->name() << ": " << app->description() << "\n";
+    return 0;
+  } catch (const Error&) {
+  }
+  try {
+    const machine::ProcessorConfig cfg =
+        machine::ProcessorRegistry::instance().resolve(args[0]);
+    out << machine::to_descriptor(cfg);
+    return 0;
+  } catch (const Error& e) {
+    err << "unknown app or processor: " << args[0] << " (" << e.what()
+        << ")\n";
+    return 2;
+  }
+}
+
+int cmd_calibrate(const std::vector<std::string>& args, std::ostream& out,
+                  std::ostream& err) {
+  machine::CalibrationOptions copt;
+  std::string out_path, meas_out_path, meas_in_path;
+  std::string problem;
+  for (std::size_t i = 0; i < args.size();) {
+    const std::string& key = args[i];
+    if (key == "--quick") {  // the one valueless calibrate flag
+      copt.quick = true;
+      ++i;
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      err << "missing value for " << key << "\n";
+      return 2;
+    }
+    const std::string& value = args[i + 1];
+    i += 2;
+    if (key == "--out") {
+      out_path = value;
+    } else if (key == "--name") {
+      copt.name = value;
+    } else if (key == "--seed") {
+      problem = flag_u64(key, value, &copt.seed);
+    } else if (key == "--trials") {
+      problem = flag_int(key, value, 1, &copt.trials);
+    } else if (key == "--measurements") {
+      meas_out_path = value;
+    } else if (key == "--from-measurements") {
+      meas_in_path = value;
+    } else {
+      err << "unknown calibrate flag: " << key << "\n";
+      return 2;
+    }
+    if (!problem.empty()) {
+      err << problem << "\n";
+      return 2;
+    }
+  }
+  machine::CalibrationMeasurements m;
+  if (!meas_in_path.empty()) {
+    std::ifstream in(meas_in_path, std::ios::binary);
+    if (!in.good()) {
+      err << "cannot open measurements file: " << meas_in_path << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    m = machine::parse_measurements(buf.str());
+  } else {
+    m = machine::measure(copt);
+  }
+  if (!meas_out_path.empty()) {
+    std::ofstream meas_out(meas_out_path, std::ios::binary);
+    if (!meas_out.good()) {
+      err << "cannot write measurements file: " << meas_out_path << "\n";
+      return 2;
+    }
+    meas_out << machine::measurements_to_json(m);
+  }
+  const machine::ProcessorConfig cfg = machine::fit_descriptor(m, copt);
+  const std::string descriptor = machine::to_descriptor(cfg);
+  if (out_path.empty()) {
+    out << descriptor;
+    return 0;
+  }
+  std::ofstream desc_out(out_path, std::ios::binary);
+  if (!desc_out.good()) {
+    err << "cannot write descriptor file: " << out_path << "\n";
+    return 2;
+  }
+  desc_out << descriptor;
+  out << "calibrated '" << cfg.name << "' -> " << out_path << "\n";
+  TextTable table({"ceiling", "measured", "fitted"});
+  table.add_row({"clock", si_format(m.freq_hz) + "Hz",
+                 si_format(cfg.freq_hz) + "Hz"});
+  table.add_row({"L1 bandwidth", si_format(m.l1_bw) + "B/s",
+                 strfmt("%.3g B/cycle", cfg.l1.bytes_per_cycle)});
+  table.add_row({"L2 bandwidth", si_format(m.l2_bw) + "B/s",
+                 strfmt("%.3g B/cycle", cfg.l2.bytes_per_cycle)});
+  table.add_row({"DRAM bandwidth", si_format(m.dram_bw) + "B/s",
+                 si_format(cfg.node_mem_bw()) + "B/s"});
+  table.add_row({"FMA peak", si_format(m.fma_flops) + "flop/s",
+                 si_format(cfg.peak_flops_per_core()) + "flop/s"});
+  table.add_row({"barrier", strfmt("%.0f ns", m.barrier_ns),
+                 strfmt("%.0f ns/hop", cfg.barrier_hop_ns_same_numa)});
+  table.add_row({"threads", strfmt("%d", m.threads),
+                 strfmt("%d cores", cfg.cores())});
+  table.add_row({"calibration wall time", strfmt("%.2f s", m.wall_s), "-"});
+  table.print(out);
   return 0;
 }
 
@@ -506,6 +646,7 @@ int cli_main(const std::vector<std::string>& args, std::ostream& out,
     fault::install_from_env();
     if (command == "list") return cmd_list(out);
     if (command == "describe") return cmd_describe(rest, out, err);
+    if (command == "calibrate") return cmd_calibrate(rest, out, err);
     if (command == "run") return cmd_run(rest, out, err);
     if (command == "report") return cmd_report(rest, out, err);
     if (command == "tune") return cmd_tune(rest, out, err);

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/parse_num.hpp"
 #include "common/string_util.hpp"
+#include "machine/registry.hpp"
 
 namespace fibersim::core {
 
@@ -62,21 +63,10 @@ cg::CompilerProfile parse_compiler_profile(std::string_view text) {
 }
 
 machine::ProcessorConfig parse_processor(std::string_view text) {
-  const std::string t = to_lower(trim(text));
-  if (t == "a64fx") return machine::a64fx();
-  if (t == "a64fx-boost") {
-    return machine::with_power_mode(machine::a64fx(),
-                                    machine::PowerMode::kBoost);
-  }
-  if (t == "a64fx-eco") {
-    return machine::with_power_mode(machine::a64fx(), machine::PowerMode::kEco);
-  }
-  if (t == "skylake") return machine::skylake8168_dual();
-  if (t == "thunderx2") return machine::thunderx2_dual();
-  if (t == "broadwell") return machine::broadwell_dual();
-  throw Error("unknown processor: '" + std::string(text) +
-              "' (expected a64fx | a64fx-boost | a64fx-eco | skylake | "
-              "thunderx2 | broadwell)");
+  // The registry handles built-in keys, registered names, -boost/-eco
+  // variants and descriptor file paths uniformly; loading a path registers
+  // the machine so later tokens (and reports) see it by name.
+  return machine::ProcessorRegistry::instance().resolve(text);
 }
 
 apps::Dataset parse_dataset(std::string_view text) {

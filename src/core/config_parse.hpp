@@ -15,8 +15,9 @@
 //   unroll     = 1
 //   fission    = false
 //   compiler   = fujitsu        # fujitsu | gnu | arm-llvm
-//   processor  = a64fx          # a64fx | a64fx-boost | a64fx-eco |
-//                               # skylake | thunderx2 | broadwell
+//   processor  = a64fx          # registry key or name (a64fx, skylake,
+//                               # thunderx2, broadwell, each with optional
+//                               # -boost/-eco) or a descriptor *.json path
 //   iterations = 3
 //   seed       = 42
 #pragma once
@@ -40,7 +41,9 @@ cg::CompileOptions parse_compile(std::string_view text);
 /// "fujitsu", "gnu"/"gcc", "arm-llvm"/"llvm".
 cg::CompilerProfile parse_compiler_profile(std::string_view text);
 
-/// "a64fx", "a64fx-boost", "a64fx-eco", "skylake", "thunderx2", "broadwell".
+/// Any token machine::ProcessorRegistry::resolve accepts: a registered key
+/// or processor name (case-insensitive, optional -boost/-eco suffix) or a
+/// descriptor file path, which is loaded and registered as a side effect.
 machine::ProcessorConfig parse_processor(std::string_view text);
 
 /// "small" or "large".

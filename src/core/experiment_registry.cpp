@@ -14,6 +14,7 @@ ExperimentRegistry& ExperimentRegistry::instance() {
     register_compare_experiments(*r);
     register_ablation_experiments(*r);
     register_tune_experiments(*r);
+    register_calibration_experiments(*r);
     return r;
   }();
   return *registry;

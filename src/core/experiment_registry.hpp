@@ -65,5 +65,7 @@ void register_sweep_experiments(ExperimentRegistry& registry);
 void register_compare_experiments(ExperimentRegistry& registry);
 void register_ablation_experiments(ExperimentRegistry& registry);
 void register_tune_experiments(ExperimentRegistry& registry);  // tuner.cpp
+// reports_calibrate.cpp
+void register_calibration_experiments(ExperimentRegistry& registry);
 
 }  // namespace fibersim::core

@@ -9,6 +9,7 @@
 #include "core/experiment_registry.hpp"
 #include "core/runner.hpp"
 #include "fault/fault.hpp"
+#include "machine/registry.hpp"
 #include "trace/trace_store.hpp"
 
 namespace fibersim::core {
@@ -129,6 +130,9 @@ std::string parse_report_flags(const std::vector<std::string>& args,
       flags.ctx.journal = flags.journal.get();
     } else if (key == "--trace-cache") {
       flags.trace_cache_dir = value;
+    } else if (key == "--processor-dir") {
+      flags.processor_dir = value;
+      machine::ProcessorRegistry::instance().load_directory(value);
     } else {
       return "unknown flag: " + key;
     }

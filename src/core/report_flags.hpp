@@ -7,6 +7,8 @@
 //        --format text|csv|json  (--csv = --format csv)
 //        --list  --fault-plan spec  --retries N  --watchdog S
 //        --journal path  --keep-going  --fail-fast  --trace-cache dir
+//        --processor-dir dir  (load every descriptors/*.json into the
+//        processor registry before building, replacing same-name machines)
 //
 // Callers set front-end defaults (dataset, jobs, supplements) on
 // ReportFlags::ctx before parsing; parsed flags override them.
@@ -32,6 +34,9 @@ struct ReportFlags {
   ReportFormat format = ReportFormat::kText;
   bool list = false;  ///< --list: print the experiment registry and exit
   std::string trace_cache_dir;
+  /// --processor-dir: loaded into the ProcessorRegistry at parse time, so
+  /// every comparison-set consumer sees the descriptor-defined machines.
+  std::string processor_dir;
   /// Owns the --journal file handle; ctx.journal points at it.
   std::shared_ptr<SweepJournal> journal;
 };

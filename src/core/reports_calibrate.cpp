@@ -1,0 +1,108 @@
+// CL1 — calibration loop-back: fit a descriptor to (synthetic) measured
+// ceilings and report how far its predictions land from the analytic model.
+//
+// CI cannot measure real hardware deterministically, so the experiment
+// derives the measurements an ideal host matching the registry's A64FX
+// would produce (seeded ±2% noise, machine::synthetic_measurements), runs
+// them through the real fit pipeline, and predicts every miniapp under both
+// machines. The fitted machine's ISA and cache capacities are the *host's*
+// (exactly what `fibersim calibrate` would emit here), so the deltas show
+// which apps the measured-ceiling model moves and by how much — while
+// staying byte-identical across --jobs and --collapse-ranks, which CI
+// enforces.
+#include "common/report_artifact.hpp"
+#include "common/string_util.hpp"
+#include "core/experiment_registry.hpp"
+#include "machine/calibrate.hpp"
+#include "machine/registry.hpp"
+
+namespace fibersim::core {
+
+namespace {
+
+ReportArtifact calibration_delta_artifact(const ReportContext& ctx) {
+  ctx.validate();
+  const machine::ProcessorConfig analytic =
+      machine::ProcessorRegistry::instance().resolve("a64fx");
+
+  machine::CalibrationOptions copt;
+  copt.seed = ctx.seed;
+  copt.name = analytic.name + "-calibrated";
+  const machine::CalibrationMeasurements meas =
+      machine::synthetic_measurements(analytic, ctx.seed, /*noise=*/0.02);
+  const machine::ProcessorConfig fitted = machine::fit_descriptor(meas, copt);
+
+  // One rank per NUMA domain, the paper's default placement; both machines
+  // share the shape because the synthetic host reports the analytic
+  // machine's core and domain counts.
+  const int ranks = analytic.shape.numa_per_node();
+  const int threads = analytic.shape.cores_per_numa;
+  const std::vector<std::string> app_names = ctx.apps_or_default();
+  std::vector<ExperimentConfig> configs;
+  for (const std::string& app : app_names) {
+    for (const machine::ProcessorConfig& proc : {analytic, fitted}) {
+      ExperimentConfig cfg;
+      cfg.app = app;
+      cfg.dataset = ctx.dataset;
+      cfg.ranks = ranks;
+      cfg.threads = threads;
+      cfg.iterations = ctx.iterations;
+      cfg.seed = ctx.seed;
+      cfg.collapse = ctx.collapse;
+      cfg.processor = proc;
+      configs.push_back(std::move(cfg));
+    }
+  }
+  const std::vector<ExperimentResult> results =
+      run_experiments(ctx, configs);
+
+  TextTable table({"app", "analytic ms", "calibrated ms", "delta %"});
+  double sum_abs_delta = 0.0;
+  for (std::size_t i = 0; i < app_names.size(); ++i) {
+    const double analytic_s = results[2 * i].seconds();
+    const double fitted_s = results[2 * i + 1].seconds();
+    const double delta_pct = (fitted_s - analytic_s) / analytic_s * 100.0;
+    sum_abs_delta += delta_pct < 0.0 ? -delta_pct : delta_pct;
+    table.add_row({app_names[i], strfmt("%.3f", analytic_s * 1e3),
+                   strfmt("%.3f", fitted_s * 1e3),
+                   strfmt("%+.1f", delta_pct)});
+  }
+  const double mean_abs_delta =
+      sum_abs_delta / static_cast<double>(app_names.size());
+
+  ReportArtifact artifact;
+  ReportSection& section = artifact.add_table(
+      "analytic vs calibrated prediction per miniapp (" +
+          std::string(apps::dataset_name(ctx.dataset)) + ", " +
+          strfmt("%d x %d", ranks, threads) + ")",
+      std::move(table));
+  const double peak_ratio =
+      fitted.peak_flops_node() / analytic.peak_flops_node();
+  const double bw_ratio = fitted.node_mem_bw() / analytic.node_mem_bw();
+  section.notes = {
+      strfmt("fitted/analytic ceiling ratios: peak %.3f, DRAM BW %.3f",
+             peak_ratio, bw_ratio),
+      strfmt("mean |delta| %.2f%% (synthetic host, seed %llu, +/-2%% noise)",
+             mean_abs_delta,
+             static_cast<unsigned long long>(ctx.seed)),
+  };
+  section.cli_notes = section.notes;
+  artifact.metrics.push_back({"mean_abs_delta_pct", mean_abs_delta, "%"});
+  artifact.metrics.push_back({"peak_ratio", peak_ratio, ""});
+  artifact.metrics.push_back({"dram_bw_ratio", bw_ratio, ""});
+  return artifact;
+}
+
+}  // namespace
+
+void register_calibration_experiments(ExperimentRegistry& registry) {
+  Experiment cl1;
+  cl1.id = "CL1";
+  cl1.title = "calibrated-descriptor vs analytic-model prediction deltas";
+  cl1.paper_ref = "extension (calibration)";
+  cl1.default_dataset = apps::Dataset::kSmall;
+  cl1.build = calibration_delta_artifact;
+  registry.add(std::move(cl1));
+}
+
+}  // namespace fibersim::core

@@ -1,0 +1,77 @@
+// Host calibration: measure the machine we are running on and fit a
+// processor descriptor to it (LARM-style measured ceilings instead of a
+// vendor datasheet).
+//
+// Split deliberately into two stages:
+//   * measure() runs seeded micro-kernels — dependent-op issue rate (clock),
+//     streaming reads at L1/L2/DRAM working-set sizes, independent FMA
+//     chains (peak), a seeded pointer-chase from near and far threads
+//     (NUMA-remote penalty), and a spin-barrier round trip. Wall-clock
+//     numbers are inherently host-dependent; everything else is.
+//   * fit_descriptor() is PURE: the same measurements and options always
+//     produce the same ProcessorConfig, with every fitted quantity quantised
+//     to 3 significant digits so descriptors diff cleanly. Determinism of
+//     calibration is tested at this boundary (measure once, fit twice).
+//
+// synthetic_measurements() closes the loop for CI: it derives the
+// measurements an ideal host matching an analytic model would produce,
+// perturbed by seeded relative noise, so the CL1 experiment can exercise
+// the full fit pipeline deterministically on any machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "machine/processor.hpp"
+
+namespace fibersim::machine {
+
+struct CalibrationOptions {
+  std::uint64_t seed = 42;  ///< seeds access patterns and synthetic noise
+  int trials = 3;           ///< best-of trials per kernel
+  bool quick = false;       ///< CI mode: smaller working sets, fewer passes
+  std::string name = "calibrated-host";
+
+  void validate() const;
+};
+
+/// Raw micro-kernel results, all in base units (bytes/s, flops/s, Hz, ns).
+struct CalibrationMeasurements {
+  double freq_hz = 0.0;     ///< dependent-chain issue rate of one core
+  double l1_bw = 0.0;       ///< bytes/s, one core, L1-resident stream
+  double l2_bw = 0.0;       ///< bytes/s, one core, L2-resident stream
+  double dram_bw = 0.0;     ///< bytes/s, all threads, DRAM-resident stream
+  double fma_flops = 0.0;   ///< flops/s, one core, independent FMA chains
+  double numa_remote_penalty = 1.0;  ///< far/near pointer-chase latency ratio
+  double barrier_ns = 0.0;  ///< all-thread spin-barrier round trip
+  int threads = 1;          ///< hardware threads exercised
+  int numa_domains = 1;     ///< NUMA domains assumed for the fit
+  double wall_s = 0.0;      ///< total calibration wall time (informational)
+
+  friend bool operator==(const CalibrationMeasurements&,
+                         const CalibrationMeasurements&) = default;
+};
+
+/// Canonical JSON for a measurement set (same emitter discipline as the
+/// processor descriptor: fixed order, shortest round-trip doubles).
+std::string measurements_to_json(const CalibrationMeasurements& m);
+
+/// Strict parse of measurements_to_json output; throws fibersim::Error.
+CalibrationMeasurements parse_measurements(std::string_view text);
+
+/// Run the micro-kernels on this host. Wall-clock dependent by nature.
+CalibrationMeasurements measure(const CalibrationOptions& opt);
+
+/// Fit a validated ProcessorConfig to the measurements. Pure and
+/// deterministic: byte-identical descriptors for identical inputs.
+ProcessorConfig fit_descriptor(const CalibrationMeasurements& m,
+                               const CalibrationOptions& opt);
+
+/// Measurements an ideal host matching `cfg` would produce, perturbed by
+/// seeded multiplicative noise of relative magnitude `noise` (e.g. 0.02).
+CalibrationMeasurements synthetic_measurements(const ProcessorConfig& cfg,
+                                               std::uint64_t seed,
+                                               double noise);
+
+}  // namespace fibersim::machine

@@ -14,21 +14,64 @@ double ProcessorConfig::vec_flops_per_cycle() const {
 }
 
 void ProcessorConfig::validate() const {
+  // Every field is checked by name: descriptor-loaded configs surface the
+  // exact offending parameter, never a generic "bad config".
   FS_REQUIRE(!name.empty(), "processor needs a name");
-  FS_REQUIRE(freq_hz > 0.0, "processor frequency must be positive");
-  FS_REQUIRE(fp_pipes >= 1, "processor needs >= 1 FP pipe");
+  FS_REQUIRE(shape.sockets >= 1, "shape.sockets must be >= 1");
+  FS_REQUIRE(shape.numa_per_socket >= 1, "shape.numa_per_socket must be >= 1");
+  FS_REQUIRE(shape.cores_per_numa >= 1, "shape.cores_per_numa must be >= 1");
+  FS_REQUIRE(freq_hz > 0.0, "freq_hz must be positive");
+  FS_REQUIRE(boost_freq_hz >= 0.0, "boost_freq_hz must be >= 0");
+  FS_REQUIRE(vec.vector_bits >= 64, "vec.vector_bits must be >= 64 (one lane)");
+  FS_REQUIRE(vec.vector_bits % 64 == 0,
+             "vec.vector_bits must be a multiple of 64");
+  FS_REQUIRE(vec.gather_lanes_per_cycle >= 0.0,
+             "vec.gather_lanes_per_cycle must be >= 0");
+  FS_REQUIRE(fp_pipes >= 1, "fp_pipes must be >= 1");
+  FS_REQUIRE(fp_latency_cycles >= 1.0, "fp_latency_cycles must be >= 1");
   FS_REQUIRE(scalar_ipc > 0.0, "scalar_ipc must be positive");
   FS_REQUIRE(mem_overlap >= 0.0 && mem_overlap <= 1.0, "mem_overlap in [0,1]");
+  FS_REQUIRE(branch_miss_penalty_cycles >= 0.0,
+             "branch_miss_penalty_cycles must be >= 0");
+  FS_REQUIRE(l1.capacity_bytes > 0.0, "l1.capacity_bytes must be positive");
+  FS_REQUIRE(l1.bytes_per_cycle > 0.0, "l1.bytes_per_cycle must be positive");
+  FS_REQUIRE(l1.latency_cycles >= 0.0, "l1.latency_cycles must be >= 0");
+  FS_REQUIRE(l2.capacity_bytes > 0.0, "l2.capacity_bytes must be positive");
+  FS_REQUIRE(l2.bytes_per_cycle > 0.0, "l2.bytes_per_cycle must be positive");
+  FS_REQUIRE(l2.latency_cycles >= 0.0, "l2.latency_cycles must be >= 0");
   FS_REQUIRE(numa_mem_bw > 0.0, "numa_mem_bw must be positive");
+  FS_REQUIRE(numa_mem_latency_ns >= 0.0, "numa_mem_latency_ns must be >= 0");
   FS_REQUIRE(inter_numa_bw > 0.0 || shape.numa_per_node() == 1,
-             "multi-numa shape needs inter_numa_bw");
-  FS_REQUIRE(l1.capacity_bytes > 0.0 && l2.capacity_bytes > 0.0,
-             "cache capacities must be positive");
-  FS_REQUIRE(fp_latency_cycles >= 1.0, "fp latency must be >= 1 cycle");
-  FS_REQUIRE(net.injection_bw > 0.0 && net.link_bw > 0.0,
-             "network bandwidths must be positive");
-  FS_REQUIRE(net.base_latency_us >= 0.0 && net.hop_latency_ns >= 0.0,
-             "network latencies must be non-negative");
+             "multi-numa shape needs inter_numa_bw > 0");
+  FS_REQUIRE(inter_numa_bw >= 0.0, "inter_numa_bw must be >= 0");
+  FS_REQUIRE(inter_numa_latency_ns >= 0.0,
+             "inter_numa_latency_ns must be >= 0");
+  FS_REQUIRE(inter_socket_bw > 0.0 || shape.sockets == 1,
+             "multi-socket shape needs inter_socket_bw > 0");
+  FS_REQUIRE(inter_socket_bw >= 0.0, "inter_socket_bw must be >= 0");
+  FS_REQUIRE(inter_socket_latency_ns >= 0.0,
+             "inter_socket_latency_ns must be >= 0");
+  FS_REQUIRE(net.injection_bw > 0.0, "net.injection_bw must be positive");
+  FS_REQUIRE(net.link_bw > 0.0, "net.link_bw must be positive");
+  FS_REQUIRE(net.base_latency_us >= 0.0, "net.base_latency_us must be >= 0");
+  FS_REQUIRE(net.hop_latency_ns >= 0.0, "net.hop_latency_ns must be >= 0");
+  FS_REQUIRE(intra_node_msg_latency_ns >= 0.0,
+             "intra_node_msg_latency_ns must be >= 0");
+  FS_REQUIRE(barrier_hop_ns_same_numa > 0.0,
+             "barrier_hop_ns_same_numa must be positive");
+  FS_REQUIRE(barrier_hop_ns_cross_numa > 0.0,
+             "barrier_hop_ns_cross_numa must be positive");
+  FS_REQUIRE(barrier_hop_ns_cross_socket > 0.0,
+             "barrier_hop_ns_cross_socket must be positive");
+  FS_REQUIRE(watts_base >= 0.0, "watts_base must be >= 0");
+  FS_REQUIRE(watts_per_core_active >= 0.0,
+             "watts_per_core_active must be >= 0");
+  FS_REQUIRE(watts_per_GBps_dram >= 0.0, "watts_per_GBps_dram must be >= 0");
+  FS_REQUIRE(freq_power_exponent >= 1.0, "freq_power_exponent must be >= 1");
+  FS_REQUIRE(eco_fp_pipes >= 0, "eco_fp_pipes must be >= 0");
+  FS_REQUIRE(eco_fp_pipes <= fp_pipes, "eco_fp_pipes must be <= fp_pipes");
+  FS_REQUIRE(eco_core_power_scale > 0.0 && eco_core_power_scale <= 1.0,
+             "eco_core_power_scale in (0,1]");
 }
 
 const char* power_mode_name(PowerMode mode) {
@@ -41,24 +84,20 @@ const char* power_mode_name(PowerMode mode) {
 }
 
 ProcessorConfig with_power_mode(const ProcessorConfig& base, PowerMode mode) {
+  if (mode == PowerMode::kNormal) return base;
   ProcessorConfig cfg = base;
-  if (base.name.find("A64FX") == std::string::npos || mode == PowerMode::kNormal) {
-    return cfg;
-  }
-  switch (mode) {
-    case PowerMode::kBoost:
-      cfg.name = base.name + "-boost";
-      cfg.freq_hz = 2.2 * kGHz;
-      break;
-    case PowerMode::kEco:
-      // Eco mode: one of the two FLA pipelines is disabled and the supply
-      // voltage is reduced; memory bandwidth is unchanged.
-      cfg.name = base.name + "-eco";
-      cfg.fp_pipes = 1;
-      cfg.watts_per_core_active = base.watts_per_core_active * 0.70;
-      break;
-    case PowerMode::kNormal:
-      break;
+  if (mode == PowerMode::kBoost) {
+    if (base.boost_freq_hz <= 0.0) return base;  // no boost mode declared
+    cfg.name = base.name + "-boost";
+    cfg.freq_hz = base.boost_freq_hz;
+  } else {
+    // Eco mode: FP pipelines are disabled and the supply voltage is reduced;
+    // memory bandwidth is unchanged.
+    if (base.eco_fp_pipes <= 0) return base;  // no eco mode declared
+    cfg.name = base.name + "-eco";
+    cfg.fp_pipes = base.eco_fp_pipes;
+    cfg.watts_per_core_active =
+        base.watts_per_core_active * base.eco_core_power_scale;
   }
   return cfg;
 }
@@ -69,6 +108,10 @@ ProcessorConfig a64fx() {
   cfg.shape = topo::NodeShape{.sockets = 1, .numa_per_socket = 4,
                               .cores_per_numa = 12};
   cfg.freq_hz = 2.0 * kGHz;
+  cfg.boost_freq_hz = 2.2 * kGHz;
+  // Eco mode: one of the two FLA pipelines is disabled at reduced voltage.
+  cfg.eco_fp_pipes = 1;
+  cfg.eco_core_power_scale = 0.70;
   cfg.vec = isa::sve512();
   cfg.fp_pipes = 2;
   cfg.fp_latency_cycles = 9.0;  // FLA FMA latency
@@ -203,14 +246,8 @@ ProcessorConfig broadwell_dual() {
   return cfg;
 }
 
-std::vector<ProcessorConfig> comparison_set() {
-  return {a64fx(), skylake8168_dual(), thunderx2_dual()};
-}
-
-std::vector<ProcessorConfig> extended_comparison_set() {
-  auto set = comparison_set();
-  set.push_back(broadwell_dual());
-  return set;
-}
+// comparison_set() / extended_comparison_set() live in registry.cpp: they are
+// served by the ProcessorRegistry so descriptor-loaded replacements reach
+// every report uniformly.
 
 }  // namespace fibersim::machine

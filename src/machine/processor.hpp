@@ -94,6 +94,13 @@ struct ProcessorConfig {
   double watts_per_GBps_dram = 0.25;
   double freq_power_exponent = 2.2;   ///< P_core ∝ (f/f_nom)^e
 
+  // Operating modes (see with_power_mode). Both are descriptor fields with
+  // safe defaults: a processor that does not declare them simply has no
+  // boost/eco mode and with_power_mode returns it unchanged.
+  double boost_freq_hz = 0.0;         ///< boost-mode clock; 0 = no boost mode
+  int eco_fp_pipes = 0;               ///< FP pipes left in eco; 0 = no eco mode
+  double eco_core_power_scale = 0.70; ///< eco watts_per_core_active multiplier
+
   // ----- derived quantities -----
   int cores() const { return shape.cores_per_node(); }
   /// Peak double-precision flops/cycle of one core (vector FMA).
@@ -115,16 +122,23 @@ struct ProcessorConfig {
 };
 
 /// Power/clock operating modes exposed by the A64FX (and modelled uniformly
-/// for the other processors where applicable).
+/// for any processor whose descriptor declares the matching fields).
 enum class PowerMode { kNormal, kBoost, kEco };
 const char* power_mode_name(PowerMode mode);
 
-/// Returns a copy of `base` adjusted for the requested mode: boost raises the
-/// clock (2.0->2.2 GHz on A64FX), eco halves the FP pipes and lowers core
-/// power draw. Non-A64FX processors only support kNormal and return `base`.
+/// Returns a copy of `base` adjusted for the requested mode: boost raises
+/// the clock to `boost_freq_hz` (2.0 -> 2.2 GHz on the A64FX), eco drops to
+/// `eco_fp_pipes` FP pipelines and scales core power by
+/// `eco_core_power_scale`. A processor whose descriptor does not declare the
+/// mode (boost_freq_hz == 0 / eco_fp_pipes == 0) returns `base` unchanged —
+/// the modes work uniformly on descriptor-loaded machines, not only the
+/// built-in A64FX.
 ProcessorConfig with_power_mode(const ProcessorConfig& base, PowerMode mode);
 
-// Built-in configurations.
+// Built-in configurations. These are the analytic models from the paper; the
+// process-wide ProcessorRegistry (machine/registry.hpp) re-registers each of
+// them through the descriptor serialise/parse path at startup, so built-ins
+// and descriptor files flow through exactly the same loader.
 ProcessorConfig a64fx();
 ProcessorConfig skylake8168_dual();
 ProcessorConfig thunderx2_dual();
@@ -132,6 +146,9 @@ ProcessorConfig thunderx2_dual();
 ProcessorConfig broadwell_dual();
 
 /// All processors the comparison experiments iterate over (A64FX first).
+/// Served by the ProcessorRegistry, so a descriptor loaded over a built-in
+/// name (e.g. --processor-dir descriptors/) replaces the entry uniformly for
+/// every report.
 std::vector<ProcessorConfig> comparison_set();
 
 /// comparison_set() plus the previous-generation Broadwell reference.

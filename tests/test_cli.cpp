@@ -9,6 +9,9 @@
 #include "core/cli.hpp"
 #include "core/config_parse.hpp"
 #include "core/report_flags.hpp"
+#include "machine/calibrate.hpp"
+#include "machine/descriptor.hpp"
+#include "machine/registry.hpp"
 
 namespace fibersim::core {
 namespace {
@@ -199,6 +202,54 @@ TEST(Cli, DescribeApp) {
   EXPECT_EQ(run_cli({"describe", "nope"}).code, 2);
 }
 
+TEST(Cli, DescribeProcessorDumpsTheCanonicalDescriptor) {
+  const CliResult r = run_cli({"describe", "a64fx"});
+  EXPECT_EQ(r.code, 0);
+  // Bit-exact round trip: stdout IS the canonical descriptor.
+  EXPECT_EQ(r.out, machine::to_descriptor(machine::a64fx()));
+  EXPECT_TRUE(machine::parse_descriptor(r.out) == machine::a64fx());
+  // Variants and names resolve through the same path.
+  EXPECT_EQ(run_cli({"describe", "a64fx-eco"}).code, 0);
+  EXPECT_EQ(run_cli({"describe", "Skylake-8168x2"}).code, 0);
+}
+
+TEST(Cli, CalibrateFromMeasurementsIsDeterministic) {
+  const std::string meas_path = ::testing::TempDir() + "/cli_meas.json";
+  {
+    std::ofstream out(meas_path, std::ios::binary);
+    out << machine::measurements_to_json(
+        machine::synthetic_measurements(machine::a64fx(), 42, 0.02));
+  }
+  const std::vector<std::string> args = {"calibrate", "--from-measurements",
+                                         meas_path, "--name", "cli-test"};
+  const CliResult a = run_cli(args);
+  const CliResult b = run_cli(args);
+  ASSERT_EQ(a.code, 0) << a.err;
+  EXPECT_EQ(a.out, b.out);  // same measurements -> byte-identical descriptor
+  const machine::ProcessorConfig cfg = machine::parse_descriptor(a.out);
+  EXPECT_EQ(cfg.name, "cli-test");
+  EXPECT_EQ(run_cli({"calibrate", "--from-measurements",
+                     "/nonexistent/meas.json"})
+                .code,
+            2);
+}
+
+TEST(Parse, ProcessorAcceptsDescriptorPaths) {
+  machine::ProcessorConfig custom = machine::a64fx();
+  custom.name = "A64FX-parse-path";
+  custom.freq_hz = 1.8e9;
+  const std::string path = ::testing::TempDir() + "/parse_processor.json";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << machine::to_descriptor(custom);
+  }
+  EXPECT_TRUE(parse_processor(path) == custom);
+  // Loaded as a side effect: the bare name now resolves too.
+  EXPECT_TRUE(parse_processor("A64FX-parse-path") == custom);
+  machine::ProcessorRegistry::instance().reset();
+  EXPECT_THROW(parse_processor("A64FX-parse-path"), Error);
+}
+
 TEST(Cli, RunExperimentEndToEnd) {
   const CliResult r = run_cli({"run", "--app", "ffvc", "--dataset", "small",
                                "--ranks", "2", "--threads", "2",
@@ -327,7 +378,7 @@ TEST(Cli, ReportAllJsonIsOneArray) {
 
 TEST(Cli, ReportIdsCoverTheDesignIndex) {
   const auto ids = cli_report_ids();
-  EXPECT_EQ(ids.size(), 19u);
+  EXPECT_EQ(ids.size(), 20u);
 }
 
 // ----- malformed numeric values: every flag, every command -----

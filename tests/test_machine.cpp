@@ -3,13 +3,21 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
 
 #include "common/error.hpp"
+#include "machine/calibrate.hpp"
 #include "machine/comm_model.hpp"
+#include "machine/descriptor.hpp"
 #include "machine/exec_model.hpp"
 #include "machine/memory_model.hpp"
 #include "machine/power_model.hpp"
 #include "machine/processor.hpp"
+#include "machine/registry.hpp"
 #include "machine/roofline.hpp"
 
 namespace fibersim::machine {
@@ -562,6 +570,304 @@ TEST(Roofline, AsciiRenderContainsPointsAndLegend) {
   EXPECT_NE(fig.find("alpha"), std::string::npos);
   EXPECT_NE(fig.find("a:"), std::string::npos);
   EXPECT_NE(fig.find("roofline"), std::string::npos);
+}
+
+// ----- processor descriptors ----------------------------------------------
+
+using BuiltinCtor = ProcessorConfig (*)();
+const BuiltinCtor kBuiltins[] = {&a64fx, &skylake8168_dual, &thunderx2_dual,
+                                 &broadwell_dual};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Replace the first occurrence of `from` (must exist) in the canonical
+/// A64FX descriptor text.
+std::string mutated_a64fx(const std::string& from, const std::string& to) {
+  std::string text = to_descriptor(a64fx());
+  const std::size_t pos = text.find(from);
+  EXPECT_NE(pos, std::string::npos) << from;
+  text.replace(pos, from.size(), to);
+  return text;
+}
+
+/// The Error message parse_descriptor throws for `text` ("" = no throw).
+std::string parse_error(const std::string& text) {
+  try {
+    (void)parse_descriptor(text);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(Descriptor, RoundTripIsBitExactForEveryBuiltin) {
+  for (const BuiltinCtor ctor : kBuiltins) {
+    const ProcessorConfig cfg = ctor();
+    const std::string text = to_descriptor(cfg);
+    const ProcessorConfig parsed = parse_descriptor(text);
+    // Exact field-wise equality: the parsed config shares EvalCache entries
+    // with the constructor's.
+    EXPECT_TRUE(parsed == cfg) << cfg.name;
+    EXPECT_EQ(to_descriptor(parsed), text) << cfg.name;
+  }
+}
+
+TEST(Descriptor, RoundTripCoversPowerModeVariants) {
+  for (const PowerMode mode : {PowerMode::kBoost, PowerMode::kEco}) {
+    const ProcessorConfig cfg = with_power_mode(a64fx(), mode);
+    const ProcessorConfig parsed = parse_descriptor(to_descriptor(cfg));
+    EXPECT_TRUE(parsed == cfg) << cfg.name;
+  }
+}
+
+TEST(Descriptor, GoldenFilesMatchTheConstructors) {
+  const std::pair<const char*, BuiltinCtor> golden[] = {
+      {"a64fx.json", &a64fx},
+      {"skylake8168x2.json", &skylake8168_dual},
+      {"thunderx2.json", &thunderx2_dual},
+      {"broadwell.json", &broadwell_dual},
+  };
+  for (const auto& [file, ctor] : golden) {
+    const std::string path = std::string(FIBERSIM_DESCRIPTOR_DIR "/") + file;
+    const std::string text = slurp(path);
+    EXPECT_EQ(text, to_descriptor(ctor())) << file;
+    EXPECT_TRUE(load_descriptor_file(path) == ctor()) << file;
+  }
+}
+
+TEST(Descriptor, FormatDoubleRoundTripsExactly) {
+  // The L2 capacity is the nastiest builtin double: 8 MiB / 12 cores.
+  for (const double v : {8.0 * 1024 * 1024 / 12.0, 2.2e9, 0.1, 1.0 / 3.0}) {
+    EXPECT_EQ(std::strtod(format_double(v).c_str(), nullptr), v);
+  }
+}
+
+TEST(Descriptor, RejectsOutOfRangeValuesByNameWithByteOffset) {
+  // Range violations are reported with the validate() field name and the
+  // byte offset of the offending value, and never return a partial config.
+  const std::pair<std::string, std::string> cases[] = {
+      {"\"numa_mem_bw\": ", "\"numa_mem_bw\": -"},  // negative bandwidth
+      {"\"freq_hz\": 2e+09", "\"freq_hz\": 0"},
+      {"\"fp_pipes\": 2", "\"fp_pipes\": 0"},
+      {"\"vector_bits\": 512", "\"vector_bits\": 100"},
+      {"\"mem_overlap\": ", "\"mem_overlap\": -"},
+  };
+  for (const auto& [from, to] : cases) {
+    const std::string msg = parse_error(mutated_a64fx(from, to));
+    ASSERT_FALSE(msg.empty()) << from;
+    EXPECT_NE(msg.find("at byte"), std::string::npos) << msg;
+  }
+  EXPECT_NE(parse_error(mutated_a64fx("\"freq_hz\": 2e+09", "\"freq_hz\": 0"))
+                .find("freq_hz"),
+            std::string::npos);
+  EXPECT_NE(parse_error(mutated_a64fx("\"numa_mem_bw\": ",
+                                      "\"numa_mem_bw\": -"))
+                .find("numa_mem_bw"),
+            std::string::npos);
+}
+
+TEST(Descriptor, RejectsMalformedDocuments) {
+  const std::string valid = to_descriptor(a64fx());
+  // Unknown key.
+  EXPECT_NE(parse_error(mutated_a64fx("  \"name\"", "  \"bogus\": 1,\n  \"name\""))
+                .find("bogus"),
+            std::string::npos);
+  // Missing required field (a typo'd key is reported as both).
+  EXPECT_NE(parse_error(mutated_a64fx("\"fp_pipes\"", "\"fp_pies\""))
+                .find("fp_pipes"),
+            std::string::npos);
+  // Wrong type.
+  EXPECT_FALSE(
+      parse_error(mutated_a64fx("\"fp_pipes\": 2", "\"fp_pipes\": \"two\""))
+          .empty());
+  // Duplicate key (the strict grammar rejects it before any field parses).
+  EXPECT_FALSE(parse_error(mutated_a64fx("\"fp_pipes\": 2",
+                                         "\"fp_pipes\": 2,\n  \"fp_pipes\": 2"))
+                   .empty());
+  // Wrong/missing format tag.
+  EXPECT_NE(parse_error(mutated_a64fx("fibersim-processor/1",
+                                      "fibersim-processor/9"))
+                .find("format"),
+            std::string::npos);
+  // Truncation anywhere may not yield a config.
+  for (const std::size_t keep :
+       {std::size_t{0}, valid.size() / 4, valid.size() / 2,
+        valid.size() - 2}) {
+    EXPECT_FALSE(parse_error(valid.substr(0, keep)).empty()) << keep;
+  }
+  // Non-numeric garbage in a number slot.
+  EXPECT_FALSE(
+      parse_error(mutated_a64fx("\"freq_hz\": 2e+09", "\"freq_hz\": 2e+999"))
+          .empty());
+}
+
+TEST(Descriptor, MissingFileNamesThePath) {
+  try {
+    (void)load_descriptor_file("/nonexistent/machine.json");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/machine.json"),
+              std::string::npos);
+  }
+}
+
+TEST(Descriptor, OptionalModesDefaultToAbsent) {
+  std::string text = to_descriptor(skylake8168_dual());
+  const ProcessorConfig parsed = parse_descriptor(text);
+  EXPECT_EQ(parsed.boost_freq_hz, 0.0);
+  EXPECT_EQ(parsed.eco_fp_pipes, 0);
+  // A machine without the modes passes through with_power_mode unchanged.
+  EXPECT_TRUE(with_power_mode(parsed, PowerMode::kBoost) == parsed);
+  EXPECT_TRUE(with_power_mode(parsed, PowerMode::kEco) == parsed);
+}
+
+TEST(Processor, GenericPowerModesFollowTheDescriptorFields) {
+  ProcessorConfig cfg = skylake8168_dual();
+  cfg.boost_freq_hz = 3.0e9;
+  cfg.eco_fp_pipes = 1;
+  cfg.eco_core_power_scale = 0.5;
+  const ProcessorConfig boost = with_power_mode(cfg, PowerMode::kBoost);
+  EXPECT_EQ(boost.name, "Skylake-8168x2-boost");
+  EXPECT_DOUBLE_EQ(boost.freq_hz, 3.0e9);
+  const ProcessorConfig eco = with_power_mode(cfg, PowerMode::kEco);
+  EXPECT_EQ(eco.fp_pipes, 1);
+  EXPECT_DOUBLE_EQ(eco.watts_per_core_active, cfg.watts_per_core_active * 0.5);
+}
+
+// ----- processor registry -------------------------------------------------
+
+/// Every registry test restores the built-ins on exit: the registry is
+/// process-global and load_file/resolve(path) mutate it.
+struct RegistryGuard {
+  ~RegistryGuard() { ProcessorRegistry::instance().reset(); }
+};
+
+TEST(Registry, BuiltinsResolveByKeyAndNameCaseInsensitive) {
+  RegistryGuard guard;
+  ProcessorRegistry& reg = ProcessorRegistry::instance();
+  EXPECT_TRUE(reg.resolve("a64fx") == a64fx());
+  EXPECT_TRUE(reg.resolve("A64FX") == a64fx());
+  EXPECT_TRUE(reg.resolve("skylake") == skylake8168_dual());
+  EXPECT_TRUE(reg.resolve("Skylake-8168x2") == skylake8168_dual());
+  EXPECT_TRUE(reg.resolve("broadwell") == broadwell_dual());
+}
+
+TEST(Registry, PowerModeSuffixesResolveOnlyWhenDeclared) {
+  RegistryGuard guard;
+  ProcessorRegistry& reg = ProcessorRegistry::instance();
+  EXPECT_TRUE(reg.resolve("a64fx-boost") ==
+              with_power_mode(a64fx(), PowerMode::kBoost));
+  EXPECT_TRUE(reg.resolve("a64fx-eco") ==
+              with_power_mode(a64fx(), PowerMode::kEco));
+  EXPECT_THROW((void)reg.resolve("skylake-boost"), Error);
+  EXPECT_THROW((void)reg.resolve("skylake-eco"), Error);
+}
+
+TEST(Registry, UnknownTokenListsTheKnownKeys) {
+  RegistryGuard guard;
+  try {
+    (void)ProcessorRegistry::instance().resolve("epyc");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("epyc"), std::string::npos);
+    EXPECT_NE(msg.find("a64fx"), std::string::npos);
+  }
+}
+
+TEST(Registry, ComparisonSetsMatchTheRoles) {
+  RegistryGuard guard;
+  const std::vector<ProcessorConfig> cmp =
+      ProcessorRegistry::instance().comparison_set();
+  ASSERT_EQ(cmp.size(), 3u);
+  EXPECT_TRUE(cmp[0] == a64fx());
+  EXPECT_TRUE(cmp[1] == skylake8168_dual());
+  EXPECT_TRUE(cmp[2] == thunderx2_dual());
+  const std::vector<ProcessorConfig> ext =
+      ProcessorRegistry::instance().extended_comparison_set();
+  ASSERT_EQ(ext.size(), 4u);
+  EXPECT_TRUE(ext[3] == broadwell_dual());
+}
+
+TEST(Registry, LoadFileReplacesSameNamePreservingKeyAndRole) {
+  RegistryGuard guard;
+  ProcessorRegistry& reg = ProcessorRegistry::instance();
+  ProcessorConfig fast = a64fx();
+  fast.freq_hz = 2.4e9;
+  const std::string path =
+      ::testing::TempDir() + "/registry_replace_a64fx.json";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << to_descriptor(fast);
+  }
+  EXPECT_TRUE(reg.load_file(path) == fast);
+  // The old key still resolves — to the replacement — and the comparison set
+  // picked it up without any call-site change.
+  EXPECT_TRUE(reg.resolve("a64fx") == fast);
+  EXPECT_TRUE(reg.comparison_set()[0] == fast);
+  reg.reset();
+  EXPECT_TRUE(reg.resolve("a64fx") == a64fx());
+}
+
+TEST(Registry, ResolvingAPathLoadsAndRegistersIt) {
+  RegistryGuard guard;
+  ProcessorRegistry& reg = ProcessorRegistry::instance();
+  ProcessorConfig custom = thunderx2_dual();
+  custom.name = "TX2-custom";
+  custom.freq_hz = 2.2e9;
+  const std::string path = ::testing::TempDir() + "/registry_custom.json";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << to_descriptor(custom);
+  }
+  EXPECT_TRUE(reg.resolve(path) == custom);
+  // Registered under its name now; no path needed the second time.
+  EXPECT_TRUE(reg.resolve("TX2-custom") == custom);
+}
+
+// ----- calibration --------------------------------------------------------
+
+TEST(Calibrate, FitIsDeterministicAndSelfConsistent) {
+  const CalibrationOptions opt;
+  const CalibrationMeasurements m = synthetic_measurements(a64fx(), 42, 0.02);
+  const ProcessorConfig a = fit_descriptor(m, opt);
+  const ProcessorConfig b = fit_descriptor(m, opt);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(to_descriptor(a), to_descriptor(b));
+  // Synthetic measurements are themselves a pure function of (cfg, seed).
+  EXPECT_TRUE(m == synthetic_measurements(a64fx(), 42, 0.02));
+  EXPECT_FALSE(m == synthetic_measurements(a64fx(), 43, 0.02));
+}
+
+TEST(Calibrate, SyntheticFitLandsNearTheAnalyticCeilings) {
+  const CalibrationOptions opt;
+  const ProcessorConfig analytic = a64fx();
+  const ProcessorConfig fitted =
+      fit_descriptor(synthetic_measurements(analytic, 42, 0.02), opt);
+  // 2% injected noise + 3-significant-digit quantisation: 5% gate.
+  EXPECT_NEAR(fitted.freq_hz / analytic.freq_hz, 1.0, 0.05);
+  EXPECT_NEAR(fitted.node_mem_bw() / analytic.node_mem_bw(), 1.0, 0.05);
+  EXPECT_EQ(fitted.cores(), analytic.cores());
+  EXPECT_EQ(fitted.shape.numa_per_node(), analytic.shape.numa_per_node());
+}
+
+TEST(Calibrate, MeasurementsJsonRoundTripsAndRejectsGarbage) {
+  const CalibrationMeasurements m = synthetic_measurements(a64fx(), 7, 0.02);
+  const std::string text = measurements_to_json(m);
+  EXPECT_TRUE(parse_measurements(text) == m);
+  EXPECT_THROW((void)parse_measurements("{}"), Error);
+  EXPECT_THROW((void)parse_measurements(text + "trailing"), Error);
+  std::string negative = text;
+  const std::size_t pos = negative.find("\"freq_hz\": ");
+  ASSERT_NE(pos, std::string::npos);
+  negative.insert(pos + std::string("\"freq_hz\": ").size(), "-");
+  EXPECT_THROW((void)parse_measurements(negative), Error);
 }
 
 }  // namespace

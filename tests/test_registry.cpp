@@ -140,7 +140,8 @@ TEST(Registry, IndexOrderMatchesTheDesignDoc) {
   const std::vector<std::string> expected = {"T1", "T2", "F1",  "F2",  "F3",
                                              "T3", "F4", "F5",  "T4",  "A1",
                                              "A2", "A3", "A4",  "A5",  "E1",
-                                             "E2", "E1X", "E2X", "TN1"};
+                                             "E2", "E1X", "E2X", "TN1",
+                                             "CL1"};
   EXPECT_EQ(ExperimentRegistry::instance().ids(), expected);
 }
 

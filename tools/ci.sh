@@ -49,6 +49,52 @@ diff "$CACHE_DIR/report.cold.txt" "$CACHE_DIR/report.j4.txt"
       }
     done
 
+echo "== descriptors: checked-in files == constructors == loaded registry =="
+# Each committed descriptor must be byte-identical to what the compiled-in
+# constructor serialises to (the registry asserts the reverse direction —
+# parse(file) == constructor — at load time).
+for pair in "a64fx a64fx.json" "skylake skylake8168x2.json" \
+    "thunderx2 thunderx2.json" "broadwell broadwell.json"; do
+  set -- $pair
+  "$FIBERSIM" describe "$1" > "$CACHE_DIR/describe.$1.json"
+  diff "$CACHE_DIR/describe.$1.json" "descriptors/$2"
+done
+# Every descriptor passes the deep field-range check.
+"$BUILD_DIR/tools/json_check" descriptors/*.json
+# Swapping the built-ins for the checked-in descriptors must not move a
+# single byte of any report, at any job count (report.cold.txt ran with the
+# compiled-in registry at jobs 1).
+"$FIBERSIM" $REPORT_ARGS --jobs 4 --processor-dir descriptors \
+    > "$CACHE_DIR/report.descriptors.txt"
+diff "$CACHE_DIR/report.cold.txt" "$CACHE_DIR/report.descriptors.txt"
+
+echo "== calibrate: host micro-kernels -> valid, loadable descriptor =="
+# The quick pass must emit a descriptor that survives the strict parser and
+# immediately works as a --processor argument (1x1: the CI host may expose
+# a single core).
+"$FIBERSIM" calibrate --quick --out "$CACHE_DIR/host.json" \
+    --measurements "$CACHE_DIR/host-measurements.json" > /dev/null
+"$BUILD_DIR/tools/json_check" "$CACHE_DIR/host.json" \
+    "$CACHE_DIR/host-measurements.json"
+"$FIBERSIM" run --app ffvc --dataset small --ranks 1 --threads 1 \
+    --processor "$CACHE_DIR/host.json" --json > /dev/null
+# Refitting the same measurements must reproduce the descriptor bytes.
+"$FIBERSIM" calibrate --from-measurements "$CACHE_DIR/host-measurements.json" \
+    > "$CACHE_DIR/host.refit.json"
+"$FIBERSIM" calibrate --from-measurements "$CACHE_DIR/host-measurements.json" \
+    > "$CACHE_DIR/host.refit2.json"
+diff "$CACHE_DIR/host.refit.json" "$CACHE_DIR/host.refit2.json"
+# The bench re-checks fit determinism, the serialise/parse round trip and
+# the synthetic-fit fidelity gates, and exits nonzero on any violation.
+"$BUILD_DIR/bench/perf_calibrate" --out "$CACHE_DIR/BENCH_calibrate.json"
+for invariant in '"fit_deterministic": true' '"synthetic_deterministic": true' \
+    '"round_trip": true' '"fidelity_ok": true' '"ok": true'; do
+  grep -q "$invariant" "$CACHE_DIR/BENCH_calibrate.json" || {
+    echo "BENCH_calibrate.json missing invariant: $invariant" >&2
+    exit 1
+  }
+done
+
 echo "== collapse: every report byte-identical with --collapse-ranks on =="
 # report.cold.txt above ran with the default (--collapse-ranks off). The
 # rank-symmetry contract says collapsed execution changes wall time only,
